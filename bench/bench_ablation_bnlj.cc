@@ -1,0 +1,96 @@
+// Ablation for §4.3's bounded nested-loop join: the BNLJ restricts each
+// inner re-scan to the outer match's subtree range (p1, p2]; the naive
+// nested loop re-scans the whole document per outer match. Reports wall
+// time and scan I/O for both on the recursive data sets.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "opt/planner.h"
+#include "pattern/builder.h"
+#include "workload/queries.h"
+#include "xpath/parser.h"
+
+using blossomtree::bench::BenchFlags;
+using blossomtree::bench::ParseFlags;
+using blossomtree::bench::TimeCell;
+using blossomtree::bench::TimeSeconds;
+using blossomtree::datagen::Dataset;
+using blossomtree::datagen::DatasetName;
+using blossomtree::opt::JoinStrategy;
+using blossomtree::opt::PlanOptions;
+
+namespace {
+
+struct RunResult {
+  std::string time;
+  uint64_t nodes = 0;
+};
+
+RunResult Run(const blossomtree::xml::Document* doc,
+              const blossomtree::pattern::BlossomTree* tree,
+              JoinStrategy strategy, double dnf_seconds) {
+  RunResult out;
+  PlanOptions po;
+  po.strategy = strategy;
+  double t = TimeSeconds([&] {
+    auto plan = blossomtree::opt::PlanQuery(doc, tree, po);
+    if (!plan.ok()) return;
+    blossomtree::nestedlist::NestedList nl;
+    auto start = std::chrono::steady_clock::now();
+    while (plan->trees[0].root->GetNext(&nl)) {
+      double elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (elapsed > dnf_seconds) {
+        out.nodes = plan->trees[0].TotalNodesScanned();
+        return;
+      }
+    }
+    out.nodes = plan->trees[0].TotalNodesScanned();
+  });
+  out.time = t > dnf_seconds ? "DNF" : TimeCell(t);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv, /*default_scale=*/0.05);
+  std::printf(
+      "Ablation: bounded vs naive nested-loop //-join (paper 4.3)\n"
+      "(scale=%.2f, recursive data sets, DNF cap=%.1fs)\n\n",
+      flags.scale, flags.dnf_seconds);
+  std::printf("%-4s %-3s | %9s %14s | %9s %14s\n", "set", "q", "BNLJ s",
+              "BNLJ nodes", "naive s", "naive nodes");
+
+  for (Dataset d : {Dataset::kD1Recursive, Dataset::kD4Treebank}) {
+    blossomtree::datagen::GenOptions o;
+    o.scale = flags.scale;
+    o.seed = flags.seed;
+    auto doc = blossomtree::datagen::GenerateDataset(d, o);
+    for (const auto& q : blossomtree::workload::QueriesFor(d)) {
+      auto path = blossomtree::xpath::ParsePath(q.xpath);
+      if (!path.ok()) continue;
+      auto tree = blossomtree::pattern::BuildFromPath(*path);
+      if (!tree.ok()) continue;
+      RunResult bounded = Run(doc.get(), &*tree,
+                              JoinStrategy::kBoundedNestedLoop,
+                              flags.dnf_seconds);
+      RunResult naive = Run(doc.get(), &*tree,
+                            JoinStrategy::kNaiveNestedLoop,
+                            flags.dnf_seconds);
+      std::printf("%-4s %-3s | %9s %14llu | %9s %14llu\n", DatasetName(d),
+                  q.id.c_str(), bounded.time.c_str(),
+                  static_cast<unsigned long long>(bounded.nodes),
+                  naive.time.c_str(),
+                  static_cast<unsigned long long>(naive.nodes));
+    }
+  }
+  std::printf(
+      "\nExpected: the subtree-range restriction cuts inner scan I/O by\n"
+      "orders of magnitude; the naive variant degrades toward DNF as the\n"
+      "outer match count grows.\n");
+  return 0;
+}

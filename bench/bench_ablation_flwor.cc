@@ -1,0 +1,117 @@
+// Ablation for the paper's motivating claim (§1): evaluating correlated
+// path expressions "for each iteration in the for-loop ... may be very
+// inefficient, due to the redundancy during the loop". Runs Example-1-style
+// FLWOR queries (correlated for/let/where with <<, value and deep-equal
+// predicates) with:
+//   BT  = BlossomTree engine (one pattern-matching pass + joins), and
+//   NAV = navigational semantics-following evaluation (paths re-evaluated
+//         per loop iteration — the X-Hive-style strawman),
+// over growing bibliography documents, reporting time and nodes visited.
+
+#include <cstdio>
+
+#include "baseline/navigational.h"
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "util/rng.h"
+#include "xml/document.h"
+
+using blossomtree::Rng;
+using blossomtree::bench::BenchFlags;
+using blossomtree::bench::ParseFlags;
+using blossomtree::bench::TimeCell;
+using blossomtree::bench::TimeSeconds;
+
+namespace {
+
+/// Bibliography like Example 2's, with `n` books; ~30% carry an author.
+std::unique_ptr<blossomtree::xml::Document> Bib(size_t n, uint64_t seed) {
+  auto doc = std::make_unique<blossomtree::xml::Document>();
+  Rng rng(seed);
+  doc->BeginElement("bib");
+  for (size_t i = 0; i < n; ++i) {
+    doc->BeginElement("book");
+    doc->BeginElement("title");
+    doc->AddText("title-" + std::to_string(rng.Uniform(n / 2 + 1)));
+    doc->EndElement();
+    if (rng.Chance(0.3)) {
+      doc->BeginElement("author");
+      doc->BeginElement("last");
+      doc->AddText("author-" + std::to_string(rng.Uniform(8)));
+      doc->EndElement();
+      doc->EndElement();
+    }
+    doc->EndElement();
+  }
+  doc->EndElement();
+  blossomtree::Status st = doc->Finish();
+  (void)st;
+  return doc;
+}
+
+constexpr const char* kPairsQuery = R"(
+<bib>{
+for $book1 in doc("bib.xml")//book, $book2 in doc("bib.xml")//book
+let $aut1 := $book1/author
+let $aut2 := $book2/author
+where $book1 << $book2
+  and not($book1/title = $book2/title)
+  and deep-equal($aut1, $aut2)
+return <book-pair>{ $book1/title }{ $book2/title }</book-pair>
+}</bib>
+)";
+
+constexpr const char* kSimpleQuery =
+    "for $b in doc(\"bib.xml\")//book for $t in $b/title "
+    "return <r>{ $t }</r>";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv, /*default_scale=*/1.0);
+  std::printf(
+      "Ablation: FLWOR evaluation — BlossomTree (BT) vs per-iteration\n"
+      "navigational re-evaluation (NAV), Example-1-style query\n\n");
+  std::printf("%-8s | %-28s | %10s %10s | %12s\n", "#books", "query",
+              "BT s", "NAV s", "NAV visits");
+
+  struct Q {
+    const char* name;
+    const char* text;
+  };
+  const Q queries[] = {{"book-pairs (Example 1)", kPairsQuery},
+                       {"chained for (b, b/title)", kSimpleQuery}};
+
+  for (size_t n : {50, 100, 200, 400, 800}) {
+    size_t scaled = static_cast<size_t>(n * flags.scale);
+    if (scaled < 4) scaled = 4;
+    auto doc = Bib(scaled, flags.seed);
+    for (const Q& q : queries) {
+      std::string bt_result;
+      std::string nav_result;
+      double bt_s = TimeSeconds([&] {
+        blossomtree::engine::BlossomTreeEngine engine(doc.get());
+        auto r = engine.EvaluateQuery(q.text);
+        if (r.ok()) bt_result = r.MoveValue();
+      });
+      uint64_t nav_visits = 0;
+      double nav_s = TimeSeconds([&] {
+        blossomtree::baseline::NavigationalEvaluator nav(doc.get());
+        auto r = nav.EvaluateQuery(q.text);
+        if (r.ok()) nav_result = r.MoveValue();
+        nav_visits = nav.NodesVisited();
+      });
+      if (bt_result != nav_result) {
+        std::printf("!! engines disagree on %s at n=%zu\n", q.name, scaled);
+      }
+      std::printf("%-8zu | %-28s | %10s %10s | %12llu\n", scaled, q.name,
+                  TimeCell(bt_s).c_str(), TimeCell(nav_s).c_str(),
+                  static_cast<unsigned long long>(nav_visits));
+    }
+  }
+  std::printf(
+      "\nExpected: NAV re-evaluates $book2's path and the let-paths per\n"
+      "iteration, so its node visits (and time) grow superlinearly with\n"
+      "the document, while BT matches each pattern tree once.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure-style series for the paper's §5.2 analysis: "TwigStack is faster
+// when the tag constraints in the query are selective. On the other hand,
+// pipelined join algorithm does not rely on indexes, thus it resembles a
+// sequential scan operator".
+//
+// Sweeps query selectivity over a synthetic catalog (key values with
+// geometric frequencies: v0 matches ~50% of items, v1 ~25%, ... v9 ~0.1%)
+// and reports the running time of all four systems per selectivity tier.
+// Expected: XH/SJ/TS costs fall with selectivity (index/candidate driven),
+// PL stays flat (sequential scans), with a crossover at high selectivity.
+
+#include <cstdio>
+
+#include "baseline/navigational.h"
+#include "bench_util.h"
+#include "exec/twig_semijoin.h"
+#include "exec/twigstack.h"
+#include "opt/planner.h"
+#include "pattern/builder.h"
+#include "util/rng.h"
+#include "xml/document.h"
+#include "xpath/parser.h"
+
+using namespace blossomtree;
+using bench::BenchFlags;
+using bench::ParseFlags;
+using bench::TimeCell;
+using bench::TimeSeconds;
+
+namespace {
+
+/// items with a geometric key distribution: key vK with probability 2^-K-1.
+std::unique_ptr<xml::Document> Catalog(size_t items, uint64_t seed) {
+  auto doc = std::make_unique<xml::Document>();
+  Rng rng(seed);
+  doc->BeginElement("catalog");
+  for (size_t i = 0; i < items; ++i) {
+    doc->BeginElement("item");
+    doc->BeginElement("key");
+    int k = 0;
+    while (k < 9 && rng.Chance(0.5)) ++k;
+    doc->AddText("v" + std::to_string(k));
+    doc->EndElement();
+    doc->BeginElement("payload");
+    doc->AddText(std::to_string(rng.Uniform(1000)));
+    doc->EndElement();
+    doc->EndElement();
+  }
+  doc->EndElement();
+  Status st = doc->Finish();
+  (void)st;
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv, /*default_scale=*/1.0);
+  size_t items = static_cast<size_t>(50000 * flags.scale);
+  auto doc = Catalog(items, flags.seed);
+  for (xml::TagId t = 0; t < doc->tags().size(); ++t) doc->TagIndex(t);
+  std::printf(
+      "Selectivity sweep: //item[key = \"vK\"]/payload over %zu items\n\n",
+      items);
+  std::printf("%-4s %9s %8s | %8s %8s %8s %8s\n", "key", "results", "sel.%",
+              "XH s", "TS s", "SJ s", "PL s");
+
+  for (int k = 0; k <= 9; ++k) {
+    std::string query =
+        "//item[key = \"v" + std::to_string(k) + "\"]/payload";
+    auto path = xpath::ParsePath(query);
+    if (!path.ok()) return 1;
+    auto tree = pattern::BuildFromPath(*path);
+    if (!tree.ok()) return 1;
+
+    size_t results = 0;
+    double xh_s = TimeSeconds([&] {
+      baseline::NavigationalEvaluator nav(doc.get());
+      auto r = nav.EvaluatePath(*path);
+      if (r.ok()) results = r->size();
+    });
+    double ts_s = TimeSeconds([&] {
+      exec::TwigStack ts(doc.get(), &*tree);
+      std::vector<xml::NodeId> out;
+      Status st = ts.Run(tree->VertexOfVariable("result"), &out);
+      (void)st;
+    });
+    double sj_s = TimeSeconds([&] {
+      exec::TwigSemijoin sj(doc.get(), &*tree);
+      std::vector<xml::NodeId> out;
+      Status st = sj.Run(tree->VertexOfVariable("result"), &out);
+      (void)st;
+    });
+    opt::PlanOptions po;
+    po.strategy = opt::JoinStrategy::kPipelined;
+    double pl_s = TimeSeconds([&] {
+      auto r = opt::EvaluatePathQuery(doc.get(), &*tree, po);
+      (void)r;
+    });
+    std::printf("v%-3d %9zu %8.3f | %8s %8s %8s %8s\n", k, results,
+                100.0 * static_cast<double>(results) /
+                    static_cast<double>(doc->NumElements()),
+                TimeCell(xh_s).c_str(), TimeCell(ts_s).c_str(),
+                TimeCell(sj_s).c_str(), TimeCell(pl_s).c_str());
+  }
+  std::printf(
+      "\nExpected: PL is roughly flat (sequential-scan bound); TS/SJ track\n"
+      "the candidate sizes. TwigStack's advantage appears at the selective\n"
+      "end; the scan-based plan is competitive at the unselective end.\n");
+  return 0;
+}

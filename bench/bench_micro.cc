@@ -1,0 +1,147 @@
+// Google-benchmark microbenchmarks for the individual operators: XML
+// parsing, NoK scan, structural merge join, TwigStack, pipelined join, and
+// NestedList projection. These are not paper tables; they quantify the
+// building blocks the table benches compose.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/navigational.h"
+#include "datagen/datagen.h"
+#include "exec/structural_join.h"
+#include "exec/twigstack.h"
+#include "nestedlist/ops.h"
+#include "opt/planner.h"
+#include "pattern/builder.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace {
+
+std::unique_ptr<xml::Document> BenchDoc(datagen::Dataset d, double scale) {
+  datagen::GenOptions o;
+  o.scale = scale;
+  o.seed = 42;
+  return datagen::GenerateDataset(d, o);
+}
+
+void BM_ParseXml(benchmark::State& state) {
+  auto doc = BenchDoc(datagen::Dataset::kD5Dblp, 0.05);
+  std::string text = xml::Serialize(*doc);
+  for (auto _ : state) {
+    auto r = xml::ParseDocument(text);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_ParseXml);
+
+void BM_SerializeXml(benchmark::State& state) {
+  auto doc = BenchDoc(datagen::Dataset::kD5Dblp, 0.05);
+  for (auto _ : state) {
+    std::string text = xml::Serialize(*doc);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_SerializeXml);
+
+void BM_NokScan(benchmark::State& state) {
+  auto doc = BenchDoc(datagen::Dataset::kD5Dblp, 0.05);
+  auto path = xpath::ParsePath("//proceedings[editor]").MoveValue();
+  auto tree = pattern::BuildFromPath(path).MoveValue();
+  auto decomp = pattern::Decompose(tree);
+  for (auto _ : state) {
+    exec::NokScanOperator scan(doc.get(), &tree,
+                               &decomp.noks[decomp.noks.size() - 1]);
+    nestedlist::NestedList nl;
+    size_t count = 0;
+    while (scan.GetNext(&nl)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc->NumNodes()));
+}
+BENCHMARK(BM_NokScan);
+
+void BM_StructuralJoin(benchmark::State& state) {
+  auto doc = BenchDoc(datagen::Dataset::kD5Dblp, 0.05);
+  const auto& anc = doc->TagIndex(doc->tags().Lookup("proceedings"));
+  const auto& desc = doc->TagIndex(doc->tags().Lookup("editor"));
+  for (auto _ : state) {
+    auto pairs = exec::StackStructuralJoin(*doc, anc, desc);
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(anc.size() + desc.size()));
+}
+BENCHMARK(BM_StructuralJoin);
+
+void BM_TwigStack(benchmark::State& state) {
+  auto doc = BenchDoc(datagen::Dataset::kD5Dblp, 0.05);
+  auto path = xpath::ParsePath("//proceedings[//editor]//url").MoveValue();
+  auto tree = pattern::BuildFromPath(path).MoveValue();
+  for (auto _ : state) {
+    exec::TwigStack ts(doc.get(), &tree);
+    std::vector<xml::NodeId> out;
+    Status st = ts.Run(tree.VertexOfVariable("result"), &out);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_TwigStack);
+
+void BM_PipelinedPlan(benchmark::State& state) {
+  auto doc = BenchDoc(datagen::Dataset::kD5Dblp, 0.05);
+  auto path = xpath::ParsePath("//proceedings[//editor]//url").MoveValue();
+  auto tree = pattern::BuildFromPath(path).MoveValue();
+  opt::PlanOptions po;
+  po.strategy = opt::JoinStrategy::kPipelined;
+  for (auto _ : state) {
+    auto r = opt::EvaluatePathQuery(doc.get(), &tree, po);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PipelinedPlan);
+
+void BM_NavigationalPath(benchmark::State& state) {
+  auto doc = BenchDoc(datagen::Dataset::kD5Dblp, 0.05);
+  auto path = xpath::ParsePath("//proceedings[//editor]//url").MoveValue();
+  for (auto _ : state) {
+    baseline::NavigationalEvaluator nav(doc.get());
+    auto r = nav.EvaluatePath(path);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NavigationalPath);
+
+void BM_Projection(benchmark::State& state) {
+  auto doc = BenchDoc(datagen::Dataset::kD5Dblp, 0.05);
+  auto path = xpath::ParsePath("//proceedings//editor").MoveValue();
+  auto tree = pattern::BuildFromPath(path).MoveValue();
+  opt::PlanOptions po;
+  po.strategy = opt::JoinStrategy::kPipelined;
+  auto plan = opt::PlanQuery(doc.get(), &tree, po).MoveValue();
+  auto lists = exec::Drain(plan.trees[0].root.get());
+  pattern::SlotId slot = tree.SlotOfVariable("result");
+  for (auto _ : state) {
+    auto nodes =
+        nestedlist::ProjectSequence(tree, plan.trees[0].tops, lists, slot);
+    benchmark::DoNotOptimize(nodes);
+  }
+}
+BENCHMARK(BM_Projection);
+
+void BM_DatasetGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto doc = BenchDoc(datagen::Dataset::kD1Recursive, 0.05);
+    benchmark::DoNotOptimize(doc);
+  }
+}
+BENCHMARK(BM_DatasetGeneration);
+
+}  // namespace
+}  // namespace blossomtree
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Reproduces Table 1 of the paper: "Categories of testing data sets".
+//
+// Generates the five data sets (see DESIGN.md §5 for the substitution of
+// XBench/Treebank/dblp by shape-matched generators) and prints the same
+// columns the paper reports: size, #nodes, avg. dep., max dep., |tags|,
+// |tree| (in-memory structure size).
+//
+// The default scale (1.0) targets roughly 1/10 of the paper's node counts;
+// pass --scale=10 to match the originals.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+
+using blossomtree::bench::BenchFlags;
+using blossomtree::bench::ParseFlags;
+using blossomtree::datagen::AllDatasets;
+using blossomtree::datagen::ComputeStats;
+using blossomtree::datagen::Dataset;
+using blossomtree::datagen::DatasetName;
+using blossomtree::datagen::DatasetStats;
+using blossomtree::datagen::GenerateDataset;
+using blossomtree::datagen::GenOptions;
+
+namespace {
+
+const char* Category(Dataset d) {
+  switch (d) {
+    case Dataset::kD1Recursive:
+    case Dataset::kD2Address:
+    case Dataset::kD3Catalog:
+      return "Synthetic";
+    default:
+      return "Real-shaped";
+  }
+}
+
+std::string Mb(size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f MB", bytes / (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv, /*default_scale=*/1.0);
+  std::printf("Table 1: Categories of testing data sets (scale=%.2f)\n\n",
+              flags.scale);
+  std::printf("%-12s %-10s %-4s %-10s %9s %9s %8s %8s %10s\n", "category",
+              "recursive?", "set", "size", "#nodes", "avg.dep.", "max dep.",
+              "|tags|", "|tree|");
+  for (Dataset d : AllDatasets()) {
+    GenOptions o;
+    o.scale = flags.scale;
+    o.seed = flags.seed;
+    auto doc = GenerateDataset(d, o);
+    DatasetStats s = ComputeStats(*doc, DatasetName(d));
+    std::printf("%-12s %-10s %-4s %-10s %9zu %9.1f %8u %8zu %10s\n",
+                Category(d), s.recursive ? "Y" : "N", s.name.c_str(),
+                Mb(s.xml_bytes).c_str(), s.num_nodes, s.avg_depth,
+                s.max_depth, s.num_tags, Mb(s.tree_bytes).c_str());
+  }
+  std::printf(
+      "\nPaper values (full size): d1 69MB/1.2M nodes, d2 17MB/403k,\n"
+      "d3 30MB/621k, d4 82MB/2.4M, d5 133MB/3.3M; depth and |tags| columns\n"
+      "should match the paper's shape at any scale.\n");
+  return 0;
+}

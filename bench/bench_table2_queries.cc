@@ -1,0 +1,60 @@
+// Reproduces Table 2 / Appendix A of the paper: the six query categories
+// (selectivity {high, moderate, low} × topology {chain, branching}) per
+// data set, reporting each query's measured result size and selectivity so
+// the tiers can be checked against the paper's design (§5.1: high ≈ small
+// result, low ≈ large result).
+
+#include <cstdio>
+
+#include "baseline/navigational.h"
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "workload/queries.h"
+#include "xpath/parser.h"
+
+using blossomtree::baseline::NavigationalEvaluator;
+using blossomtree::bench::BenchFlags;
+using blossomtree::bench::ParseFlags;
+using blossomtree::datagen::AllDatasets;
+using blossomtree::datagen::Dataset;
+using blossomtree::datagen::DatasetName;
+using blossomtree::datagen::GenerateDataset;
+using blossomtree::datagen::GenOptions;
+using blossomtree::workload::QueriesFor;
+using blossomtree::workload::QuerySpec;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv, /*default_scale=*/0.2);
+  std::printf("Table 2 / Appendix A: query categories (scale=%.2f)\n\n",
+              flags.scale);
+  for (Dataset d : AllDatasets()) {
+    GenOptions o;
+    o.scale = flags.scale;
+    o.seed = flags.seed;
+    auto doc = GenerateDataset(d, o);
+    std::printf("%s (%zu element nodes)\n", DatasetName(d),
+                doc->NumElements());
+    std::printf("  %-3s %-4s %-60s %9s %8s\n", "id", "cat", "query",
+                "results", "sel.%");
+    for (const QuerySpec& q : QueriesFor(d)) {
+      auto path = blossomtree::xpath::ParsePath(q.xpath);
+      if (!path.ok()) {
+        std::printf("  %-3s parse error: %s\n", q.id.c_str(),
+                    path.status().ToString().c_str());
+        continue;
+      }
+      NavigationalEvaluator nav(doc.get());
+      auto r = nav.EvaluatePath(*path);
+      if (!r.ok()) {
+        std::printf("  %-3s eval error: %s\n", q.id.c_str(),
+                    r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("  %-3s %-4s %-60s %9zu %8.2f\n", q.id.c_str(),
+                  q.category.c_str(), q.xpath.c_str(), r->size(),
+                  100.0 * r->size() / doc->NumElements());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+#ifndef BLOSSOMTREE_BENCH_BENCH_UTIL_H_
+#define BLOSSOMTREE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+
+namespace blossomtree {
+namespace bench {
+
+/// Shared command-line flags for the table-reproduction harnesses.
+struct BenchFlags {
+  double scale = 0.2;      ///< Dataset scale factor (1.0 ≈ paper/10).
+  uint64_t seed = 42;      ///< Generator seed.
+  int runs = 3;            ///< Timed repetitions; the paper averages 3.
+  double dnf_seconds = 5;  ///< Per-run cap; slower runs print DNF.
+};
+
+inline BenchFlags ParseFlags(int argc, char** argv,
+                             double default_scale = 0.2) {
+  BenchFlags flags;
+  flags.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      flags.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--runs=", 7) == 0) {
+      flags.runs = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--dnf-seconds=", 14) == 0) {
+      flags.dnf_seconds = std::atof(arg + 14);
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "flags: --scale=F --seed=N --runs=N --dnf-seconds=F\n");
+      std::exit(0);
+    }
+  }
+  return flags;
+}
+
+/// Times one invocation of `fn` in seconds.
+inline double TimeSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Runs `fn` up to `runs` times, returning the average seconds; returns a
+/// negative value (DNF) if a run exceeds `dnf_seconds`.
+inline double TimeAverage(const std::function<void()>& fn, int runs,
+                          double dnf_seconds) {
+  double total = 0;
+  for (int i = 0; i < runs; ++i) {
+    double t = TimeSeconds(fn);
+    if (t > dnf_seconds) return -1.0;
+    total += t;
+  }
+  return total / runs;
+}
+
+/// Formats a time cell: seconds with 3 decimals, or "DNF".
+inline std::string TimeCell(double seconds) {
+  if (seconds < 0) return "DNF";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_BENCH_BENCH_UTIL_H_

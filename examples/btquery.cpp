@@ -1,0 +1,134 @@
+// btquery — command-line query driver over XML or succinct (.btsx) files.
+//
+// Usage:
+//   btquery [options] <file.xml|file.btsx> <query>
+//   options:
+//     --engine=blossom|nav     evaluation engine (default blossom)
+//     --strategy=auto|pl|nl    //-join strategy for blossom plans
+//     --explain                print the physical plan
+//     --advise                 print the cost model's recommendation
+//     --save-btsx=<path>       save the parsed document in succinct form
+//
+// The query may be a path expression or a full FLWOR expression.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "baseline/navigational.h"
+#include "engine/engine.h"
+#include "flwor/parser.h"
+#include "opt/cost_model.h"
+#include "pattern/builder.h"
+#include "storage/succinct.h"
+#include "xml/parser.h"
+
+using namespace blossomtree;
+
+namespace {
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string engine_name = "blossom";
+  std::string strategy = "auto";
+  bool explain = false;
+  bool advise = false;
+  std::string save_btsx;
+  std::string file;
+  std::string query;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--engine=", 9) == 0) {
+      engine_name = arg + 9;
+    } else if (std::strncmp(arg, "--strategy=", 11) == 0) {
+      strategy = arg + 11;
+    } else if (std::strcmp(arg, "--explain") == 0) {
+      explain = true;
+    } else if (std::strcmp(arg, "--advise") == 0) {
+      advise = true;
+    } else if (std::strncmp(arg, "--save-btsx=", 12) == 0) {
+      save_btsx = arg + 12;
+    } else if (file.empty()) {
+      file = arg;
+    } else if (query.empty()) {
+      query = arg;
+    }
+  }
+  if (file.empty() || query.empty()) {
+    std::fprintf(stderr,
+                 "usage: btquery [--engine=blossom|nav] [--strategy=auto|pl|"
+                 "nl] [--explain] [--advise] [--save-btsx=p] <file> "
+                 "<query>\n");
+    return 2;
+  }
+
+  // Load the document (succinct or XML by extension).
+  Result<std::unique_ptr<xml::Document>> loaded =
+      EndsWith(file, ".btsx") ? storage::LoadDocument(file)
+                              : xml::ParseDocumentFile(file);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = loaded.MoveValue();
+  std::fprintf(stderr, "loaded %zu nodes (%s)\n", doc->NumNodes(),
+               doc->IsRecursive() ? "recursive" : "non-recursive");
+
+  if (!save_btsx.empty()) {
+    Status st = storage::SaveDocument(*doc, save_btsx);
+    if (!st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved succinct form to %s\n", save_btsx.c_str());
+  }
+
+  auto parsed = flwor::ParseQuery(query);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "query parse failed: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  if (advise && (*parsed)->kind == flwor::Expr::Kind::kPath) {
+    auto tree = pattern::BuildFromPath((*parsed)->path);
+    if (tree.ok()) {
+      opt::PlanAdvice a = opt::AdvisePlan(*doc, *tree);
+      std::fprintf(stderr, "advice: %s\n", a.rationale.c_str());
+    }
+  }
+
+  engine::EngineOptions opts;
+  if (strategy == "pl") {
+    opts.plan.strategy = opt::JoinStrategy::kPipelined;
+  } else if (strategy == "nl") {
+    opts.plan.strategy = opt::JoinStrategy::kBoundedNestedLoop;
+  }
+
+  Result<std::string> result("");
+  if (engine_name == "nav") {
+    baseline::NavigationalEvaluator nav(doc.get());
+    result = nav.EvaluateToXml(**parsed);
+  } else {
+    engine::BlossomTreeEngine engine(doc.get(), opts);
+    result = engine.EvaluateToXml(**parsed);
+    if (explain) {
+      std::fprintf(stderr, "plan:\n%s", engine.LastExplain().c_str());
+    }
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", result->c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shows the rule-based optimizer at work (paper §5: "an optimizer is
+// responsible for choosing an appropriate physical operator based on its
+// knowledge of the system environment"):
+//  - the same query gets a pipelined plan on a non-recursive document and
+//    a bounded-nested-loop plan on a recursive one;
+//  - enabling the merged-NoK rewrite collapses k scans into one pass.
+
+#include <cstdio>
+
+#include "opt/planner.h"
+#include "pattern/builder.h"
+#include "pattern/decompose.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+using namespace blossomtree;
+
+namespace {
+
+void Explore(const char* label, const char* xml, const char* query) {
+  auto parsed = xml::ParseDocument(xml);
+  if (!parsed.ok()) return;
+  auto doc = parsed.MoveValue();
+  auto path = xpath::ParsePath(query);
+  if (!path.ok()) return;
+  auto tree = pattern::BuildFromPath(*path);
+  if (!tree.ok()) return;
+
+  std::printf("=== %s ===\n", label);
+  std::printf("document: %zu nodes, max same-tag nesting %u (%s)\n",
+              doc->NumNodes(), doc->MaxRecursionDegree(),
+              doc->IsRecursive() ? "recursive" : "non-recursive");
+  std::printf("query: %s\n", query);
+  std::printf("BlossomTree:\n%s", tree->ToString().c_str());
+  std::printf("decomposition:\n%s",
+              pattern::Decompose(*tree).ToString(*tree).c_str());
+
+  auto plan = opt::PlanQuery(doc.get(), &*tree);
+  if (!plan.ok()) return;
+  std::printf("auto plan:\n%s", plan->Explain().c_str());
+
+  auto result = opt::EvaluatePathQuery(doc.get(), &*tree);
+  if (result.ok()) {
+    std::printf("results: %zu node(s)\n", result->size());
+  }
+
+  if (!doc->IsRecursive()) {
+    opt::PlanOptions merged;
+    merged.strategy = opt::JoinStrategy::kPipelined;
+    merged.merge_nok_scans = true;
+    auto mplan = opt::PlanQuery(doc.get(), &*tree, merged);
+    if (mplan.ok() && mplan->merged_scan != nullptr) {
+      std::printf("merged-NoK rewrite: one pass of %llu nodes for %zu NoKs\n",
+                  static_cast<unsigned long long>(
+                      mplan->merged_scan->NodesScanned()),
+                  mplan->merged_scan->NumNoks());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const char* query = "//section[//figure]//paragraph";
+
+  Explore("non-recursive document",
+          "<doc>"
+          "<section><figure/><paragraph/><paragraph/></section>"
+          "<section><paragraph/></section>"
+          "</doc>",
+          query);
+
+  Explore("recursive document (nested sections)",
+          "<doc>"
+          "<section><figure/><paragraph/>"
+          "<section><paragraph/><section><figure/><paragraph/></section>"
+          "</section></section>"
+          "</doc>",
+          query);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: parse an XML document, run a path query and a FLWOR query
+// through the BlossomTree engine, and print the results.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+
+using namespace blossomtree;
+
+int main() {
+  // 1. Parse a document.
+  const char* xml = R"(
+    <library>
+      <shelf id="s1">
+        <book><title>A Memory of Whiteness</title><year>1985</year></book>
+        <book><title>Red Mars</title><year>1992</year></book>
+      </shelf>
+      <shelf id="s2">
+        <book><title>Green Mars</title><year>1993</year></book>
+      </shelf>
+    </library>
+  )";
+  auto parsed = xml::ParseDocument(xml);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = parsed.MoveValue();
+  std::printf("parsed %zu nodes, max depth %u, recursive: %s\n\n",
+              doc->NumNodes(), doc->MaxDepth(),
+              doc->IsRecursive() ? "yes" : "no");
+
+  // 2. A path query evaluated via BlossomTree pattern matching.
+  engine::BlossomTreeEngine engine(doc.get());
+  auto path = xpath::ParsePath("//shelf[//year = 1992]//title");
+  if (!path.ok()) return 1;
+  auto nodes = engine.EvaluatePath(*path);
+  if (!nodes.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 nodes.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("path query %s:\n", path->ToString().c_str());
+  for (xml::NodeId n : *nodes) {
+    std::printf("  %s\n", xml::SerializeSubtree(*doc, n).c_str());
+  }
+  std::printf("\nplan used:\n%s\n", engine.LastExplain().c_str());
+
+  // 3. A FLWOR query with a constructor.
+  auto result = engine.EvaluateQuery(
+      "for $b in //book where not($b/year = 1985) "
+      "order by $b/title return <hit>{ $b/title }</hit>");
+  if (!result.ok()) {
+    std::fprintf(stderr, "flwor failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("flwor result:\n%s\n", result->c_str());
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "baseline/navigational.h"
+
+#include <algorithm>
+
+#include "engine/engine.h"
+#include "flwor/parser.h"
+
+namespace blossomtree {
+namespace baseline {
+
+using engine::Env;
+using engine::PathEvaluator;
+using engine::ResultBuilder;
+
+Result<std::vector<xml::NodeId>> NavigationalEvaluator::EvaluatePath(
+    const xpath::PathExpr& path) {
+  PathEvaluator ev(doc_);
+  auto r = ev.Evaluate(path);
+  nodes_visited_ += ev.NodesVisited();
+  return r;
+}
+
+Result<std::string> NavigationalEvaluator::EvaluateQuery(
+    std::string_view query) {
+  BT_ASSIGN_OR_RETURN(std::unique_ptr<flwor::Expr> expr,
+                      flwor::ParseQuery(query));
+  return EvaluateToXml(*expr);
+}
+
+Result<std::string> NavigationalEvaluator::EvaluateToXml(
+    const flwor::Expr& expr) {
+  ResultBuilder out(doc_);
+  BT_RETURN_NOT_OK(EvalExpr(expr, Env{}, &out));
+  return out.ToXml();
+}
+
+Status NavigationalEvaluator::EvalExpr(const flwor::Expr& expr,
+                                       const Env& env, ResultBuilder* out) {
+  switch (expr.kind) {
+    case flwor::Expr::Kind::kPath: {
+      PathEvaluator ev(doc_);
+      BT_ASSIGN_OR_RETURN(std::vector<xml::NodeId> nodes,
+                          ev.EvaluateWith(expr.path, env, {}));
+      nodes_visited_ += ev.NodesVisited();
+      for (xml::NodeId n : nodes) out->CopyNode(n);
+      return Status::OK();
+    }
+    case flwor::Expr::Kind::kConstructor: {
+      out->BeginElement(expr.ctor->name);
+      for (const auto& [name, value] : expr.ctor->attributes) {
+        out->AddAttribute(name, value);
+      }
+      for (const flwor::ConstructorItem& item : expr.ctor->items) {
+        if (item.kind == flwor::ConstructorItem::Kind::kText) {
+          out->AddText(item.text);
+        } else {
+          BT_RETURN_NOT_OK(EvalExpr(*item.expr, env, out));
+        }
+      }
+      out->EndElement();
+      return Status::OK();
+    }
+    case flwor::Expr::Kind::kFlwor: {
+      PathEvaluator ev(doc_);
+      BT_ASSIGN_OR_RETURN(std::vector<Env> tuples,
+                          engine::NaiveFlworTuples(*expr.flwor, env, &ev));
+      nodes_visited_ += ev.NodesVisited();
+      const flwor::Flwor& f = *expr.flwor;
+      if (f.order_by.has_value()) {
+        PathEvaluator kev(doc_);
+        std::vector<std::pair<std::string, size_t>> keys;
+        for (size_t i = 0; i < tuples.size(); ++i) {
+          BT_ASSIGN_OR_RETURN(std::vector<xml::NodeId> nodes,
+                              kev.EvaluateWith(*f.order_by, tuples[i], {}));
+          keys.emplace_back(
+              nodes.empty() ? "" : doc_->StringValue(nodes[0]), i);
+        }
+        nodes_visited_ += kev.NodesVisited();
+        std::stable_sort(keys.begin(), keys.end(),
+                         [&](const auto& a, const auto& b) {
+                           return f.order_descending ? a.first > b.first
+                                                     : a.first < b.first;
+                         });
+        std::vector<Env> ordered;
+        for (const auto& [key, idx] : keys) ordered.push_back(tuples[idx]);
+        tuples = std::move(ordered);
+      }
+      for (const Env& t : tuples) {
+        BT_RETURN_NOT_OK(EvalExpr(*f.ret, t, out));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace baseline
+}  // namespace blossomtree

@@ -1,0 +1,82 @@
+#include "datagen/generators.h"
+
+namespace blossomtree {
+namespace datagen {
+namespace internal {
+
+namespace {
+
+// d1 (Table 1): synthetic recursive DTD — 8 tags, ~1.2M nodes at full size,
+// avg depth 7, max depth 8. The Appendix A queries for d1 use tags
+// a, b1..b4, c1..c3 with heavy same-tag nesting (e.g. //b1//c2//b1), so the
+// grammar lets every tag appear under every other, capped at depth 8.
+constexpr const char* kTags[] = {"a", "b1", "b2", "b3", "b4",
+                                 "c1", "c2", "c3"};
+constexpr size_t kNumTags = 8;
+constexpr uint32_t kMaxDepth = 8;
+
+struct D1Generator {
+  xml::Document* doc;
+  Rng rng;
+  size_t budget;  // Remaining element quota.
+
+  // Fanout 3 at inner levels concentrates mass near the depth cap, which is
+  // what produces Table 1's avg depth 7 with max depth 8.
+  void Emit(uint32_t depth) {
+    if (budget == 0) return;
+    --budget;
+    // Tag choice: the a tag stays rare below the root; b/c tags are skewed
+    // so that query selectivities spread (b1,c2 common; b4,c3 rare).
+    size_t tag;
+    double r = rng.NextDouble();
+    if (r < 0.04) {
+      tag = 0;  // a
+    } else if (r < 0.30) {
+      tag = 1;  // b1
+    } else if (r < 0.45) {
+      tag = 2;  // b2
+    } else if (r < 0.58) {
+      tag = 3;  // b3
+    } else if (r < 0.63) {
+      tag = 4;  // b4
+    } else if (r < 0.75) {
+      tag = 5;  // c1
+    } else if (r < 0.95) {
+      tag = 6;  // c2
+    } else {
+      tag = 7;  // c3
+    }
+    doc->BeginElement(kTags[tag]);
+    if (depth < kMaxDepth) {
+      size_t fanout = 2 + rng.Uniform(3);  // 2..4
+      for (size_t i = 0; i < fanout && budget > 0; ++i) {
+        Emit(depth + 1);
+      }
+    } else if (rng.Chance(0.3)) {
+      EmitWord(doc, &rng);
+    }
+    doc->EndElement();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<xml::Document> GenerateD1Recursive(const GenOptions& options) {
+  auto doc = std::make_unique<xml::Document>();
+  D1Generator gen{doc.get(), Rng(options.seed ^ 0xD1D1D1D1ULL),
+                  static_cast<size_t>(120000 * options.scale)};
+  if (gen.budget == 0) gen.budget = 16;
+  --gen.budget;
+  doc->BeginElement("a");
+  while (gen.budget > 0) {
+    gen.Emit(2);
+  }
+  doc->EndElement();
+  Status st = doc->Finish();
+  (void)st;
+  return doc;
+}
+
+}  // namespace internal
+}  // namespace datagen
+}  // namespace blossomtree

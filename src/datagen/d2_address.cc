@@ -1,0 +1,67 @@
+#include "datagen/generators.h"
+
+namespace blossomtree {
+namespace datagen {
+namespace internal {
+
+namespace {
+
+// d2 (Table 1): XBench "address" — shallow non-recursive data with 7 tags
+// and max depth 3: addresses / address / {five field tags}. The Appendix A
+// queries probe street_address (always present), zip_code / country_id
+// (sometimes absent, giving the h/m selectivity tiers) and name_of_state /
+// name_of_city.
+const char* kStates[] = {"Ontario", "Quebec",  "Bavaria", "Texas",
+                         "Kerala",  "Hokkaido"};
+const char* kCities[] = {"Waterloo", "Toronto", "Munich",
+                         "Austin",   "Kochi",   "Sapporo"};
+const char* kCountries[] = {"CA", "DE", "US", "IN", "JP"};
+
+}  // namespace
+
+std::unique_ptr<xml::Document> GenerateD2Address(const GenOptions& options) {
+  auto doc = std::make_unique<xml::Document>();
+  Rng rng(options.seed ^ 0xD2D2D2D2ULL);
+  // Each address contributes ~5 elements; Table 1's d2 has ~400k nodes at
+  // full size, so scale=1 yields ~40k.
+  size_t num_addresses = static_cast<size_t>(8000 * options.scale);
+  if (num_addresses == 0) num_addresses = 4;
+
+  doc->BeginElement("addresses");
+  for (size_t i = 0; i < num_addresses; ++i) {
+    doc->BeginElement("address");
+    doc->BeginElement("street_address");
+    doc->AddText(std::to_string(1 + rng.Uniform(9999)) + " Main St");
+    doc->EndElement();
+    doc->BeginElement("name_of_city");
+    doc->AddText(kCities[rng.Uniform(6)]);
+    doc->EndElement();
+    // Optional-field probabilities define the Table 2 selectivity tiers:
+    // name_of_state 8% (high), country_id 35% (moderate), zip_code 75%
+    // (low).
+    if (rng.Chance(0.08)) {
+      doc->BeginElement("name_of_state");
+      doc->AddText(kStates[rng.Uniform(6)]);
+      doc->EndElement();
+    }
+    if (rng.Chance(0.75)) {
+      doc->BeginElement("zip_code");
+      doc->AddText(std::to_string(10000 + rng.Uniform(89999)));
+      doc->EndElement();
+    }
+    if (rng.Chance(0.35)) {
+      doc->BeginElement("country_id");
+      doc->AddText(kCountries[rng.Uniform(5)]);
+      doc->EndElement();
+    }
+    doc->EndElement();
+  }
+  doc->EndElement();
+  Status st = doc->Finish();
+  (void)st;
+  return doc;
+}
+
+}  // namespace internal
+}  // namespace datagen
+}  // namespace blossomtree

@@ -1,0 +1,158 @@
+#include "datagen/generators.h"
+
+namespace blossomtree {
+namespace datagen {
+namespace internal {
+
+namespace {
+
+// d3 (Table 1): XBench "catalog" — 51 tags, avg depth 5, max depth 8,
+// non-recursive. The schema below follows the XBench catalog DTD closely
+// enough for the Appendix A queries (items with nested author / publisher
+// contact structures ending in street_address).
+struct D3Generator {
+  xml::Document* doc;
+  Rng rng;
+
+  void MailingAddress() {
+    doc->BeginElement("mailing_address");
+    doc->BeginElement("street_information");
+    doc->BeginElement("street_address");
+    doc->AddText(std::to_string(1 + rng.Uniform(999)) + " King St");
+    doc->EndElement();
+    if (rng.Chance(0.3)) {
+      doc->BeginElement("street_address2");
+      doc->AddText("Suite " + std::to_string(1 + rng.Uniform(99)));
+      doc->EndElement();
+    }
+    doc->EndElement();  // street_information
+    Leaf("name_of_city");
+    if (rng.Chance(0.7)) Leaf("name_of_state");
+    Leaf("zip_code");
+    Leaf("name_of_country");
+    doc->EndElement();
+  }
+
+  void ContactInformation() {
+    doc->BeginElement("contact_information");
+    MailingAddress();
+    if (rng.Chance(0.6)) Leaf("phone_number");
+    if (rng.Chance(0.5)) Leaf("email_address");
+    if (rng.Chance(0.2)) Leaf("web_site");
+    doc->EndElement();
+  }
+
+  void Author() {
+    doc->BeginElement("author");
+    doc->BeginElement("name");
+    Leaf("first_name");
+    if (rng.Chance(0.3)) Leaf("middle_name");
+    Leaf("last_name");
+    doc->EndElement();
+    if (rng.Chance(0.5)) Leaf("date_of_birth");
+    if (rng.Chance(0.4)) Leaf("biography");
+    // Only some authors carry a full contact block (drives the l-selectivity
+    // tier of Q5/Q6).
+    if (rng.Chance(0.55)) ContactInformation();
+    doc->EndElement();
+  }
+
+  void Publisher() {
+    doc->BeginElement("publisher");
+    Leaf("publisher_name");
+    if (rng.Chance(0.65)) ContactInformation();
+    doc->EndElement();
+  }
+
+  void Item() {
+    doc->BeginElement("item");
+    doc->BeginElement("title");
+    EmitWord(doc, &rng);
+    doc->EndElement();
+    doc->BeginElement("authors");
+    size_t n_auth = 1 + rng.Uniform(3);
+    for (size_t i = 0; i < n_auth; ++i) Author();
+    doc->EndElement();
+    // ~40% of items carry a publisher (moderate selectivity tier).
+    if (rng.Chance(0.40)) Publisher();
+    doc->BeginElement("attributes");
+    if (rng.Chance(0.15)) {
+      // Rare size_of_book block — target of the hc query Q1.
+      doc->BeginElement("size_of_book");
+      Leaf("length");
+      Leaf("width");
+      Leaf("height");
+      doc->EndElement();
+    }
+    Leaf("number_of_pages");
+    if (rng.Chance(0.5)) Leaf("cover_type");
+    if (rng.Chance(0.5)) Leaf("media_type");
+    doc->EndElement();  // attributes
+    doc->BeginElement("publication");
+    Leaf("date_of_release");
+    if (rng.Chance(0.4)) Leaf("edition");
+    doc->EndElement();
+    Leaf("ISBN");
+    if (rng.Chance(0.3)) {
+      doc->BeginElement("pricing");
+      Leaf("suggested_retail_price");
+      if (rng.Chance(0.5)) Leaf("cost");
+      doc->EndElement();
+    }
+    if (rng.Chance(0.25)) {
+      doc->BeginElement("related_items");
+      doc->BeginElement("related_item");
+      Leaf("item_id");
+      doc->EndElement();
+      doc->EndElement();
+    }
+    if (rng.Chance(0.2)) {
+      doc->BeginElement("subject_information");
+      Leaf("subject");
+      if (rng.Chance(0.5)) Leaf("sub_subject");
+      doc->EndElement();
+    }
+    if (rng.Chance(0.15)) {
+      doc->BeginElement("reviews");
+      doc->BeginElement("review");
+      Leaf("rating");
+      Leaf("comments");
+      doc->EndElement();
+      doc->EndElement();
+    }
+    if (rng.Chance(0.1)) {
+      doc->BeginElement("availability");
+      Leaf("in_stock");
+      if (rng.Chance(0.5)) Leaf("ship_within");
+      doc->EndElement();
+    }
+    doc->EndElement();  // item
+  }
+
+  void Leaf(const char* tag) {
+    doc->BeginElement(tag);
+    EmitWord(doc, &rng);
+    doc->EndElement();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<xml::Document> GenerateD3Catalog(const GenOptions& options) {
+  auto doc = std::make_unique<xml::Document>();
+  D3Generator gen{doc.get(), Rng(options.seed ^ 0xD3D3D3D3ULL)};
+  // Each item contributes ~35 elements; d3 has ~620k nodes at full size,
+  // so scale=1 yields ~62k.
+  size_t num_items = static_cast<size_t>(1800 * options.scale);
+  if (num_items == 0) num_items = 4;
+  doc->BeginElement("catalog");
+  for (size_t i = 0; i < num_items; ++i) gen.Item();
+  doc->EndElement();
+  Status st = doc->Finish();
+  (void)st;
+  return doc;
+}
+
+}  // namespace internal
+}  // namespace datagen
+}  // namespace blossomtree

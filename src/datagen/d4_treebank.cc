@@ -1,0 +1,108 @@
+#include "datagen/generators.h"
+
+namespace blossomtree {
+namespace datagen {
+namespace internal {
+
+namespace {
+
+// d4 (Table 1): Treebank-like — real parse trees are deep (max depth 36) and
+// highly recursive, with a large tag vocabulary (250). The grammar below
+// mimics Penn-Treebank phrase structure: clause/phrase tags recurse
+// (S, VP, NP, PP, SBAR, ADJP, ADVP), part-of-speech tags terminate, and a
+// tail of rare function tags pads the vocabulary to 250 as in the original.
+constexpr const char* kPhrase[] = {"S", "VP", "NP", "PP", "SBAR", "ADJP",
+                                   "ADVP"};
+constexpr size_t kNumPhrase = 7;
+constexpr const char* kPos[] = {"NN",  "NNS", "VB",  "VBD", "IN", "JJ",
+                                "DT",  "PRP", "RB",  "CC",  "CD", "TO",
+                                "MD",  "POS", "WDT", "EX",  "UH", "FW"};
+constexpr size_t kNumPos = 18;
+constexpr uint32_t kMaxDepth = 36;
+
+struct D4Generator {
+  xml::Document* doc;
+  Rng rng;
+  size_t budget;
+  size_t rare_counter = 0;
+
+  size_t PickPhraseTag() {
+    // Phrase choice biased to VP/NP nesting, which the Appendix A d4 queries
+    // exercise (//VP//VP/NP//PP/PP etc.).
+    double r = rng.NextDouble();
+    if (r < 0.30) return 1;               // VP
+    if (r < 0.60) return 2;               // NP
+    if (r < 0.78) return 3;               // PP
+    if (r < 0.84) return 0;               // S
+    return 4 + rng.Uniform(3);            // SBAR/ADJP/ADVP
+  }
+
+  /// One sentence: a phrase "spine" descending to a per-sentence target
+  /// depth (mostly shallow, occasionally the full 36 levels, as in real
+  /// treebank trees), with POS-leaf and small-phrase side branches.
+  void Sentence() {
+    double r = rng.NextDouble();
+    uint32_t target = 4 + static_cast<uint32_t>(r * r * (kMaxDepth - 4));
+    Spine(2, target);
+  }
+
+  void Spine(uint32_t depth, uint32_t target) {
+    if (budget == 0) return;
+    --budget;
+    doc->BeginElement(kPhrase[PickPhraseTag()]);
+    if (rng.Chance(0.4)) PosLeaf();
+    if (depth < target) Spine(depth + 1, target);
+    if (rng.Chance(0.5)) PosLeaf();
+    if (rng.Chance(0.15) && depth + 2 < kMaxDepth && budget > 2) {
+      // Short side phrase with a leaf.
+      --budget;
+      doc->BeginElement(kPhrase[PickPhraseTag()]);
+      PosLeaf();
+      doc->EndElement();
+    }
+    doc->EndElement();
+  }
+
+  void PosLeaf() {
+    if (budget == 0) return;
+    --budget;
+    doc->BeginElement(kPos[rng.Uniform(kNumPos)]);
+    EmitWord(doc, &rng);
+    doc->EndElement();
+  }
+
+  // Rare function tags (SEC-0 .. SEC-224) pad |tags| to 250 like the
+  // original's long tail of markers.
+  void RareLeaf() {
+    --budget;
+    doc->BeginElement("SEC-" + std::to_string(rare_counter++ % 225));
+    doc->EndElement();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<xml::Document> GenerateD4Treebank(const GenOptions& options) {
+  auto doc = std::make_unique<xml::Document>();
+  D4Generator gen{doc.get(), Rng(options.seed ^ 0xD4D4D4D4ULL),
+                  static_cast<size_t>(240000 * options.scale)};
+  if (gen.budget < 16) gen.budget = 16;
+  --gen.budget;
+  doc->BeginElement("treebank");
+  size_t sentence = 0;
+  while (gen.budget > 0) {
+    // One rare tag roughly every 25 sentences keeps the tail sparse while
+    // still exhausting all 225 labels at full scale.
+    if (sentence % 25 == 13 && gen.budget > 1) gen.RareLeaf();
+    gen.Sentence();
+    ++sentence;
+  }
+  doc->EndElement();
+  Status st = doc->Finish();
+  (void)st;
+  return doc;
+}
+
+}  // namespace internal
+}  // namespace datagen
+}  // namespace blossomtree

@@ -1,0 +1,186 @@
+#include "datagen/generators.h"
+
+namespace blossomtree {
+namespace datagen {
+namespace internal {
+
+namespace {
+
+// d5 (Table 1): dblp-like — shallow, bushy bibliography: 35 tags, avg depth
+// 3, max depth 6 (occasional markup nesting inside titles). The Appendix A
+// queries probe phdthesis (rare → high selectivity), www (moderate) and
+// proceedings (common among queried tags → low selectivity).
+struct D5Generator {
+  xml::Document* doc;
+  Rng rng;
+
+  void Field(const char* tag) {
+    doc->BeginElement(tag);
+    EmitWord(doc, &rng);
+    doc->EndElement();
+  }
+
+  void Title() {
+    doc->BeginElement("title");
+    EmitWord(doc, &rng);
+    if (rng.Chance(0.05)) {
+      // Nested markup (sub/sup/i/tt) is what gives dblp max depth 6.
+      doc->BeginElement("i");
+      doc->BeginElement("sub");
+      doc->BeginElement("sup");
+      EmitWord(doc, &rng);
+      doc->EndElement();
+      doc->EndElement();
+      doc->EndElement();
+    }
+    doc->EndElement();
+  }
+
+  void Authors(size_t max_n) {
+    size_t n = 1 + rng.Uniform(max_n);
+    for (size_t i = 0; i < n; ++i) Field("author");
+  }
+
+  void Article() {
+    doc->BeginElement("article");
+    Authors(3);
+    Title();
+    Field("journal");
+    Field("year");
+    if (rng.Chance(0.8)) Field("pages");
+    if (rng.Chance(0.6)) Field("volume");
+    if (rng.Chance(0.5)) Field("number");
+    if (rng.Chance(0.5)) Field("ee");
+    if (rng.Chance(0.3)) Field("url");
+    if (rng.Chance(0.1)) Field("note");
+    doc->EndElement();
+  }
+
+  void Inproceedings() {
+    doc->BeginElement("inproceedings");
+    Authors(4);
+    Title();
+    Field("booktitle");
+    Field("year");
+    if (rng.Chance(0.8)) Field("pages");
+    if (rng.Chance(0.6)) Field("crossref");
+    if (rng.Chance(0.4)) Field("ee");
+    if (rng.Chance(0.3)) Field("url");
+    doc->EndElement();
+  }
+
+  void Proceedings() {
+    doc->BeginElement("proceedings");
+    // ~70% carry editors; ~60% carry urls — the lc/lb query tier.
+    if (rng.Chance(0.7)) {
+      size_t n = 1 + rng.Uniform(3);
+      for (size_t i = 0; i < n; ++i) Field("editor");
+    }
+    Title();
+    Field("year");
+    if (rng.Chance(0.8)) Field("publisher");
+    if (rng.Chance(0.6)) Field("isbn");
+    if (rng.Chance(0.6)) Field("url");
+    if (rng.Chance(0.5)) Field("series");
+    if (rng.Chance(0.4)) Field("volume");
+    if (rng.Chance(0.2)) Field("address");
+    doc->EndElement();
+  }
+
+  void Phdthesis() {
+    doc->BeginElement("phdthesis");
+    Field("author");
+    Title();
+    Field("year");
+    if (rng.Chance(0.9)) Field("school");
+    if (rng.Chance(0.3)) Field("isbn");
+    if (rng.Chance(0.2)) Field("month");
+    doc->EndElement();
+  }
+
+  void Masterthesis() {
+    doc->BeginElement("mastersthesis");
+    Field("author");
+    Title();
+    Field("year");
+    Field("school");
+    doc->EndElement();
+  }
+
+  void Www() {
+    doc->BeginElement("www");
+    if (rng.Chance(0.7)) Authors(2);
+    if (rng.Chance(0.8)) Title();
+    if (rng.Chance(0.75)) Field("url");
+    if (rng.Chance(0.3)) Field("year");
+    if (rng.Chance(0.2)) Field("editor");
+    if (rng.Chance(0.2)) Field("note");
+    if (rng.Chance(0.1)) Field("cite");
+    doc->EndElement();
+  }
+
+  void Incollection() {
+    doc->BeginElement("incollection");
+    Authors(3);
+    Title();
+    Field("booktitle");
+    Field("year");
+    if (rng.Chance(0.5)) Field("pages");
+    if (rng.Chance(0.3)) Field("chapter");
+    if (rng.Chance(0.3)) Field("publisher");
+    doc->EndElement();
+  }
+
+  void Book() {
+    doc->BeginElement("book");
+    Authors(2);
+    Title();
+    Field("publisher");
+    Field("year");
+    if (rng.Chance(0.5)) Field("isbn");
+    if (rng.Chance(0.3)) Field("series");
+    doc->EndElement();
+  }
+
+  void Entry() {
+    double r = rng.NextDouble();
+    if (r < 0.30) {
+      Article();
+    } else if (r < 0.58) {
+      Inproceedings();
+    } else if (r < 0.72) {
+      Proceedings();
+    } else if (r < 0.85) {
+      Www();
+    } else if (r < 0.90) {
+      Phdthesis();
+    } else if (r < 0.93) {
+      Masterthesis();
+    } else if (r < 0.97) {
+      Incollection();
+    } else {
+      Book();
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<xml::Document> GenerateD5Dblp(const GenOptions& options) {
+  auto doc = std::make_unique<xml::Document>();
+  D5Generator gen{doc.get(), Rng(options.seed ^ 0xD5D5D5D5ULL)};
+  // Each entry contributes ~8 elements; d5 has ~3.3M nodes at full size,
+  // so scale=1 yields ~330k → ~41k entries.
+  size_t num_entries = static_cast<size_t>(41000 * options.scale);
+  if (num_entries == 0) num_entries = 8;
+  doc->BeginElement("dblp");
+  for (size_t i = 0; i < num_entries; ++i) gen.Entry();
+  doc->EndElement();
+  Status st = doc->Finish();
+  (void)st;
+  return doc;
+}
+
+}  // namespace internal
+}  // namespace datagen
+}  // namespace blossomtree

@@ -1,0 +1,79 @@
+#include "datagen/datagen.h"
+
+#include "datagen/generators.h"
+#include "xml/serializer.h"
+
+namespace blossomtree {
+namespace datagen {
+
+const char* DatasetName(Dataset d) {
+  switch (d) {
+    case Dataset::kD1Recursive:
+      return "d1";
+    case Dataset::kD2Address:
+      return "d2";
+    case Dataset::kD3Catalog:
+      return "d3";
+    case Dataset::kD4Treebank:
+      return "d4";
+    case Dataset::kD5Dblp:
+      return "d5";
+  }
+  return "?";
+}
+
+std::vector<Dataset> AllDatasets() {
+  return {Dataset::kD1Recursive, Dataset::kD2Address, Dataset::kD3Catalog,
+          Dataset::kD4Treebank, Dataset::kD5Dblp};
+}
+
+std::unique_ptr<xml::Document> GenerateDataset(Dataset d,
+                                               const GenOptions& options) {
+  switch (d) {
+    case Dataset::kD1Recursive:
+      return internal::GenerateD1Recursive(options);
+    case Dataset::kD2Address:
+      return internal::GenerateD2Address(options);
+    case Dataset::kD3Catalog:
+      return internal::GenerateD3Catalog(options);
+    case Dataset::kD4Treebank:
+      return internal::GenerateD4Treebank(options);
+    case Dataset::kD5Dblp:
+      return internal::GenerateD5Dblp(options);
+  }
+  return nullptr;
+}
+
+DatasetStats ComputeStats(const xml::Document& doc, const std::string& name) {
+  DatasetStats s;
+  s.name = name;
+  s.recursive = doc.IsRecursive();
+  s.xml_bytes = xml::Serialize(doc).size();
+  s.num_nodes = doc.NumElements();
+  s.avg_depth = doc.AvgDepth();
+  s.max_depth = doc.MaxDepth();
+  s.num_tags = doc.tags().size();
+  s.tree_bytes = doc.StructureBytes();
+  return s;
+}
+
+namespace internal {
+
+void EmitWord(xml::Document* doc, Rng* rng) {
+  static const char* kWords[] = {
+      "alpha", "beta",  "gamma", "delta", "omega", "sigma",
+      "query", "tree",  "node",  "path",  "data",  "join",
+      "match", "index", "scan",  "plan",  "cost",  "leaf",
+  };
+  constexpr size_t kNumWords = sizeof(kWords) / sizeof(kWords[0]);
+  std::string text = kWords[rng->Uniform(kNumWords)];
+  if (rng->Chance(0.5)) {
+    text += ' ';
+    text += kWords[rng->Uniform(kNumWords)];
+  }
+  doc->AddText(text);
+}
+
+}  // namespace internal
+}  // namespace datagen
+}  // namespace blossomtree

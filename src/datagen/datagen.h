@@ -1,0 +1,64 @@
+#ifndef BLOSSOMTREE_DATAGEN_DATAGEN_H_
+#define BLOSSOMTREE_DATAGEN_DATAGEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace datagen {
+
+/// \brief The five data sets of the paper's Table 1.
+///
+/// The originals (XBench address/catalog, UW Treebank, dblp) are replaced by
+/// grammar-based generators matching their published *shape* statistics —
+/// see DESIGN.md §5 for the substitution rationale.
+enum class Dataset {
+  kD1Recursive,  ///< d1: synthetic, recursive DTD (8 tags, deep).
+  kD2Address,    ///< d2: XBench address — shallow, 7 tags, depth 3.
+  kD3Catalog,    ///< d3: XBench catalog — 51 tags, depth ≤ 8, non-recursive.
+  kD4Treebank,   ///< d4: Treebank-like — deep recursive parse trees, 250 tags.
+  kD5Dblp,       ///< d5: dblp-like — shallow bushy bibliography, 35 tags.
+};
+
+/// \brief Returns "d1".."d5".
+const char* DatasetName(Dataset d);
+
+/// \brief All five datasets in order.
+std::vector<Dataset> AllDatasets();
+
+/// \brief Generation parameters.
+struct GenOptions {
+  /// Linear size multiplier. scale=1 yields roughly 1/10 of the paper's node
+  /// counts (e.g. ~120k nodes for d1); tests use much smaller scales.
+  double scale = 1.0;
+  /// RNG seed: (dataset, scale, seed) fully determines the document.
+  uint64_t seed = 42;
+};
+
+/// \brief Generates one of the five datasets as an in-memory Document.
+std::unique_ptr<xml::Document> GenerateDataset(Dataset d,
+                                               const GenOptions& options = {});
+
+/// \brief Row of Table 1 computed from a generated document.
+struct DatasetStats {
+  std::string name;
+  bool recursive;
+  size_t xml_bytes;     ///< Serialized size ("size" column).
+  size_t num_nodes;     ///< Element count ("#nodes" column).
+  double avg_depth;     ///< "avg. dep."
+  uint32_t max_depth;   ///< "max dep."
+  size_t num_tags;      ///< "|tags|"
+  size_t tree_bytes;    ///< In-memory structure size ("|tree|").
+};
+
+/// \brief Computes the Table 1 row for a document.
+DatasetStats ComputeStats(const xml::Document& doc, const std::string& name);
+
+}  // namespace datagen
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_DATAGEN_DATAGEN_H_

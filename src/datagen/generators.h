@@ -1,0 +1,26 @@
+#ifndef BLOSSOMTREE_DATAGEN_GENERATORS_H_
+#define BLOSSOMTREE_DATAGEN_GENERATORS_H_
+
+#include <memory>
+
+#include "datagen/datagen.h"
+
+namespace blossomtree {
+namespace datagen {
+namespace internal {
+
+// Per-dataset generator entry points (see datagen.h for the public API).
+std::unique_ptr<xml::Document> GenerateD1Recursive(const GenOptions& options);
+std::unique_ptr<xml::Document> GenerateD2Address(const GenOptions& options);
+std::unique_ptr<xml::Document> GenerateD3Catalog(const GenOptions& options);
+std::unique_ptr<xml::Document> GenerateD4Treebank(const GenOptions& options);
+std::unique_ptr<xml::Document> GenerateD5Dblp(const GenOptions& options);
+
+/// \brief Emits a short pseudo-word text node (deterministic from rng).
+void EmitWord(xml::Document* doc, Rng* rng);
+
+}  // namespace internal
+}  // namespace datagen
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_DATAGEN_GENERATORS_H_

@@ -1,0 +1,58 @@
+#include "engine/construct.h"
+
+#include "xml/serializer.h"
+
+namespace blossomtree {
+namespace engine {
+
+ResultBuilder::ResultBuilder(const xml::Document* source) : source_(source) {
+  out_.BeginElement("#seq");
+}
+
+void ResultBuilder::BeginElement(std::string_view name) {
+  out_.BeginElement(name);
+}
+
+void ResultBuilder::AddAttribute(std::string_view name,
+                                 std::string_view value) {
+  out_.AddAttribute(name, value);
+}
+
+void ResultBuilder::AddText(std::string_view text) { out_.AddText(text); }
+
+void ResultBuilder::EndElement() { out_.EndElement(); }
+
+void ResultBuilder::CopyNode(xml::NodeId n) { CopyRec(n); }
+
+void ResultBuilder::CopyRec(xml::NodeId n) {
+  if (!source_->IsElement(n)) {
+    out_.AddText(source_->Text(n));
+    return;
+  }
+  out_.BeginElement(source_->TagName(n));
+  for (const auto& [name, value] : source_->Attributes(n)) {
+    out_.AddAttribute(name, value);
+  }
+  for (xml::NodeId c = source_->FirstChild(n); c != xml::kNullNode;
+       c = source_->NextSibling(c)) {
+    CopyRec(c);
+  }
+  out_.EndElement();
+}
+
+Result<std::string> ResultBuilder::ToXml() {
+  if (!finished_) {
+    out_.EndElement();  // #seq wrapper.
+    BT_RETURN_NOT_OK(out_.Finish());
+    finished_ = true;
+  }
+  std::string result;
+  for (xml::NodeId c = out_.FirstChild(out_.Root()); c != xml::kNullNode;
+       c = out_.NextSibling(c)) {
+    result += xml::SerializeSubtree(out_, c);
+  }
+  return result;
+}
+
+}  // namespace engine
+}  // namespace blossomtree

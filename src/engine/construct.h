@@ -1,0 +1,43 @@
+#ifndef BLOSSOMTREE_ENGINE_CONSTRUCT_H_
+#define BLOSSOMTREE_ENGINE_CONSTRUCT_H_
+
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace engine {
+
+/// \brief Builds the query result: a sequence of constructed elements /
+/// copied source subtrees (the paper's "construction" arrow out of Env in
+/// Figure 2). One-shot: build, then ToXml().
+class ResultBuilder {
+ public:
+  explicit ResultBuilder(const xml::Document* source);
+
+  void BeginElement(std::string_view name);
+  void AddAttribute(std::string_view name, std::string_view value);
+  void AddText(std::string_view text);
+  void EndElement();
+
+  /// \brief Deep-copies the subtree of source node `n` at the current
+  /// position.
+  void CopyNode(xml::NodeId n);
+
+  /// \brief Serializes the constructed top-level sequence (no wrapper).
+  Result<std::string> ToXml();
+
+ private:
+  void CopyRec(xml::NodeId n);
+
+  const xml::Document* source_;
+  xml::Document out_;
+  bool finished_ = false;
+};
+
+}  // namespace engine
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_ENGINE_CONSTRUCT_H_

@@ -1,0 +1,219 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "engine/binder.h"
+#include "engine/where_eval.h"
+#include "nestedlist/ops.h"
+#include "exec/operator.h"
+#include "flwor/parser.h"
+#include "pattern/builder.h"
+
+namespace blossomtree {
+namespace engine {
+
+BlossomTreeEngine::BlossomTreeEngine(const xml::Document* doc,
+                                     EngineOptions options)
+    : doc_(doc), options_(std::move(options)) {}
+
+Result<std::string> BlossomTreeEngine::EvaluateQuery(std::string_view query) {
+  BT_ASSIGN_OR_RETURN(std::unique_ptr<flwor::Expr> expr,
+                      flwor::ParseQuery(query));
+  return EvaluateToXml(*expr);
+}
+
+Result<std::string> BlossomTreeEngine::EvaluateToXml(
+    const flwor::Expr& expr) {
+  ResultBuilder out(doc_);
+  BT_RETURN_NOT_OK(EvalExpr(expr, Env{}, &out));
+  return out.ToXml();
+}
+
+Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvaluatePath(
+    const xpath::PathExpr& path) {
+  auto built = pattern::BuildFromPath(path);
+  if (!built.ok()) {
+    if (built.status().code() == StatusCode::kUnsupported) {
+      // Constructs outside the BlossomTree subset (e.g. reverse axes)
+      // degrade gracefully to navigational evaluation.
+      PathEvaluator ev(doc_);
+      last_explain_ =
+          "navigational fallback (" + built.status().message() + ")\n";
+      return ev.Evaluate(path);
+    }
+    return built.status();
+  }
+  pattern::BlossomTree tree = built.MoveValue();
+  BT_ASSIGN_OR_RETURN(opt::QueryPlan plan,
+                      opt::PlanQuery(doc_, &tree, options_.plan));
+  last_explain_ = plan.Explain();
+  pattern::SlotId result = tree.SlotOfVariable("result");
+  std::vector<xml::NodeId> out;
+  nestedlist::NestedList nl;
+  while (plan.trees[0].root->GetNext(&nl)) {
+    auto part = nestedlist::Project(tree, plan.trees[0].tops, nl, result);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Status BlossomTreeEngine::EvalExpr(const flwor::Expr& expr, const Env& env,
+                                   ResultBuilder* out) {
+  switch (expr.kind) {
+    case flwor::Expr::Kind::kPath: {
+      std::vector<xml::NodeId> nodes;
+      if (env.empty() &&
+          expr.path.start == xpath::PathExpr::StartKind::kRoot) {
+        // Free-standing absolute path: use the BlossomTree plan.
+        BT_ASSIGN_OR_RETURN(nodes, EvaluatePath(expr.path));
+      } else {
+        // Variable-/context-rooted paths are evaluated from the bindings.
+        PathEvaluator ev(doc_);
+        BT_ASSIGN_OR_RETURN(nodes, ev.EvaluateWith(expr.path, env, {}));
+      }
+      for (xml::NodeId n : nodes) out->CopyNode(n);
+      return Status::OK();
+    }
+    case flwor::Expr::Kind::kConstructor: {
+      out->BeginElement(expr.ctor->name);
+      for (const auto& [name, value] : expr.ctor->attributes) {
+        out->AddAttribute(name, value);
+      }
+      for (const flwor::ConstructorItem& item : expr.ctor->items) {
+        if (item.kind == flwor::ConstructorItem::Kind::kText) {
+          out->AddText(item.text);
+        } else {
+          BT_RETURN_NOT_OK(EvalExpr(*item.expr, env, out));
+        }
+      }
+      out->EndElement();
+      return Status::OK();
+    }
+    case flwor::Expr::Kind::kFlwor:
+      return EvalFlwor(*expr.flwor, env, out);
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Status BlossomTreeEngine::EvalFlwor(const flwor::Flwor& flwor, const Env& env,
+                                    ResultBuilder* out) {
+  std::vector<Env> tuples;
+  if (env.empty()) {
+    auto r = FlworTuples(flwor);
+    if (!r.ok() && r.status().code() == StatusCode::kUnsupported) {
+      // Bindings outside the BlossomTree subset (e.g. reverse axes):
+      // degrade to per-iteration evaluation.
+      PathEvaluator ev(doc_);
+      BT_ASSIGN_OR_RETURN(tuples, NaiveFlworTuples(flwor, env, &ev));
+    } else {
+      BT_RETURN_NOT_OK(r.status());
+      tuples = r.MoveValue();
+    }
+  } else {
+    // Nested FLWOR with free variables from the enclosing scope: fall back
+    // to per-iteration evaluation under the outer bindings.
+    PathEvaluator ev(doc_);
+    BT_ASSIGN_OR_RETURN(tuples, NaiveFlworTuples(flwor, env, &ev));
+  }
+  return EmitTuples(flwor, std::move(tuples), out);
+}
+
+Result<std::vector<Env>> BlossomTreeEngine::FlworTuples(
+    const flwor::Flwor& flwor) {
+  BT_ASSIGN_OR_RETURN(pattern::BlossomTree tree,
+                      pattern::BuildFromFlwor(flwor));
+  BT_ASSIGN_OR_RETURN(opt::QueryPlan plan,
+                      opt::PlanQuery(doc_, &tree, options_.plan));
+  last_explain_ = plan.Explain();
+  std::vector<SlotBinding> bindings = ComputeSlotBindings(tree, flwor);
+  // Per pattern tree: drain the plan, expand bindings.
+  std::vector<std::vector<Env>> per_tree;
+  for (opt::PatternTreePlan& tp : plan.trees) {
+    std::vector<nestedlist::NestedList> lists = exec::Drain(tp.root.get());
+    per_tree.push_back(EnumerateBindings(tree, tp.tops, lists, bindings));
+  }
+  // Crossing edges (<<, value joins, deep-equal) are evaluated by the
+  // naive nested loop over the per-tree tuple sets (paper §4.3), as the
+  // where-clause filter below.
+  std::vector<Env> tuples = CrossEnvs(per_tree);
+  if (flwor.where != nullptr) {
+    PathEvaluator ev(doc_);
+    std::vector<Env> kept;
+    for (Env& t : tuples) {
+      BT_ASSIGN_OR_RETURN(bool ok, EvalWhere(*flwor.where, t, *doc_, &ev));
+      if (ok) kept.push_back(std::move(t));
+    }
+    tuples = std::move(kept);
+  }
+  return tuples;
+}
+
+Status BlossomTreeEngine::EmitTuples(const flwor::Flwor& flwor,
+                                     std::vector<Env> tuples,
+                                     ResultBuilder* out) {
+  if (flwor.order_by.has_value()) {
+    PathEvaluator ev(doc_);
+    std::vector<std::pair<std::string, size_t>> keys;
+    keys.reserve(tuples.size());
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      BT_ASSIGN_OR_RETURN(std::vector<xml::NodeId> nodes,
+                          ev.EvaluateWith(*flwor.order_by, tuples[i], {}));
+      keys.emplace_back(nodes.empty() ? "" : doc_->StringValue(nodes[0]), i);
+    }
+    std::stable_sort(keys.begin(), keys.end(),
+                     [&](const auto& a, const auto& b) {
+                       return flwor.order_descending ? a.first > b.first
+                                                     : a.first < b.first;
+                     });
+    std::vector<Env> ordered;
+    ordered.reserve(tuples.size());
+    for (const auto& [key, idx] : keys) ordered.push_back(tuples[idx]);
+    tuples = std::move(ordered);
+  }
+  for (const Env& t : tuples) {
+    BT_RETURN_NOT_OK(EvalExpr(*flwor.ret, t, out));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Env>> NaiveFlworTuples(const flwor::Flwor& flwor,
+                                          const Env& base_env,
+                                          PathEvaluator* evaluator) {
+  std::vector<Env> tuples = {base_env};
+  for (const flwor::Binding& b : flwor.bindings) {
+    std::vector<Env> next;
+    for (const Env& t : tuples) {
+      // The path expression is re-evaluated for every iteration of the
+      // enclosing loop — the inefficiency BlossomTree eliminates.
+      BT_ASSIGN_OR_RETURN(std::vector<xml::NodeId> nodes,
+                          evaluator->EvaluateWith(b.path, t, {}));
+      if (b.kind == flwor::Binding::Kind::kLet) {
+        Env env = t;
+        env[b.var] = std::move(nodes);
+        next.push_back(std::move(env));
+      } else {
+        for (xml::NodeId n : nodes) {
+          Env env = t;
+          env[b.var] = {n};
+          next.push_back(std::move(env));
+        }
+      }
+    }
+    tuples = std::move(next);
+  }
+  if (flwor.where != nullptr) {
+    std::vector<Env> kept;
+    for (Env& t : tuples) {
+      BT_ASSIGN_OR_RETURN(
+          bool ok, EvalWhere(*flwor.where, t, *evaluator->doc(), evaluator));
+      if (ok) kept.push_back(std::move(t));
+    }
+    tuples = std::move(kept);
+  }
+  return tuples;
+}
+
+}  // namespace engine
+}  // namespace blossomtree

@@ -1,0 +1,70 @@
+#ifndef BLOSSOMTREE_ENGINE_ENGINE_H_
+#define BLOSSOMTREE_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/construct.h"
+#include "engine/path_eval.h"
+#include "flwor/ast.h"
+#include "opt/planner.h"
+#include "util/status.h"
+
+namespace blossomtree {
+namespace engine {
+
+/// \brief Options for the BlossomTree engine.
+struct EngineOptions {
+  opt::PlanOptions plan;
+};
+
+/// \brief End-to-end query evaluation via BlossomTree pattern matching:
+/// FLWOR → BlossomTree → NoK decomposition → (merged) NoK scans +
+/// structural joins → NestedLists → variable binding (Env) → where
+/// filtering → ordering → result construction.
+class BlossomTreeEngine {
+ public:
+  explicit BlossomTreeEngine(const xml::Document* doc,
+                             EngineOptions options = {});
+
+  /// \brief Evaluates a parsed query expression to serialized XML (a
+  /// sequence of elements / copied nodes).
+  Result<std::string> EvaluateToXml(const flwor::Expr& expr);
+
+  /// \brief Parses and evaluates a query string.
+  Result<std::string> EvaluateQuery(std::string_view query);
+
+  /// \brief Evaluates a path query to its distinct document-ordered node
+  /// matches via the BlossomTree plan.
+  Result<std::vector<xml::NodeId>> EvaluatePath(const xpath::PathExpr& path);
+
+  /// \brief EXPLAIN text of the most recent FLWOR/path plan.
+  const std::string& LastExplain() const { return last_explain_; }
+
+ private:
+  Status EvalExpr(const flwor::Expr& expr, const Env& env,
+                  ResultBuilder* out);
+  Status EvalFlwor(const flwor::Flwor& flwor, const Env& env,
+                   ResultBuilder* out);
+  Result<std::vector<Env>> FlworTuples(const flwor::Flwor& flwor);
+  Status EmitTuples(const flwor::Flwor& flwor, std::vector<Env> tuples,
+                    ResultBuilder* out);
+
+  const xml::Document* doc_;
+  EngineOptions options_;
+  std::string last_explain_;
+};
+
+/// \brief FLWOR tuple enumeration by naive per-iteration path evaluation —
+/// the semantics-following strategy the paper's introduction warns about.
+/// Used by the navigational baseline and for nested FLWORs with free
+/// variables.
+Result<std::vector<Env>> NaiveFlworTuples(const flwor::Flwor& flwor,
+                                          const Env& base_env,
+                                          PathEvaluator* evaluator);
+
+}  // namespace engine
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_ENGINE_ENGINE_H_

@@ -1,0 +1,219 @@
+#include "exec/joins.h"
+
+#include <algorithm>
+
+#include "nestedlist/ops.h"
+
+namespace blossomtree {
+namespace exec {
+
+using nestedlist::Entry;
+using nestedlist::Group;
+using nestedlist::NestedList;
+using pattern::EdgeMode;
+using pattern::SlotId;
+
+PipelinedDescJoin::PipelinedDescJoin(const xml::Document* doc,
+                                     const pattern::BlossomTree* tree,
+                                     std::unique_ptr<NestedListOperator> outer,
+                                     std::unique_ptr<NestedListOperator> inner,
+                                     SlotId from_slot, EdgeMode mode)
+    : doc_(doc),
+      tree_(tree),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      from_slot_(from_slot),
+      mode_(mode) {
+  inner_top_ = inner_->top_slots()[0];
+  child_index_ = nestedlist::ChildIndex(*tree, from_slot, inner_top_);
+}
+
+bool PipelinedDescJoin::FetchInner() {
+  if (inner_done_) return false;
+  NestedList nl;
+  if (!inner_->GetNext(&nl)) {
+    inner_done_ = true;
+    return false;
+  }
+  // Inner streams carry one top group (the NoK root's slot); each match is
+  // one entry.
+  for (Entry& e : nl.tops[0]) {
+    inner_buf_.push_back(std::move(e));
+  }
+  peak_buffered_ = std::max(peak_buffered_, inner_buf_.size());
+  return true;
+}
+
+bool PipelinedDescJoin::GetNext(NestedList* out) {
+  NestedList m;
+  while (outer_->GetNext(&m)) {
+    nestedlist::ForEachEntryMutable(
+        *tree_, outer_->top_slots(), &m, from_slot_, [&](Entry* e) {
+          if (e->IsPlaceholder()) return;
+          xml::NodeId start = e->node;
+          xml::NodeId end = doc_->SubtreeEnd(e->node);
+          // Merge step (paper GetNext lines 7-9): discard inner matches that
+          // precede this outer entry; on a non-recursive document they can
+          // belong to no later outer entry either.
+          while (true) {
+            while (inner_buf_.empty() && !inner_done_) FetchInner();
+            if (inner_buf_.empty()) break;
+            xml::NodeId n = inner_buf_.front().node;
+            if (n <= start) {
+              inner_buf_.pop_front();
+              continue;
+            }
+            if (n > end) break;
+            e->groups[child_index_].push_back(
+                std::move(inner_buf_.front()));
+            inner_buf_.pop_front();
+          }
+        });
+    bool valid = true;
+    if (mode_ == EdgeMode::kFor) {
+      valid = nestedlist::EnforceMandatory(*tree_, outer_->top_slots(), &m,
+                                           from_slot_, child_index_);
+    }
+    if (valid) {
+      *out = std::move(m);
+      return true;
+    }
+    m = NestedList();
+  }
+  return false;
+}
+
+void PipelinedDescJoin::Rewind() {
+  outer_->Rewind();
+  inner_->Rewind();
+  inner_buf_.clear();
+  inner_done_ = false;
+}
+
+BoundedNestedLoopJoin::BoundedNestedLoopJoin(
+    const xml::Document* doc, const pattern::BlossomTree* tree,
+    std::unique_ptr<NestedListOperator> outer,
+    std::unique_ptr<NestedListOperator> inner, SlotId from_slot, EdgeMode mode,
+    bool bounded)
+    : doc_(doc),
+      tree_(tree),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      from_slot_(from_slot),
+      mode_(mode),
+      bounded_(bounded) {
+  inner_top_ = inner_->top_slots()[0];
+  child_index_ = nestedlist::ChildIndex(*tree, from_slot, inner_top_);
+}
+
+bool BoundedNestedLoopJoin::GetNext(NestedList* out) {
+  NestedList m;
+  while (outer_->GetNext(&m)) {
+    nestedlist::ForEachEntryMutable(
+        *tree_, outer_->top_slots(), &m, from_slot_, [&](Entry* e) {
+          if (e->IsPlaceholder()) return;
+          xml::NodeId end = doc_->SubtreeEnd(e->node);
+          if (end == e->node) return;  // Leaf: no descendants.
+          // The piggybacked (p1, p2] range of §4.3: the inner NoK scans
+          // only within this outer match's subtree. The unbounded variant
+          // re-scans everything and filters, as a naive nested loop would.
+          if (bounded_) {
+            inner_->Restrict(e->node + 1, end);
+          }
+          inner_->Rewind();
+          ++inner_rescans_;
+          NestedList nl;
+          while (inner_->GetNext(&nl)) {
+            for (Entry& ie : nl.tops[0]) {
+              if (!bounded_ &&
+                  !(ie.node > e->node && ie.node <= end)) {
+                continue;
+              }
+              e->groups[child_index_].push_back(std::move(ie));
+            }
+            nl = NestedList();
+          }
+        });
+    bool valid = true;
+    if (mode_ == EdgeMode::kFor) {
+      valid = nestedlist::EnforceMandatory(*tree_, outer_->top_slots(), &m,
+                                           from_slot_, child_index_);
+    }
+    if (valid) {
+      *out = std::move(m);
+      return true;
+    }
+    m = NestedList();
+  }
+  return false;
+}
+
+void BoundedNestedLoopJoin::Rewind() { outer_->Rewind(); }
+
+NestedLoopJoin::NestedLoopJoin(
+    std::vector<SlotId> tops, std::unique_ptr<NestedListOperator> left,
+    std::unique_ptr<NestedListOperator> right, std::vector<bool> owns_left,
+    std::function<bool(const NestedList&, const NestedList&)> pred)
+    : tops_(std::move(tops)),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      owns_left_(std::move(owns_left)),
+      pred_(std::move(pred)) {}
+
+bool NestedLoopJoin::GetNext(NestedList* out) {
+  if (!right_materialized_) {
+    right_mat_ = Drain(right_.get());
+    right_materialized_ = true;
+  }
+  while (true) {
+    if (!left_valid_) {
+      if (!left_->GetNext(&cur_left_)) return false;
+      left_valid_ = true;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_mat_.size()) {
+      const NestedList& r = right_mat_[right_pos_++];
+      if (pred_(cur_left_, r)) {
+        *out = nestedlist::Combine(cur_left_, r, owns_left_);
+        return true;
+      }
+    }
+    left_valid_ = false;
+  }
+}
+
+void NestedLoopJoin::Rewind() {
+  left_->Rewind();
+  left_valid_ = false;
+  right_pos_ = 0;
+}
+
+FrameOperator::FrameOperator(const pattern::BlossomTree* tree,
+                             std::vector<SlotId> frame_tops, size_t position,
+                             std::unique_ptr<NestedListOperator> input)
+    : tree_(tree),
+      frame_tops_(std::move(frame_tops)),
+      position_(position),
+      input_(std::move(input)) {}
+
+bool FrameOperator::GetNext(NestedList* out) {
+  NestedList in;
+  if (!input_->GetNext(&in)) return false;
+  out->tops.clear();
+  out->tops.reserve(frame_tops_.size());
+  for (size_t i = 0; i < frame_tops_.size(); ++i) {
+    if (i == position_) {
+      out->tops.push_back(std::move(in.tops[0]));
+    } else {
+      Group g;
+      g.push_back(nestedlist::MakePlaceholderEntry(*tree_, frame_tops_[i]));
+      out->tops.push_back(std::move(g));
+    }
+  }
+  return true;
+}
+
+void FrameOperator::Rewind() { input_->Rewind(); }
+
+}  // namespace exec
+}  // namespace blossomtree

@@ -1,0 +1,73 @@
+#include "exec/merged_scan.h"
+
+namespace blossomtree {
+namespace exec {
+
+MergedNokScan::MergedNokScan(const xml::Document* doc,
+                             const pattern::BlossomTree* tree,
+                             std::vector<const pattern::NokTree*> noks)
+    : doc_(doc) {
+  for (const pattern::NokTree* nok : noks) {
+    matchers_.push_back(std::make_unique<NokMatcher>(doc, tree, nok));
+    virtual_root_.push_back(tree->vertex(nok->root).IsVirtualRoot());
+    root_tag_.push_back(tree->vertex(nok->root).tag);
+  }
+  results_.resize(matchers_.size());
+}
+
+void MergedNokScan::Run() {
+  if (ran_) return;
+  ran_ = true;
+  // Virtual-root NoKs fire once, before the node scan.
+  for (size_t i = 0; i < matchers_.size(); ++i) {
+    if (!virtual_root_[i]) continue;
+    nestedlist::NestedList nl;
+    if (matchers_[i]->MatchAt(kVirtualRootNode, &nl)) {
+      results_[i].push_back(std::move(nl));
+    }
+  }
+  // Dispatch table: which matchers can start at a given tag. Wildcard-
+  // rooted NoKs are probed on every element (the NFA's always-active
+  // states); concrete roots only fire on their own tag.
+  std::vector<std::vector<size_t>> by_tag(doc_->tags().size());
+  std::vector<size_t> wildcard;
+  for (size_t i = 0; i < matchers_.size(); ++i) {
+    if (virtual_root_[i]) continue;
+    const std::string& tag = root_tag_[i];
+    if (tag == "*") {
+      wildcard.push_back(i);
+      continue;
+    }
+    xml::TagId t = doc_->tags().Lookup(tag);
+    if (t != xml::kNullTag) by_tag[t].push_back(i);
+  }
+  // One shared pass: each node is fetched once, the NoKs whose root can
+  // match it are probed.
+  auto probe = [&](size_t i, xml::NodeId x) {
+    if (!matchers_[i]->RootTest(x)) return;
+    nestedlist::NestedList nl;
+    if (matchers_[i]->MatchAt(x, &nl)) {
+      results_[i].push_back(std::move(nl));
+    }
+  };
+  for (xml::NodeId x = 0; x < doc_->NumNodes(); ++x) {
+    ++nodes_scanned_;
+    if (!doc_->IsElement(x)) continue;
+    for (size_t i : by_tag[doc_->Tag(x)]) probe(i, x);
+    for (size_t i : wildcard) probe(i, x);
+  }
+}
+
+uint64_t MergedNokScan::MatchWork() const {
+  uint64_t total = 0;
+  for (const auto& m : matchers_) total += m->MatchWork();
+  return total;
+}
+
+std::unique_ptr<MaterializedOperator> MergedNokScan::MakeOperator(size_t i) {
+  return std::make_unique<MaterializedOperator>(
+      matchers_[i]->top_slots(), results_[i]);
+}
+
+}  // namespace exec
+}  // namespace blossomtree

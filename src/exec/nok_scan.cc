@@ -1,0 +1,260 @@
+#include "exec/nok_scan.h"
+
+#include <algorithm>
+
+#include "exec/value_ops.h"
+#include "nestedlist/ops.h"
+
+namespace blossomtree {
+namespace exec {
+
+using nestedlist::Entry;
+using nestedlist::Group;
+using pattern::EdgeMode;
+using pattern::SlotId;
+using pattern::VertexId;
+
+NokMatcher::NokMatcher(const xml::Document* doc,
+                       const pattern::BlossomTree* tree,
+                       const pattern::NokTree* nok)
+    : doc_(doc), tree_(tree), nok_(nok) {
+  // Build the local vertex table in the NoK's DFS vertex order; the root is
+  // locals_[0].
+  std::vector<uint32_t> local_of(tree->NumVertices(),
+                                 static_cast<uint32_t>(-1));
+  locals_.reserve(nok->vertices.size());
+  for (VertexId v : nok->vertices) {
+    local_of[v] = static_cast<uint32_t>(locals_.size());
+    LocalVertex lv;
+    lv.vertex = v;
+    locals_.push_back(std::move(lv));
+  }
+  for (LocalVertex& lv : locals_) {
+    for (VertexId c : tree->vertex(lv.vertex).children) {
+      if (xpath::IsLocalAxis(tree->vertex(c).axis) &&
+          local_of[c] != static_cast<uint32_t>(-1)) {
+        lv.local_children.push_back(local_of[c]);
+      }
+    }
+  }
+  // next_slots: bottom-up over the NoK (children have larger local index
+  // only if DFS order guarantees it — Algorithm 1 pushes children after
+  // parents, so iterate in reverse).
+  for (size_t i = locals_.size(); i-- > 0;) {
+    LocalVertex& lv = locals_[i];
+    const pattern::Vertex& vx = tree->vertex(lv.vertex);
+    if (vx.returning) {
+      lv.next_slots.push_back(tree->SlotOfVertex(lv.vertex));
+    } else {
+      for (uint32_t c : lv.local_children) {
+        lv.next_slots.insert(lv.next_slots.end(),
+                             locals_[c].next_slots.begin(),
+                             locals_[c].next_slots.end());
+      }
+    }
+    if (vx.returning) {
+      // Map each child-contributed slot to its index in the global child
+      // layout of this vertex's slot.
+      SlotId my_slot = tree->SlotOfVertex(lv.vertex);
+      for (uint32_t c : lv.local_children) {
+        for (SlotId s : locals_[c].next_slots) {
+          lv.child_slot_index.push_back(
+              nestedlist::ChildIndex(*tree, my_slot, s));
+        }
+      }
+    }
+  }
+  top_slots_ = locals_[0].next_slots;
+}
+
+bool NokMatcher::TagOk(const pattern::Vertex& v, xml::NodeId x) const {
+  if (v.IsVirtualRoot()) return x == kVirtualRootNode;
+  if (x == kVirtualRootNode) return false;
+  if (!doc_->IsElement(x)) return false;
+  return v.MatchesAnyTag() || doc_->TagName(x) == v.tag;
+}
+
+bool NokMatcher::ConstraintsOk(const pattern::Vertex& v, xml::NodeId x) const {
+  if (!TagOk(v, x)) return false;
+  if (v.value && x != kVirtualRootNode) {
+    if (!CompareValues(doc_->StringValue(x), v.value->op, v.value->literal)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool NokMatcher::RootTest(xml::NodeId x) const {
+  return ConstraintsOk(tree_->vertex(locals_[0].vertex), x);
+}
+
+bool NokMatcher::MatchAt(xml::NodeId x, nestedlist::NestedList* out) {
+  // Positional predicate on the NoK root (e.g. //book[2] after the cut):
+  // positions count among same-parent siblings matching the tag test.
+  const pattern::Vertex& root = tree_->vertex(locals_[0].vertex);
+  if (root.position > 0 && x != kVirtualRootNode) {
+    if (xml::SiblingRank(*doc_, x, root.tag) !=
+        static_cast<uint32_t>(root.position)) {
+      return false;
+    }
+  }
+  std::vector<Group> groups;
+  if (!MatchVertex(0, x, &groups)) return false;
+  out->tops = std::move(groups);
+  return true;
+}
+
+bool NokMatcher::MatchVertex(uint32_t local_index, xml::NodeId x,
+                             std::vector<Group>* out_groups) {
+  ++match_work_;
+  const LocalVertex& lv = locals_[local_index];
+  const pattern::Vertex& vx = tree_->vertex(lv.vertex);
+  if (!ConstraintsOk(vx, x)) return false;
+
+  // Accumulate matches per local child (each child contributes a fixed
+  // number of slot groups). Attribute children are constraints evaluated
+  // directly on x.
+  size_t n_children = lv.local_children.size();
+  std::vector<std::vector<Group>> acc(n_children);
+  std::vector<bool> matched(n_children, false);
+  std::vector<int> tag_count(n_children, 0);
+  for (size_t k = 0; k < n_children; ++k) {
+    acc[k].resize(locals_[lv.local_children[k]].next_slots.size());
+  }
+
+  auto try_child = [&](size_t k, xml::NodeId u) {
+    const LocalVertex& s = locals_[lv.local_children[k]];
+    const pattern::Vertex& sv = tree_->vertex(s.vertex);
+    ++match_work_;
+    if (!TagOk(sv, u)) return;
+    if (sv.position > 0) {
+      ++tag_count[k];
+      if (tag_count[k] != sv.position) return;
+    }
+    std::vector<Group> sub;
+    if (!MatchVertex(lv.local_children[k], u, &sub)) return;
+    matched[k] = true;
+    for (size_t g = 0; g < sub.size(); ++g) {
+      acc[k][g].insert(acc[k][g].end(),
+                       std::make_move_iterator(sub[g].begin()),
+                       std::make_move_iterator(sub[g].end()));
+    }
+  };
+
+  for (size_t k = 0; k < n_children; ++k) {
+    const LocalVertex& s = locals_[lv.local_children[k]];
+    const pattern::Vertex& sv = tree_->vertex(s.vertex);
+    if (!sv.tag.empty() && sv.tag[0] == '@') {
+      // Attribute constraint: check presence (and value) on x itself.
+      std::string_view value;
+      if (x != kVirtualRootNode &&
+          doc_->AttributeValue(x, sv.tag.substr(1), &value)) {
+        if (!sv.value ||
+            CompareValues(value, sv.value->op, sv.value->literal)) {
+          matched[k] = true;
+          if (sv.returning) {
+            Entry e;
+            e.node = x;  // Attribute matches surface their owner element.
+            e.groups.resize(
+                tree_->slot(tree_->SlotOfVertex(s.vertex)).children.size());
+            acc[k][0].push_back(std::move(e));
+          }
+        }
+      }
+      continue;
+    }
+    if (sv.axis == xpath::Axis::kFollowingSibling) {
+      if (x == kVirtualRootNode) continue;
+      for (xml::NodeId u = doc_->NextSibling(x); u != xml::kNullNode;
+           u = doc_->NextSibling(u)) {
+        try_child(k, u);
+      }
+      continue;
+    }
+    // Child axis.
+    if (x == kVirtualRootNode) {
+      if (!doc_->empty()) try_child(k, doc_->Root());
+    } else {
+      for (xml::NodeId u = doc_->FirstChild(x); u != xml::kNullNode;
+           u = doc_->NextSibling(u)) {
+        try_child(k, u);
+      }
+    }
+  }
+
+  // Mandatory (f-mode) children must have matched (Algorithm 2 line 21:
+  // unmatched pattern nodes invalidate the partial result).
+  for (size_t k = 0; k < n_children; ++k) {
+    const pattern::Vertex& sv =
+        tree_->vertex(locals_[lv.local_children[k]].vertex);
+    if (sv.mode == EdgeMode::kFor && !matched[k]) return false;
+  }
+
+  // Assemble this vertex's contribution.
+  out_groups->clear();
+  if (vx.returning) {
+    SlotId my_slot = tree_->SlotOfVertex(lv.vertex);
+    Entry e;
+    e.node = x;
+    e.groups.resize(tree_->slot(my_slot).children.size());
+    size_t flat = 0;
+    for (size_t k = 0; k < n_children; ++k) {
+      for (size_t g = 0; g < acc[k].size(); ++g, ++flat) {
+        Group& dst = e.groups[lv.child_slot_index[flat]];
+        dst.insert(dst.end(), std::make_move_iterator(acc[k][g].begin()),
+                   std::make_move_iterator(acc[k][g].end()));
+      }
+    }
+    Group mine;
+    mine.push_back(std::move(e));
+    out_groups->push_back(std::move(mine));
+  } else {
+    for (size_t k = 0; k < n_children; ++k) {
+      for (Group& g : acc[k]) {
+        out_groups->push_back(std::move(g));
+      }
+    }
+  }
+  return true;
+}
+
+NokScanOperator::NokScanOperator(const xml::Document* doc,
+                                 const pattern::BlossomTree* tree,
+                                 const pattern::NokTree* nok)
+    : doc_(doc),
+      matcher_(doc, tree, nok),
+      virtual_root_(tree->vertex(nok->root).IsVirtualRoot()),
+      range_end_(doc->NumNodes() == 0
+                     ? 0
+                     : static_cast<xml::NodeId>(doc->NumNodes() - 1)) {}
+
+void NokScanOperator::SetRange(xml::NodeId begin, xml::NodeId end) {
+  range_begin_ = begin;
+  range_end_ = end;
+  cursor_ = begin;
+}
+
+bool NokScanOperator::GetNext(nestedlist::NestedList* out) {
+  if (virtual_root_) {
+    if (virtual_done_) return false;
+    virtual_done_ = true;
+    ++nodes_scanned_;
+    return matcher_.MatchAt(kVirtualRootNode, out);
+  }
+  while (cursor_ <= range_end_ &&
+         static_cast<size_t>(cursor_) < doc_->NumNodes()) {
+    xml::NodeId x = cursor_++;
+    ++nodes_scanned_;
+    if (!matcher_.RootTest(x)) continue;
+    if (matcher_.MatchAt(x, out)) return true;
+  }
+  return false;
+}
+
+void NokScanOperator::Rewind() {
+  cursor_ = range_begin_;
+  virtual_done_ = false;
+}
+
+}  // namespace exec
+}  // namespace blossomtree

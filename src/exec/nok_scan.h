@@ -1,0 +1,114 @@
+#ifndef BLOSSOMTREE_EXEC_NOK_SCAN_H_
+#define BLOSSOMTREE_EXEC_NOK_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/operator.h"
+#include "nestedlist/nested_list.h"
+#include "pattern/decompose.h"
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace exec {
+
+/// \brief Sentinel NodeId for the virtual document root "~" (the node above
+/// the root element that anchors absolute paths).
+constexpr xml::NodeId kVirtualRootNode = static_cast<xml::NodeId>(-2);
+
+/// \brief NoK pattern-tree matcher (paper Algorithm 2): matches one NoK
+/// pattern tree (local axes only) against the subtree rooted at a given
+/// XML node, building the NestedList groups for every returning node in
+/// one depth-first pass.
+class NokMatcher {
+ public:
+  NokMatcher(const xml::Document* doc, const pattern::BlossomTree* tree,
+             const pattern::NokTree* nok);
+
+  /// \brief The NoK's local top slots: the slots its output NestedLists'
+  /// `tops` are aligned with.
+  const std::vector<pattern::SlotId>& top_slots() const { return top_slots_; }
+
+  /// \brief Attempts to match the NoK rooted at `x` (kVirtualRootNode for a
+  /// "~"-rooted NoK). On success fills `out` and returns true.
+  bool MatchAt(xml::NodeId x, nestedlist::NestedList* out);
+
+  /// \brief True if `x` can possibly match the NoK root (tag + value test);
+  /// the scan driver uses this as a cheap prefilter.
+  bool RootTest(xml::NodeId x) const;
+
+  /// \brief Pattern-vertex/node constraint checks performed so far (a
+  /// work metric for the ablation benches).
+  uint64_t MatchWork() const { return match_work_; }
+
+ private:
+  struct LocalVertex {
+    pattern::VertexId vertex;
+    std::vector<uint32_t> local_children;  ///< Indices into locals_.
+    /// Slots this vertex contributes upward: [slot(v)] if returning, else
+    /// the concatenation over local children.
+    std::vector<pattern::SlotId> next_slots;
+    /// For returning vertices: for each local child's next slot, its index
+    /// within slot(v).children (global child-slot layout).
+    std::vector<size_t> child_slot_index;
+  };
+
+  bool ConstraintsOk(const pattern::Vertex& v, xml::NodeId x) const;
+  bool TagOk(const pattern::Vertex& v, xml::NodeId x) const;
+  bool MatchVertex(uint32_t local_index, xml::NodeId x,
+                   std::vector<nestedlist::Group>* out_groups);
+
+  const xml::Document* doc_;
+  const pattern::BlossomTree* tree_;
+  const pattern::NokTree* nok_;
+  std::vector<LocalVertex> locals_;  ///< locals_[0] is the NoK root.
+  std::vector<pattern::SlotId> top_slots_;
+  uint64_t match_work_ = 0;
+};
+
+/// \brief Sequential-scan driver (paper §3.3's "sequential scan of the XML
+/// tree against the blossom tree"): tries the NoK at every node in document
+/// order and emits one NestedList per match, as a Volcano-style iterator.
+class NokScanOperator : public NestedListOperator {
+ public:
+  NokScanOperator(const xml::Document* doc, const pattern::BlossomTree* tree,
+                  const pattern::NokTree* nok);
+
+  const std::vector<pattern::SlotId>& top_slots() const override {
+    return matcher_.top_slots();
+  }
+
+  /// \brief Restricts the scan to nodes in [begin, end] (inclusive) — the
+  /// bounded range of the BNLJ inner side (paper §4.3). Call before the
+  /// first GetNext or after Rewind.
+  void SetRange(xml::NodeId begin, xml::NodeId end);
+
+  void Restrict(xml::NodeId begin, xml::NodeId end) override {
+    SetRange(begin, end);
+  }
+
+  /// \brief Fetches the next match in document order of the match root.
+  bool GetNext(nestedlist::NestedList* out) override;
+
+  void Rewind() override;
+
+  /// \brief Nodes the driver has scanned (the I/O proxy: one sequential
+  /// pass costs NumNodes).
+  uint64_t NodesScanned() const { return nodes_scanned_; }
+  uint64_t MatchWork() const { return matcher_.MatchWork(); }
+
+ private:
+  const xml::Document* doc_;
+  NokMatcher matcher_;
+  bool virtual_root_;
+  bool virtual_done_ = false;
+  xml::NodeId cursor_ = 0;
+  xml::NodeId range_begin_ = 0;
+  xml::NodeId range_end_;
+  uint64_t nodes_scanned_ = 0;
+};
+
+}  // namespace exec
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_EXEC_NOK_SCAN_H_

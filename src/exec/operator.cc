@@ -1,0 +1,17 @@
+#include "exec/operator.h"
+
+namespace blossomtree {
+namespace exec {
+
+std::vector<nestedlist::NestedList> Drain(NestedListOperator* op) {
+  std::vector<nestedlist::NestedList> out;
+  nestedlist::NestedList nl;
+  while (op->GetNext(&nl)) {
+    out.push_back(std::move(nl));
+    nl = nestedlist::NestedList();
+  }
+  return out;
+}
+
+}  // namespace exec
+}  // namespace blossomtree

@@ -1,0 +1,44 @@
+#ifndef BLOSSOMTREE_EXEC_OPERATOR_H_
+#define BLOSSOMTREE_EXEC_OPERATOR_H_
+
+#include <vector>
+
+#include "nestedlist/nested_list.h"
+#include "pattern/blossom_tree.h"
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace exec {
+
+/// \brief Volcano-style iterator over NestedLists (paper §4.2: operators
+/// expose GetNext; pipelined joins compose them without materialization).
+class NestedListOperator {
+ public:
+  virtual ~NestedListOperator() = default;
+
+  /// \brief The slot context of emitted NestedLists.
+  virtual const std::vector<pattern::SlotId>& top_slots() const = 0;
+
+  /// \brief Produces the next NestedList; false at end of stream.
+  virtual bool GetNext(nestedlist::NestedList* out) = 0;
+
+  /// \brief Restarts the stream from the beginning.
+  virtual void Rewind() = 0;
+
+  /// \brief Scan-range push-down: restricts the underlying document scan to
+  /// nodes in [begin, end]. Joins propagate this to their outer scan; the
+  /// BNLJ uses it to bound its inner side per outer match (paper §4.3).
+  /// No-op by default. Call Rewind() afterwards to take effect.
+  virtual void Restrict(xml::NodeId begin, xml::NodeId end) {
+    (void)begin;
+    (void)end;
+  }
+};
+
+/// \brief Drains an operator into a materialized sequence.
+std::vector<nestedlist::NestedList> Drain(NestedListOperator* op);
+
+}  // namespace exec
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_EXEC_OPERATOR_H_

@@ -1,0 +1,113 @@
+#include "exec/structural_join.h"
+
+#include <algorithm>
+
+namespace blossomtree {
+namespace exec {
+
+namespace {
+
+/// Core merge: both inputs sorted by NodeId (document order). For each
+/// descendant, every stack entry is an ancestor (stack holds the nested
+/// chain of ancestors covering the current position).
+template <typename Emit>
+void Merge(const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
+           const std::vector<xml::NodeId>& descendants, Emit&& emit) {
+  std::vector<xml::NodeId> stack;
+  size_t ai = 0;
+  for (xml::NodeId d : descendants) {
+    // Pop ancestors whose subtree ended before d.
+    while (!stack.empty() && doc.SubtreeEnd(stack.back()) < d) {
+      stack.pop_back();
+    }
+    // Push ancestors that start before d; keep only those still covering d.
+    while (ai < ancestors.size() && ancestors[ai] < d) {
+      while (!stack.empty() &&
+             doc.SubtreeEnd(stack.back()) < ancestors[ai]) {
+        stack.pop_back();
+      }
+      if (doc.SubtreeEnd(ancestors[ai]) >= d) {
+        stack.push_back(ancestors[ai]);
+      }
+      ++ai;
+    }
+    for (xml::NodeId a : stack) {
+      emit(a, d);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<AncDescPair> StackStructuralJoin(
+    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
+    const std::vector<xml::NodeId>& descendants) {
+  std::vector<AncDescPair> out;
+  Merge(doc, ancestors, descendants,
+        [&](xml::NodeId a, xml::NodeId d) { out.push_back({a, d}); });
+  return out;
+}
+
+std::vector<AncDescPair> StackStructuralJoinParentChild(
+    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
+    const std::vector<xml::NodeId>& descendants) {
+  std::vector<AncDescPair> out;
+  Merge(doc, ancestors, descendants, [&](xml::NodeId a, xml::NodeId d) {
+    if (doc.Level(d) == doc.Level(a) + 1) out.push_back({a, d});
+  });
+  return out;
+}
+
+std::vector<xml::NodeId> DescendantsWithAncestor(
+    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
+    const std::vector<xml::NodeId>& descendants) {
+  std::vector<xml::NodeId> out;
+  xml::NodeId last = xml::kNullNode;
+  Merge(doc, ancestors, descendants, [&](xml::NodeId, xml::NodeId d) {
+    if (d != last) {
+      out.push_back(d);
+      last = d;
+    }
+  });
+  return out;
+}
+
+std::vector<xml::NodeId> AncestorsWithDescendant(
+    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
+    const std::vector<xml::NodeId>& descendants) {
+  std::vector<xml::NodeId> out;
+  Merge(doc, ancestors, descendants,
+        [&](xml::NodeId a, xml::NodeId) { out.push_back(a); });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<xml::NodeId> ChildrenWithParent(
+    const xml::Document& doc, const std::vector<xml::NodeId>& parents,
+    const std::vector<xml::NodeId>& children) {
+  std::vector<xml::NodeId> out;
+  xml::NodeId last = xml::kNullNode;
+  Merge(doc, parents, children, [&](xml::NodeId a, xml::NodeId d) {
+    if (doc.Level(d) == doc.Level(a) + 1 && d != last) {
+      out.push_back(d);
+      last = d;
+    }
+  });
+  return out;
+}
+
+std::vector<xml::NodeId> ParentsWithChild(
+    const xml::Document& doc, const std::vector<xml::NodeId>& parents,
+    const std::vector<xml::NodeId>& children) {
+  std::vector<xml::NodeId> out;
+  Merge(doc, parents, children, [&](xml::NodeId a, xml::NodeId d) {
+    if (doc.Level(d) == doc.Level(a) + 1) out.push_back(a);
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace exec
+}  // namespace blossomtree

@@ -1,0 +1,53 @@
+#ifndef BLOSSOMTREE_EXEC_STRUCTURAL_JOIN_H_
+#define BLOSSOMTREE_EXEC_STRUCTURAL_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace exec {
+
+/// \brief One (ancestor, descendant) pair produced by a structural join.
+struct AncDescPair {
+  xml::NodeId ancestor;
+  xml::NodeId descendant;
+};
+
+/// \brief Stack-based structural merge join (Al-Khalifa et al., the paper's
+/// reference [2]): joins two document-ordered element lists on the
+/// ancestor-descendant relationship in one pass, using a stack of nested
+/// ancestors. O(|anc| + |desc| + |output|).
+std::vector<AncDescPair> StackStructuralJoin(
+    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
+    const std::vector<xml::NodeId>& descendants);
+
+/// \brief Parent-child variant: keeps only pairs with level(desc) ==
+/// level(anc) + 1.
+std::vector<AncDescPair> StackStructuralJoinParentChild(
+    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
+    const std::vector<xml::NodeId>& descendants);
+
+/// \brief Semi-join forms used by existential predicates: the descendants
+/// that have some ancestor in `ancestors` (document order preserved), and
+/// the ancestors that contain some descendant.
+std::vector<xml::NodeId> DescendantsWithAncestor(
+    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
+    const std::vector<xml::NodeId>& descendants);
+std::vector<xml::NodeId> AncestorsWithDescendant(
+    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
+    const std::vector<xml::NodeId>& descendants);
+
+/// \brief Parent-child semi-join variants (level-filtered).
+std::vector<xml::NodeId> ChildrenWithParent(
+    const xml::Document& doc, const std::vector<xml::NodeId>& parents,
+    const std::vector<xml::NodeId>& children);
+std::vector<xml::NodeId> ParentsWithChild(
+    const xml::Document& doc, const std::vector<xml::NodeId>& parents,
+    const std::vector<xml::NodeId>& children);
+
+}  // namespace exec
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_EXEC_STRUCTURAL_JOIN_H_

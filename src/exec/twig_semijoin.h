@@ -1,0 +1,58 @@
+#ifndef BLOSSOMTREE_EXEC_TWIG_SEMIJOIN_H_
+#define BLOSSOMTREE_EXEC_TWIG_SEMIJOIN_H_
+
+#include <vector>
+
+#include "pattern/blossom_tree.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace exec {
+
+/// \brief Statistics of one semijoin evaluation.
+struct TwigSemijoinStats {
+  uint64_t candidates_loaded = 0;  ///< Index entries read.
+  uint64_t semijoins = 0;          ///< Binary structural semijoins executed.
+};
+
+/// \brief The classic join-based twig evaluation (paper §2.1's second
+/// class, references [20]/[2]): every pattern edge becomes a binary
+/// structural join over document-ordered tag-index candidate lists.
+///
+/// For the distinct-result-node semantics used across this repository,
+/// full pairwise joins are unnecessary: two *semijoin* sweeps suffice —
+/// a bottom-up pass shrinking each vertex's candidates to those with the
+/// required descendants, then a top-down pass keeping candidates that have
+/// a matching ancestor chain. Each pass runs one stack-based structural
+/// merge join per edge (O(|anc| + |desc|)).
+///
+/// Supports the same query class as TwigStack (/ and // axes, value
+/// constraints, no positions); returns kUnsupported otherwise.
+class TwigSemijoin {
+ public:
+  TwigSemijoin(const xml::Document* doc, const pattern::BlossomTree* tree);
+
+  /// \brief Runs the semijoin program; fills `result` with the distinct
+  /// document-ordered matches of `result_vertex`.
+  Status Run(pattern::VertexId result_vertex,
+             std::vector<xml::NodeId>* result);
+
+  const TwigSemijoinStats& stats() const { return stats_; }
+
+ private:
+  Status Validate(pattern::VertexId v) const;
+  std::vector<xml::NodeId> Candidates(pattern::VertexId v);
+  Status BottomUp(pattern::VertexId v);
+  void TopDown(pattern::VertexId v);
+
+  const xml::Document* doc_;
+  const pattern::BlossomTree* tree_;
+  std::vector<std::vector<xml::NodeId>> candidates_;  ///< Per VertexId.
+  TwigSemijoinStats stats_;
+};
+
+}  // namespace exec
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_EXEC_TWIG_SEMIJOIN_H_

@@ -1,0 +1,80 @@
+#ifndef BLOSSOMTREE_EXEC_TWIGSTACK_H_
+#define BLOSSOMTREE_EXEC_TWIGSTACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pattern/blossom_tree.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace exec {
+
+/// \brief Statistics of one TwigStack execution.
+struct TwigStackStats {
+  uint64_t stream_elements = 0;   ///< Index entries consumed.
+  uint64_t path_solutions = 0;    ///< Root-to-leaf solutions emitted.
+  uint64_t merged_matches = 0;    ///< Partial-relation rows after merging.
+};
+
+/// \brief Holistic twig join (Bruno/Koudas/Srivastava, the paper's
+/// reference [7]): evaluates a single-pattern-tree BlossomTree over the
+/// document's tag-name indexes, returning the distinct nodes matching
+/// `result_vertex` in document order.
+///
+/// Supported patterns: one pattern tree; axes `/` and `//`; wildcard tags;
+/// value constraints (applied as stream filters). TwigStack is I/O-optimal
+/// when all edges are `//` (the paper's experimental setting); `/` edges
+/// are checked during path-solution expansion and may make the enumeration
+/// suboptimal, exactly as the original algorithm.
+///
+/// Returns kUnsupported for patterns outside that class (multiple trees,
+/// positional predicates, following-sibling).
+class TwigStack {
+ public:
+  TwigStack(const xml::Document* doc, const pattern::BlossomTree* tree);
+
+  /// \brief Runs the join; fills `result` with the distinct document-order
+  /// matches of `result_vertex`.
+  Status Run(pattern::VertexId result_vertex,
+             std::vector<xml::NodeId>* result);
+
+  const TwigStackStats& stats() const { return stats_; }
+
+ private:
+  struct QNode {
+    pattern::VertexId vertex;
+    int parent = -1;                ///< Index into qnodes_.
+    std::vector<int> children;
+    bool parent_edge_is_child = false;  ///< '/' edge to parent.
+    std::vector<xml::NodeId> stream;    ///< Filtered, doc-ordered matches.
+    size_t cursor = 0;
+    /// Stack of (node, index of top of parent stack at push time).
+    std::vector<std::pair<xml::NodeId, int>> stack;
+  };
+
+  Status BuildQueryTree();
+  void BuildStreams();
+  xml::NodeId Head(const QNode& q) const;
+  bool HeadEnded(const QNode& q) const { return q.cursor >= q.stream.size(); }
+  int GetNextNode(int qi);
+  void CleanStack(QNode* q, xml::NodeId until_start);
+  void ExpandPathSolutions(int leaf_qi);
+  void MergePhase(pattern::VertexId result_vertex,
+                  std::vector<xml::NodeId>* result);
+
+  const xml::Document* doc_;
+  const pattern::BlossomTree* tree_;
+  std::vector<QNode> qnodes_;  ///< qnodes_[0] is the query root.
+  std::vector<int> leaves_;
+  /// Path solutions per leaf: tuples aligned with the root-to-leaf vertex
+  /// chain of that leaf.
+  std::vector<std::vector<std::vector<xml::NodeId>>> leaf_solutions_;
+  TwigStackStats stats_;
+};
+
+}  // namespace exec
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_EXEC_TWIGSTACK_H_

@@ -1,0 +1,103 @@
+#include "exec/value_ops.h"
+
+#include "util/strings.h"
+
+namespace blossomtree {
+namespace exec {
+
+bool CompareValues(std::string_view left, xpath::CompareOp op,
+                   std::string_view right) {
+  double ln = 0;
+  double rn = 0;
+  if (ParseDouble(left, &ln) && ParseDouble(right, &rn)) {
+    switch (op) {
+      case xpath::CompareOp::kEq:
+        return ln == rn;
+      case xpath::CompareOp::kNeq:
+        return ln != rn;
+      case xpath::CompareOp::kLt:
+        return ln < rn;
+      case xpath::CompareOp::kLe:
+        return ln <= rn;
+      case xpath::CompareOp::kGt:
+        return ln > rn;
+      case xpath::CompareOp::kGe:
+        return ln >= rn;
+    }
+  }
+  int cmp = std::string_view(left).compare(right);
+  switch (op) {
+    case xpath::CompareOp::kEq:
+      return cmp == 0;
+    case xpath::CompareOp::kNeq:
+      return cmp != 0;
+    case xpath::CompareOp::kLt:
+      return cmp < 0;
+    case xpath::CompareOp::kLe:
+      return cmp <= 0;
+    case xpath::CompareOp::kGt:
+      return cmp > 0;
+    case xpath::CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+bool GeneralCompare(const xml::Document& doc,
+                    const std::vector<xml::NodeId>& left,
+                    xpath::CompareOp op,
+                    const std::vector<xml::NodeId>& right) {
+  for (xml::NodeId l : left) {
+    std::string lv = doc.StringValue(l);
+    for (xml::NodeId r : right) {
+      if (CompareValues(lv, op, doc.StringValue(r))) return true;
+    }
+  }
+  return false;
+}
+
+bool GeneralCompareLiteral(const xml::Document& doc,
+                           const std::vector<xml::NodeId>& left,
+                           xpath::CompareOp op, std::string_view literal) {
+  for (xml::NodeId l : left) {
+    if (CompareValues(doc.StringValue(l), op, literal)) return true;
+  }
+  return false;
+}
+
+bool DeepEqualNodes(const xml::Document& doc, xml::NodeId a, xml::NodeId b) {
+  if (a == b) return true;
+  if (doc.IsElement(a) != doc.IsElement(b)) return false;
+  if (!doc.IsElement(a)) {
+    return doc.Text(a) == doc.Text(b);
+  }
+  if (doc.Tag(a) != doc.Tag(b)) return false;
+  auto attrs_a = doc.Attributes(a);
+  auto attrs_b = doc.Attributes(b);
+  if (attrs_a.size() != attrs_b.size()) return false;
+  for (const auto& [name, value] : attrs_a) {
+    std::string_view other;
+    if (!doc.AttributeValue(b, name, &other) || other != value) return false;
+  }
+  xml::NodeId ca = doc.FirstChild(a);
+  xml::NodeId cb = doc.FirstChild(b);
+  while (ca != xml::kNullNode && cb != xml::kNullNode) {
+    if (!DeepEqualNodes(doc, ca, cb)) return false;
+    ca = doc.NextSibling(ca);
+    cb = doc.NextSibling(cb);
+  }
+  return ca == xml::kNullNode && cb == xml::kNullNode;
+}
+
+bool DeepEqualSequences(const xml::Document& doc,
+                        const std::vector<xml::NodeId>& a,
+                        const std::vector<xml::NodeId>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!DeepEqualNodes(doc, a[i], b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace exec
+}  // namespace blossomtree

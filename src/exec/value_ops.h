@@ -1,0 +1,44 @@
+#ifndef BLOSSOMTREE_EXEC_VALUE_OPS_H_
+#define BLOSSOMTREE_EXEC_VALUE_OPS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace blossomtree {
+namespace exec {
+
+/// \brief Compares two atomized values with XPath semantics: numeric
+/// comparison when both parse as numbers, string comparison otherwise.
+bool CompareValues(std::string_view left, xpath::CompareOp op,
+                   std::string_view right);
+
+/// \brief XQuery general comparison over node sequences: true iff some pair
+/// of items satisfies `op` on their string values (untyped-data semantics).
+/// `left`/`right` are nodes of `doc`; literals are handled by the overload.
+bool GeneralCompare(const xml::Document& doc,
+                    const std::vector<xml::NodeId>& left,
+                    xpath::CompareOp op,
+                    const std::vector<xml::NodeId>& right);
+
+/// \brief General comparison of a node sequence against a literal.
+bool GeneralCompareLiteral(const xml::Document& doc,
+                           const std::vector<xml::NodeId>& left,
+                           xpath::CompareOp op, std::string_view literal);
+
+/// \brief fn:deep-equal on two subtrees: same tag, same attribute set, and
+/// pairwise deep-equal children; text compared exactly.
+bool DeepEqualNodes(const xml::Document& doc, xml::NodeId a, xml::NodeId b);
+
+/// \brief fn:deep-equal on two sequences (paper Example 2 relies on
+/// deep-equal((), ()) = true): equal lengths and pairwise deep-equal items.
+bool DeepEqualSequences(const xml::Document& doc,
+                        const std::vector<xml::NodeId>& a,
+                        const std::vector<xml::NodeId>& b);
+
+}  // namespace exec
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_EXEC_VALUE_OPS_H_

@@ -1,0 +1,34 @@
+#ifndef BLOSSOMTREE_FLWOR_PARSER_H_
+#define BLOSSOMTREE_FLWOR_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "util/status.h"
+#include "flwor/ast.h"
+
+namespace blossomtree {
+namespace flwor {
+
+/// \brief Parses a query expression: a FLWOR expression, a direct element
+/// constructor wrapping one (as in the paper's Example 1), or a bare path.
+///
+/// Grammar (paper §3.1, plus constructors for the return clause):
+///
+///   Expr      ::= Flwor | Constructor | Path
+///   Flwor     ::= ('for' Var 'in' Path (',' Var 'in' Path)*
+///                 | 'let' Var ':=' Path)+
+///                 ('where' Bool)? ('order' 'by' Path Dir?)? 'return' Expr
+///   Bool      ::= And ('or' And)*
+///   And       ::= Primary ('and' Primary)*
+///   Primary   ::= 'not' '(' Bool ')' | 'deep-equal' '(' Op ',' Op ')'
+///               | '(' Bool ')' | Op (('<<'|'>>'|'='|'!='|'is') Op)?
+///   Op        ::= Path | StringLiteral | Number
+///   Constructor ::= '<' Name Attr* '>' (Text | '{' Expr '}' | Constructor)*
+///                   '</' Name '>'
+Result<std::unique_ptr<Expr>> ParseQuery(std::string_view input);
+
+}  // namespace flwor
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_FLWOR_PARSER_H_

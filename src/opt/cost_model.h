@@ -1,0 +1,89 @@
+#ifndef BLOSSOMTREE_OPT_COST_MODEL_H_
+#define BLOSSOMTREE_OPT_COST_MODEL_H_
+
+#include <string>
+
+#include "pattern/blossom_tree.h"
+#include "pattern/decompose.h"
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace opt {
+
+/// \brief Estimated cost of a physical alternative, in abstract units
+/// (node fetches + constraint checks).
+struct CostEstimate {
+  double cardinality = 0;  ///< Estimated result size.
+  double io_cost = 0;      ///< Node/stream-entry fetches.
+  double cpu_cost = 0;     ///< Constraint checks, merges, joins.
+
+  double Total() const { return io_cost + cpu_cost; }
+};
+
+/// \brief Cardinality and cost estimation from document statistics —
+/// the paper's §6 future work ("To choose an optimal plan automatically,
+/// the optimizer needs a cost model or similar mechanism").
+///
+/// Estimation uses per-tag counts, per-tag average subtree sizes, and the
+/// classic independence/containment assumptions; it is deliberately simple
+/// and fast (one pass over the tag indexes at construction).
+class CostModel {
+ public:
+  explicit CostModel(const xml::Document* doc);
+
+  /// \brief Elements matching a tag test ("*" = all elements).
+  double TagCount(const std::string& tag) const;
+
+  /// \brief Average subtree size (in nodes) of elements with this tag.
+  double AvgSubtreeSize(const std::string& tag) const;
+
+  /// \brief Estimated matches of the pattern subtree rooted at `v`
+  /// (existence predicates reduce by containment selectivity; value
+  /// constraints by a fixed factor).
+  double EstimateVertexMatches(const pattern::BlossomTree& tree,
+                               pattern::VertexId v) const;
+
+  /// \brief Estimated result cardinality of a single-pattern-tree query.
+  double EstimateResult(const pattern::BlossomTree& tree) const;
+
+  /// \brief Cost of the pipelined-NoK plan: one scan per NoK (or one
+  /// merged pass) + linear merges.
+  CostEstimate EstimatePipelined(const pattern::BlossomTree& tree,
+                                 bool merged_scan) const;
+
+  /// \brief Cost of the BNLJ plan: outer scans plus per-outer-match bounded
+  /// re-scans.
+  CostEstimate EstimateBnlj(const pattern::BlossomTree& tree) const;
+
+  /// \brief Cost of TwigStack: the tag-index streams plus solution
+  /// expansion/merge.
+  CostEstimate EstimateTwigStack(const pattern::BlossomTree& tree) const;
+
+ private:
+  const xml::Document* doc_;
+  std::vector<double> avg_subtree_;  ///< Per TagId.
+};
+
+/// \brief The optimizer's recommendation for a path query.
+struct PlanAdvice {
+  enum class Engine { kPipelined, kBnlj, kTwigStack };
+  Engine engine = Engine::kPipelined;
+  CostEstimate pipelined;
+  CostEstimate bnlj;
+  CostEstimate twigstack;
+  bool pipelined_safe = true;  ///< Theorem-2 precondition holds.
+  std::string rationale;
+};
+
+const char* EngineToString(PlanAdvice::Engine engine);
+
+/// \brief Compares the estimated costs of the three physical alternatives
+/// and recommends one, honoring the correctness constraint that the
+/// pipelined join requires non-nesting joined tags.
+PlanAdvice AdvisePlan(const xml::Document& doc,
+                      const pattern::BlossomTree& tree);
+
+}  // namespace opt
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_OPT_COST_MODEL_H_

@@ -1,0 +1,281 @@
+#include "opt/planner.h"
+
+#include <algorithm>
+
+#include "exec/joins.h"
+#include "nestedlist/ops.h"
+
+namespace blossomtree {
+namespace opt {
+
+using exec::NestedListOperator;
+using exec::NokScanOperator;
+using pattern::Connection;
+using pattern::Decomposition;
+using pattern::VertexId;
+
+const char* JoinStrategyToString(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kAuto:
+      return "auto";
+    case JoinStrategy::kPipelined:
+      return "pipelined";
+    case JoinStrategy::kBoundedNestedLoop:
+      return "bounded-nested-loop";
+    case JoinStrategy::kNaiveNestedLoop:
+      return "naive-nested-loop";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsTrivialRootNok(const pattern::BlossomTree& tree,
+                      const pattern::NokTree& nok) {
+  return nok.vertices.size() == 1 && tree.vertex(nok.root).IsVirtualRoot();
+}
+
+/// Recursive plan builder for the NoK-join tree under `nok_index`.
+class TreePlanner {
+ public:
+  TreePlanner(const xml::Document* doc, const pattern::BlossomTree* tree,
+              const Decomposition* decomp, JoinStrategy strategy,
+              exec::MergedNokScan* merged,
+              const std::vector<int>* merged_index, PatternTreePlan* plan,
+              bool* used_pipelined, bool* used_bnlj)
+      : doc_(doc),
+        tree_(tree),
+        decomp_(decomp),
+        strategy_(strategy),
+        merged_(merged),
+        merged_index_(merged_index),
+        plan_(plan),
+        used_pipelined_(used_pipelined),
+        used_bnlj_(used_bnlj) {}
+
+  /// True when matches of `v`'s tag can never nest — the precondition for
+  /// the pipelined join's merge discipline (Theorem 2 holds per tag: a
+  /// //-join whose outer tag has nesting degree 1 behaves as on a
+  /// non-recursive document, even if other tags recurse).
+  bool NonNesting(VertexId v) const {
+    const pattern::Vertex& vx = tree_->vertex(v);
+    if (vx.IsVirtualRoot()) return true;
+    if (vx.MatchesAnyTag()) return false;
+    std::string tag = vx.tag;
+    if (!tag.empty() && tag[0] == '@') return false;
+    xml::TagId t = doc_->tags().Lookup(tag);
+    if (t == xml::kNullTag) return true;  // Tag absent: zero matches.
+    return doc_->TagRecursionDegree(t) <= 1;
+  }
+
+  /// Per-connection strategy under kAuto (paper §5: the optimizer chooses
+  /// using its knowledge of document recursion — here per tag).
+  JoinStrategy Pick(const Connection& c, uint32_t outer_nok) const {
+    if (strategy_ != JoinStrategy::kAuto) return strategy_;
+    bool safe = NonNesting(decomp_->noks[outer_nok].root) && NonNesting(c.from);
+    return safe ? JoinStrategy::kPipelined
+                : JoinStrategy::kBoundedNestedLoop;
+  }
+
+  Result<std::unique_ptr<NestedListOperator>> Build(uint32_t nok_index,
+                                                    int depth) {
+    std::unique_ptr<NestedListOperator> op;
+    if (merged_ != nullptr) {
+      op = merged_->MakeOperator(
+          static_cast<size_t>((*merged_index_)[nok_index]));
+      Indent(depth);
+      plan_->explain += "MergedNokView(" + NokLabel(nok_index) + ")\n";
+    } else {
+      auto scan = std::make_unique<NokScanOperator>(
+          doc_, tree_, &decomp_->noks[nok_index]);
+      plan_->scans.push_back(scan.get());
+      Indent(depth);
+      plan_->explain += "NokScan(" + NokLabel(nok_index) + ")\n";
+      op = std::move(scan);
+    }
+    for (const Connection& c : decomp_->connections) {
+      if (decomp_->NokOf(c.from) != nok_index) continue;
+      pattern::SlotId from_slot = tree_->SlotOfVertex(c.from);
+      if (from_slot == pattern::kNoSlot) {
+        return Status::Internal("connection endpoint has no slot");
+      }
+      JoinStrategy join = Pick(c, nok_index);
+      const char* join_name = "BoundedNestedLoopJoin";
+      if (join == JoinStrategy::kPipelined) {
+        join_name = "PipelinedDescJoin";
+        *used_pipelined_ = true;
+      } else if (join == JoinStrategy::kNaiveNestedLoop) {
+        join_name = "NaiveNestedLoopJoin";
+        *used_bnlj_ = true;
+      } else {
+        *used_bnlj_ = true;
+      }
+      Indent(depth);
+      plan_->explain += std::string(join_name) + "(" +
+                        tree_->vertex(c.from).tag + " // " +
+                        tree_->vertex(c.to).tag +
+                        (c.mode == pattern::EdgeMode::kLet ? ", l)\n"
+                                                           : ", f)\n");
+      BT_ASSIGN_OR_RETURN(auto inner,
+                          Build(decomp_->NokOf(c.to), depth + 1));
+      if (join == JoinStrategy::kPipelined) {
+        op = std::make_unique<exec::PipelinedDescJoin>(
+            doc_, tree_, std::move(op), std::move(inner), from_slot, c.mode);
+      } else {
+        op = std::make_unique<exec::BoundedNestedLoopJoin>(
+            doc_, tree_, std::move(op), std::move(inner), from_slot, c.mode,
+            /*bounded=*/join != JoinStrategy::kNaiveNestedLoop);
+      }
+    }
+    return op;
+  }
+
+ private:
+  void Indent(int depth) {
+    plan_->explain.append(static_cast<size_t>(depth) * 2, ' ');
+  }
+
+  std::string NokLabel(uint32_t nok_index) const {
+    std::string out;
+    for (size_t i = 0; i < decomp_->noks[nok_index].vertices.size(); ++i) {
+      if (i > 0) out += ",";
+      out += tree_->vertex(decomp_->noks[nok_index].vertices[i]).tag;
+    }
+    return out;
+  }
+
+  const xml::Document* doc_;
+  const pattern::BlossomTree* tree_;
+  const Decomposition* decomp_;
+  JoinStrategy strategy_;
+  exec::MergedNokScan* merged_;
+  const std::vector<int>* merged_index_;
+  PatternTreePlan* plan_;
+  bool* used_pipelined_;
+  bool* used_bnlj_;
+};
+
+}  // namespace
+
+std::string QueryPlan::Explain() const {
+  std::string out = "strategy: ";
+  out += JoinStrategyToString(chosen);
+  out += "\n";
+  for (size_t i = 0; i < trees.size(); ++i) {
+    out += "pattern tree " + std::to_string(i) + ":\n";
+    out += trees[i].explain;
+  }
+  return out;
+}
+
+Result<QueryPlan> PlanQuery(const xml::Document* doc,
+                            const pattern::BlossomTree* tree,
+                            const PlanOptions& options) {
+  if (!tree->finalized()) {
+    return Status::InvalidArgument("BlossomTree must be finalized");
+  }
+  QueryPlan plan;
+  plan.tree = tree;
+  plan.decomposition = pattern::Decompose(*tree);
+  const Decomposition& d = plan.decomposition;
+
+  // Rule: pipelined joins need document-order preservation (Theorem 2).
+  // Under kAuto that is decided *per connection* using the per-tag nesting
+  // statistics (TreePlanner::Pick); forced strategies apply uniformly.
+  JoinStrategy strategy = options.strategy;
+
+  // Find each pattern tree's base NoK: the root NoK itself, or — when the
+  // root NoK is the bare virtual root "~" connected by // — its single
+  // connection target (the sequential scan subsumes the trivial //-join
+  // from the document root).
+  std::vector<uint32_t> bases;
+  std::vector<bool> is_base_or_inner(d.noks.size(), true);
+  for (VertexId r : tree->roots()) {
+    uint32_t root_nok = d.NokOf(r);
+    if (IsTrivialRootNok(*tree, d.noks[root_nok])) {
+      is_base_or_inner[root_nok] = false;
+      uint32_t target = static_cast<uint32_t>(-1);
+      for (const Connection& c : d.connections) {
+        if (d.NokOf(c.from) == root_nok) {
+          if (target != static_cast<uint32_t>(-1)) {
+            return Status::Unsupported(
+                "virtual root with multiple //-connections");
+          }
+          target = d.NokOf(c.to);
+        }
+      }
+      if (target == static_cast<uint32_t>(-1)) {
+        return Status::Unsupported("pattern tree with no matchable NoK");
+      }
+      bases.push_back(target);
+    } else {
+      bases.push_back(root_nok);
+    }
+  }
+
+  // Optional merged single scan across every NoK in the plan.
+  std::unique_ptr<exec::MergedNokScan> merged;
+  std::vector<int> merged_index(d.noks.size(), -1);
+  if (options.merge_nok_scans &&
+      strategy == JoinStrategy::kPipelined) {
+    std::vector<const pattern::NokTree*> noks;
+    for (size_t i = 0; i < d.noks.size(); ++i) {
+      if (!is_base_or_inner[i]) continue;
+      merged_index[i] = static_cast<int>(noks.size());
+      noks.push_back(&d.noks[i]);
+    }
+    merged = std::make_unique<exec::MergedNokScan>(doc, tree,
+                                                   std::move(noks));
+    merged->Run();
+  }
+
+  bool used_pipelined = false;
+  bool used_bnlj = false;
+  for (uint32_t base : bases) {
+    PatternTreePlan tp;
+    TreePlanner builder(doc, tree, &plan.decomposition, strategy,
+                        merged.get(), &merged_index, &tp, &used_pipelined,
+                        &used_bnlj);
+    BT_ASSIGN_OR_RETURN(tp.root, builder.Build(base, 1));
+    tp.tops = tp.root->top_slots();
+    plan.trees.push_back(std::move(tp));
+  }
+  plan.merged_scan = std::move(merged);
+  // Summarize: the single strategy used, or kAuto for mixed plans.
+  if (used_pipelined && used_bnlj) {
+    plan.chosen = JoinStrategy::kAuto;
+  } else if (used_bnlj) {
+    plan.chosen = strategy == JoinStrategy::kNaiveNestedLoop
+                      ? JoinStrategy::kNaiveNestedLoop
+                      : JoinStrategy::kBoundedNestedLoop;
+  } else {
+    plan.chosen = JoinStrategy::kPipelined;
+  }
+  return plan;
+}
+
+Result<std::vector<xml::NodeId>> EvaluatePathQuery(
+    const xml::Document* doc, const pattern::BlossomTree* tree,
+    const PlanOptions& options) {
+  BT_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(doc, tree, options));
+  if (plan.trees.size() != 1) {
+    return Status::InvalidArgument("path queries have one pattern tree");
+  }
+  pattern::SlotId result = tree->SlotOfVariable("result");
+  if (result == pattern::kNoSlot) {
+    return Status::InvalidArgument("no result slot; not a path query");
+  }
+  PatternTreePlan& tp = plan.trees[0];
+  std::vector<xml::NodeId> out;
+  nestedlist::NestedList nl;
+  while (tp.root->GetNext(&nl)) {
+    auto part = nestedlist::Project(*tree, tp.tops, nl, result);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace opt
+}  // namespace blossomtree

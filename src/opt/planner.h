@@ -1,0 +1,91 @@
+#ifndef BLOSSOMTREE_OPT_PLANNER_H_
+#define BLOSSOMTREE_OPT_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/merged_scan.h"
+#include "exec/nok_scan.h"
+#include "exec/operator.h"
+#include "pattern/decompose.h"
+#include "util/status.h"
+
+namespace blossomtree {
+namespace opt {
+
+/// \brief Physical join strategy for the //-connections between NoKs.
+enum class JoinStrategy {
+  kAuto,             ///< Recursion-aware choice (paper §4.2/§4.3 and §5.2).
+  kPipelined,        ///< Pipelined merge join — non-recursive documents only.
+  kBoundedNestedLoop,///< BNLJ — correct everywhere, repeated bounded scans.
+  kNaiveNestedLoop,  ///< Unbounded nested loop (full re-scan per outer
+                     ///< match) — the strawman the BNLJ ablation compares
+                     ///< against.
+};
+
+const char* JoinStrategyToString(JoinStrategy s);
+
+struct PlanOptions {
+  JoinStrategy strategy = JoinStrategy::kAuto;
+  /// Evaluate all NoK scans of one document in a single merged pass
+  /// (§4.2's merged-NoK optimization). Only applies with kPipelined /
+  /// non-recursive kAuto plans (the BNLJ's inner must re-scan on demand).
+  bool merge_nok_scans = false;
+};
+
+/// \brief A compiled plan for one pattern tree of a BlossomTree.
+///
+/// Owns the operator tree. `root` emits the pattern tree's NestedLists;
+/// `tops` is their slot context; `scans` exposes the underlying NoK scan
+/// drivers for I/O metrics.
+struct PatternTreePlan {
+  std::unique_ptr<exec::NestedListOperator> root;
+  std::vector<pattern::SlotId> tops;
+  std::vector<exec::NokScanOperator*> scans;  ///< Borrowed from `root`.
+  std::string explain;
+
+  uint64_t TotalNodesScanned() const {
+    uint64_t total = 0;
+    for (const auto* s : scans) total += s->NodesScanned();
+    return total;
+  }
+};
+
+/// \brief The plan for a whole BlossomTree: one PatternTreePlan per pattern
+/// tree (FLWOR queries have several; path queries exactly one).
+struct QueryPlan {
+  const pattern::BlossomTree* tree = nullptr;
+  pattern::Decomposition decomposition;
+  std::vector<PatternTreePlan> trees;
+  JoinStrategy chosen = JoinStrategy::kPipelined;
+  /// Set when merge_nok_scans produced a shared single-scan (its
+  /// NodesScanned() is the plan's scan I/O in that case).
+  std::unique_ptr<exec::MergedNokScan> merged_scan;
+
+  std::string Explain() const;
+};
+
+/// \brief The rule-based optimizer (paper §5: "the optimizer needs to have
+/// the knowledge of how recursive the input XML document is"):
+///  - decomposes the BlossomTree into NoKs (Algorithm 1),
+///  - drops the trivial virtual-root NoKs and their //-connections (a full
+///    sequential scan subsumes them),
+///  - for each remaining //-connection picks the join: pipelined on
+///    non-recursive documents, bounded nested-loop otherwise,
+///  - optionally merges all root NoK scans into one pass.
+Result<QueryPlan> PlanQuery(const xml::Document* doc,
+                            const pattern::BlossomTree* tree,
+                            const PlanOptions& options = {});
+
+/// \brief Convenience for path queries (single pattern tree, result bound
+/// to the "result" variable): plans, executes, and returns the distinct
+/// document-ordered matches.
+Result<std::vector<xml::NodeId>> EvaluatePathQuery(
+    const xml::Document* doc, const pattern::BlossomTree* tree,
+    const PlanOptions& options = {});
+
+}  // namespace opt
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_OPT_PLANNER_H_

@@ -1,0 +1,200 @@
+#include "pattern/blossom_tree.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace blossomtree {
+namespace pattern {
+
+const char* CrossKindToString(CrossKind kind) {
+  switch (kind) {
+    case CrossKind::kDocBefore:
+      return "<<";
+    case CrossKind::kValueEq:
+      return "=";
+    case CrossKind::kValueNeq:
+      return "!=";
+    case CrossKind::kDeepEqual:
+      return "deep-equal";
+    case CrossKind::kIs:
+      return "is";
+    case CrossKind::kDescendant:
+      return "//";
+  }
+  return "?";
+}
+
+VertexId BlossomTree::AddRoot(std::string tag) {
+  VertexId id = static_cast<VertexId>(vertices_.size());
+  Vertex v;
+  v.tag = std::move(tag);
+  vertices_.push_back(std::move(v));
+  roots_.push_back(id);
+  return id;
+}
+
+VertexId BlossomTree::AddChild(VertexId parent, std::string tag,
+                               xpath::Axis axis, EdgeMode mode) {
+  VertexId id = static_cast<VertexId>(vertices_.size());
+  Vertex v;
+  v.tag = std::move(tag);
+  v.parent = parent;
+  v.axis = axis;
+  v.mode = mode;
+  vertices_.push_back(std::move(v));
+  vertices_[parent].children.push_back(id);
+  return id;
+}
+
+void BlossomTree::AddCrossEdge(VertexId left, VertexId right, CrossKind kind,
+                               bool negated) {
+  cross_edges_.push_back(CrossEdge{left, right, kind, negated});
+}
+
+void BlossomTree::MarkReturning(VertexId v, std::string variable) {
+  vertices_[v].returning = true;
+  if (!variable.empty()) vertices_[v].variable = std::move(variable);
+}
+
+Status BlossomTree::Finalize() {
+  if (finalized_) return Status::OK();
+  vertex_slot_.assign(vertices_.size(), kNoSlot);
+  slots_.clear();
+  top_slots_.clear();
+
+  // Build the returning tree: each returning vertex's parent is its nearest
+  // returning proper ancestor (through tree edges); top-level returning
+  // vertices hang off an artificial super-root (paper §3.3).
+  //
+  // Slots are created in a DFS over the pattern forest, which makes sibling
+  // order deterministic (the "arbitrarily fixed order" of paper Example 3).
+  std::function<Status(VertexId, SlotId)> visit = [&](VertexId v,
+                                                      SlotId parent_slot)
+      -> Status {
+    SlotId my_slot = parent_slot;
+    if (vertices_[v].returning) {
+      my_slot = static_cast<SlotId>(slots_.size());
+      Slot s;
+      s.vertex = v;
+      s.parent = parent_slot;
+      // Slot mode: kLet if any pattern edge between this vertex and its
+      // returning-tree parent (exclusive) is an l-edge.
+      s.mode = EdgeMode::kFor;
+      VertexId stop =
+          parent_slot == kNoSlot ? kNoVertex : slots_[parent_slot].vertex;
+      for (VertexId w = v; w != stop && w != kNoVertex;
+           w = vertices_[w].parent) {
+        if (vertices_[w].mode == EdgeMode::kLet &&
+            vertices_[w].parent != kNoVertex) {
+          s.mode = EdgeMode::kLet;
+          break;
+        }
+      }
+      slots_.push_back(std::move(s));
+      vertex_slot_[v] = my_slot;
+      if (parent_slot == kNoSlot) {
+        top_slots_.push_back(my_slot);
+      } else {
+        slots_[parent_slot].children.push_back(my_slot);
+      }
+    }
+    for (VertexId c : vertices_[v].children) {
+      BT_RETURN_NOT_OK(visit(c, my_slot));
+    }
+    return Status::OK();
+  };
+  for (VertexId r : roots_) {
+    BT_RETURN_NOT_OK(visit(r, kNoSlot));
+  }
+
+  // Dewey numbering: a single top slot is "1"; multiple top slots become
+  // children 1.1, 1.2, ... of the artificial super-root.
+  bool super_root = top_slots_.size() > 1;
+  for (size_t i = 0; i < top_slots_.size(); ++i) {
+    SlotId s = top_slots_[i];
+    slots_[s].dewey =
+        super_root ? DeweyId({1, static_cast<uint32_t>(i + 1)}) : DeweyId({1});
+    std::function<void(SlotId)> number = [&](SlotId p) {
+      for (size_t k = 0; k < slots_[p].children.size(); ++k) {
+        SlotId c = slots_[p].children[k];
+        slots_[c].dewey = slots_[p].dewey.Child(static_cast<uint32_t>(k + 1));
+        number(c);
+      }
+    };
+    number(s);
+  }
+
+  finalized_ = true;
+  return Status::OK();
+}
+
+SlotId BlossomTree::SlotOfDewey(const DeweyId& id) const {
+  for (SlotId s = 0; s < slots_.size(); ++s) {
+    if (slots_[s].dewey == id) return s;
+  }
+  return kNoSlot;
+}
+
+SlotId BlossomTree::SlotOfVariable(const std::string& variable) const {
+  VertexId v = VertexOfVariable(variable);
+  return v == kNoVertex ? kNoSlot : vertex_slot_[v];
+}
+
+VertexId BlossomTree::VertexOfVariable(const std::string& variable) const {
+  for (VertexId v = 0; v < vertices_.size(); ++v) {
+    if (vertices_[v].variable == variable) return v;
+  }
+  return kNoVertex;
+}
+
+void BlossomTree::AppendVertexString(VertexId v, int indent,
+                                     std::string* out) const {
+  const Vertex& vx = vertices_[v];
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  if (v != vx.parent && vx.parent != kNoVertex) {
+    out->append(xpath::AxisToString(vx.axis));
+    out->append(vx.mode == EdgeMode::kLet ? "(l) " : "(f) ");
+  }
+  out->append(vx.tag);
+  if (vx.value) {
+    out->append("[. ");
+    out->append(xpath::CompareOpToString(vx.value->op));
+    out->append(" \"");
+    out->append(vx.value->literal);
+    out->append("\"]");
+  }
+  if (vx.position > 0) {
+    out->append("[" + std::to_string(vx.position) + "]");
+  }
+  if (!vx.variable.empty()) {
+    out->append(" ($" + vx.variable + ")");
+  }
+  if (vx.returning && finalized_ && vertex_slot_[v] != kNoSlot) {
+    out->append(" <" + slots_[vertex_slot_[v]].dewey.ToString() + ">");
+  }
+  out->push_back('\n');
+  for (VertexId c : vx.children) {
+    AppendVertexString(c, indent + 1, out);
+  }
+}
+
+std::string BlossomTree::ToString() const {
+  std::string out;
+  for (VertexId r : roots_) {
+    AppendVertexString(r, 0, &out);
+  }
+  for (const CrossEdge& e : cross_edges_) {
+    out += "cross: ";
+    out += vertices_[e.left].tag;
+    out += " ";
+    if (e.negated) out += "not ";
+    out += CrossKindToString(e.kind);
+    out += " ";
+    out += vertices_[e.right].tag;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pattern
+}  // namespace blossomtree

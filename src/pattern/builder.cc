@@ -1,0 +1,276 @@
+#include "pattern/builder.h"
+
+#include <map>
+#include <string>
+
+namespace blossomtree {
+namespace pattern {
+
+namespace {
+
+class Builder {
+ public:
+  Result<BlossomTree> FromFlwor(const flwor::Flwor& flwor) {
+    for (const flwor::Binding& b : flwor.bindings) {
+      EdgeMode mode = b.kind == flwor::Binding::Kind::kLet ? EdgeMode::kLet
+                                                           : EdgeMode::kFor;
+      BT_ASSIGN_OR_RETURN(VertexId v, AddPath(b.path, mode));
+      if (vars_.count(b.var)) {
+        return Status::InvalidArgument("variable $" + b.var + " rebound");
+      }
+      tree_.MarkReturning(v, b.var);
+      vars_[b.var] = v;
+    }
+    if (flwor.where != nullptr) {
+      BT_RETURN_NOT_OK(AddWhere(*flwor.where, /*negated=*/false));
+    }
+    return Finish();
+  }
+
+  Result<BlossomTree> FromPath(const xpath::PathExpr& path) {
+    BT_ASSIGN_OR_RETURN(VertexId v, AddPath(path, EdgeMode::kFor));
+    tree_.MarkReturning(v, "result");
+    return Finish();
+  }
+
+ private:
+  Result<BlossomTree> Finish() {
+    // Mark global-edge endpoints returning: decomposition (Algorithm 1)
+    // cuts these edges, and the joins that reconnect the NoK pieces address
+    // their inputs by Dewey ID, so both endpoints need slots.
+    for (VertexId v = 0; v < tree_.NumVertices(); ++v) {
+      const Vertex& vx = tree_.vertex(v);
+      if (vx.parent != kNoVertex && !xpath::IsLocalAxis(vx.axis)) {
+        tree_.MarkReturning(v);
+        if (!tree_.vertex(vx.parent).IsVirtualRoot()) {
+          tree_.MarkReturning(vx.parent);
+        }
+      }
+    }
+    for (const CrossEdge& e : tree_.cross_edges()) {
+      tree_.MarkReturning(e.left);
+      tree_.MarkReturning(e.right);
+    }
+    BT_RETURN_NOT_OK(tree_.Finalize());
+    return std::move(tree_);
+  }
+
+  /// Adds the vertices for `path`; returns the terminal vertex.
+  Result<VertexId> AddPath(const xpath::PathExpr& path, EdgeMode mode) {
+    VertexId anchor = kNoVertex;
+    switch (path.start) {
+      case xpath::PathExpr::StartKind::kRoot:
+        // Each absolute path starts its own pattern tree (Figure 1 has two
+        // roots, one per doc()-rooted for-clause).
+        anchor = tree_.AddRoot("~");
+        break;
+      case xpath::PathExpr::StartKind::kVariable: {
+        auto it = vars_.find(path.variable);
+        if (it == vars_.end()) {
+          return Status::InvalidArgument("unbound variable $" + path.variable);
+        }
+        anchor = it->second;
+        break;
+      }
+      case xpath::PathExpr::StartKind::kContext:
+        return Status::InvalidArgument(
+            "context-relative path outside a predicate");
+    }
+    return Extend(anchor, path, /*first_step=*/0, mode, /*reuse=*/true);
+  }
+
+  /// Extends the pattern from `anchor` along path.steps[first_step..];
+  /// returns the terminal vertex.
+  Result<VertexId> Extend(VertexId anchor, const xpath::PathExpr& path,
+                          size_t first_step, EdgeMode mode, bool reuse) {
+    VertexId cur = anchor;
+    for (size_t i = first_step; i < path.steps.size(); ++i) {
+      const xpath::Step& step = path.steps[i];
+      if (xpath::IsNavigationalOnlyAxis(step.axis)) {
+        return Status::Unsupported(
+            "axis '" + std::string(xpath::AxisToString(step.axis)) +
+            "' cannot appear in a BlossomTree; evaluate navigationally");
+      }
+      if (step.axis == xpath::Axis::kSelf) {
+        // "." — stay on the current vertex; predicates apply to it.
+        BT_RETURN_NOT_OK(ApplyPredicates(cur, step));
+        continue;
+      }
+      std::string tag = step.axis == xpath::Axis::kAttribute
+                            ? "@" + step.name
+                            : step.name;
+      VertexId next = kNoVertex;
+      if (reuse && step.predicates.empty()) {
+        // Reuse an existing constraint-free child with the same tag/axis so
+        // repeated references like $b/title (in where and return) share one
+        // vertex, as in Figure 1.
+        for (VertexId c : tree_.vertex(cur).children) {
+          const Vertex& cv = tree_.vertex(c);
+          if (cv.tag == tag && cv.axis == step.axis && cv.mode == mode &&
+              !cv.value && cv.position == 0) {
+            next = c;
+            break;
+          }
+        }
+      }
+      if (next == kNoVertex) {
+        next = tree_.AddChild(cur, tag, step.axis, mode);
+        BT_RETURN_NOT_OK(ApplyPredicates(next, step));
+      }
+      cur = next;
+    }
+    return cur;
+  }
+
+  Status ApplyPredicates(VertexId v, const xpath::Step& step) {
+    for (const xpath::Predicate& pred : step.predicates) {
+      switch (pred.kind) {
+        case xpath::Predicate::Kind::kPosition:
+          tree_.mutable_vertex(v).position = pred.position;
+          break;
+        case xpath::Predicate::Kind::kExists: {
+          // Existential subtree: mandatory for this vertex to match, never
+          // returning.
+          auto r = Extend(v, *pred.path, 0, EdgeMode::kFor, /*reuse=*/false);
+          BT_RETURN_NOT_OK(r.status());
+          break;
+        }
+        case xpath::Predicate::Kind::kValueCompare: {
+          BT_ASSIGN_OR_RETURN(
+              VertexId target,
+              Extend(v, *pred.path, 0, EdgeMode::kFor, /*reuse=*/false));
+          Vertex& tv = tree_.mutable_vertex(target);
+          if (tv.value) {
+            return Status::Unsupported(
+                "multiple value constraints on one vertex");
+          }
+          tv.value = ValueConstraint{pred.op, pred.literal};
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Walks the where-clause; conjunction components that are (possibly
+  /// negated) comparisons between variable-rooted paths become crossing
+  /// edges. Components the formalism does not cover (or-branches,
+  /// literal comparisons) are simply not represented as edges — the engine
+  /// re-evaluates the full where-clause on candidate tuples.
+  Status AddWhere(const flwor::BoolExpr& expr, bool negated) {
+    using flwor::BoolExpr;
+    switch (expr.kind) {
+      case BoolExpr::Kind::kAnd:
+        if (negated) return Status::OK();  // not(a and b): not a conjunction.
+        for (const auto& c : expr.children) {
+          BT_RETURN_NOT_OK(AddWhere(*c, false));
+        }
+        return Status::OK();
+      case BoolExpr::Kind::kNot:
+        return AddWhere(*expr.children[0], !negated);
+      case BoolExpr::Kind::kOr:
+        return Status::OK();  // Residual; evaluated by the engine.
+      case BoolExpr::Kind::kCompare:
+        break;
+    }
+    if (expr.left.kind != flwor::Operand::Kind::kPath ||
+        expr.right.kind != flwor::Operand::Kind::kPath) {
+      return Status::OK();  // Literal comparison: residual.
+    }
+    auto lv = OperandVertex(expr.left.path);
+    auto rv = OperandVertex(expr.right.path);
+    if (!lv.ok() || !rv.ok()) {
+      // Unresolvable operand (e.g. absolute path in where): residual.
+      return Status::OK();
+    }
+    VertexId left = *lv;
+    VertexId right = *rv;
+    CrossKind kind;
+    switch (expr.op) {
+      case flwor::WhereOp::kDocBefore:
+        kind = CrossKind::kDocBefore;
+        break;
+      case flwor::WhereOp::kDocAfter:
+        kind = CrossKind::kDocBefore;
+        std::swap(left, right);
+        break;
+      case flwor::WhereOp::kEq:
+        kind = CrossKind::kValueEq;
+        break;
+      case flwor::WhereOp::kNeq:
+        kind = CrossKind::kValueNeq;
+        break;
+      case flwor::WhereOp::kIs:
+        kind = CrossKind::kIs;
+        break;
+      case flwor::WhereOp::kDeepEqual:
+        kind = CrossKind::kDeepEqual;
+        break;
+      default:
+        return Status::OK();
+    }
+    tree_.AddCrossEdge(left, right, kind, negated);
+    return Status::OK();
+  }
+
+  Result<VertexId> OperandVertex(const xpath::PathExpr& path) {
+    if (path.start != xpath::PathExpr::StartKind::kVariable) {
+      return Status::Unsupported("operand is not variable-rooted");
+    }
+    auto it = vars_.find(path.variable);
+    if (it == vars_.end()) {
+      return Status::InvalidArgument("unbound variable $" + path.variable);
+    }
+    // Where-operand paths are *optional* (l-mode): a comparison operand may
+    // evaluate to the empty sequence without disqualifying the tuple (e.g.
+    // deep-equal over two empty author sequences is true — Example 2).
+    // Figure 1 draws these edges bold, but XQuery semantics requires the
+    // optional interpretation.
+    return Extend(it->second, path, 0, EdgeMode::kLet, /*reuse=*/true);
+  }
+
+  BlossomTree tree_;
+  std::map<std::string, VertexId> vars_;
+};
+
+const flwor::Flwor* FindFlwor(const flwor::Expr& expr) {
+  switch (expr.kind) {
+    case flwor::Expr::Kind::kFlwor:
+      return expr.flwor.get();
+    case flwor::Expr::Kind::kConstructor:
+      for (const auto& item : expr.ctor->items) {
+        if (item.expr != nullptr) {
+          if (const flwor::Flwor* f = FindFlwor(*item.expr)) return f;
+        }
+      }
+      return nullptr;
+    case flwor::Expr::Kind::kPath:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<BlossomTree> BuildFromFlwor(const flwor::Flwor& flwor) {
+  Builder b;
+  return b.FromFlwor(flwor);
+}
+
+Result<BlossomTree> BuildFromPath(const xpath::PathExpr& path) {
+  Builder b;
+  return b.FromPath(path);
+}
+
+Result<BlossomTree> BuildFromQuery(const flwor::Expr& expr) {
+  if (expr.kind == flwor::Expr::Kind::kPath) {
+    return BuildFromPath(expr.path);
+  }
+  if (const flwor::Flwor* f = FindFlwor(expr)) {
+    return BuildFromFlwor(*f);
+  }
+  return Status::Unsupported("query contains no FLWOR or path expression");
+}
+
+}  // namespace pattern
+}  // namespace blossomtree

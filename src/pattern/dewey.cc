@@ -1,0 +1,54 @@
+#include "pattern/dewey.h"
+
+#include "util/strings.h"
+
+namespace blossomtree {
+namespace pattern {
+
+Result<DeweyId> DeweyId::Parse(std::string_view text) {
+  std::vector<uint32_t> components;
+  for (std::string_view part : Split(text, '.')) {
+    long long v = ParseNonNegativeInt(part);
+    if (v <= 0) {
+      return Status::InvalidArgument("bad Dewey ID '" + std::string(text) +
+                                     "'");
+    }
+    components.push_back(static_cast<uint32_t>(v));
+  }
+  if (components.empty()) {
+    return Status::InvalidArgument("empty Dewey ID");
+  }
+  return DeweyId(std::move(components));
+}
+
+DeweyId DeweyId::Parent() const {
+  if (components_.empty()) return DeweyId();
+  std::vector<uint32_t> p(components_.begin(), components_.end() - 1);
+  return DeweyId(std::move(p));
+}
+
+DeweyId DeweyId::Child(uint32_t i) const {
+  std::vector<uint32_t> c = components_;
+  c.push_back(i);
+  return DeweyId(std::move(c));
+}
+
+bool DeweyId::IsAncestorOf(const DeweyId& other) const {
+  if (components_.size() >= other.components_.size()) return false;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] != other.components_[i]) return false;
+  }
+  return true;
+}
+
+std::string DeweyId::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+}  // namespace pattern
+}  // namespace blossomtree

@@ -1,0 +1,57 @@
+#ifndef BLOSSOMTREE_PATTERN_DEWEY_H_
+#define BLOSSOMTREE_PATTERN_DEWEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace blossomtree {
+namespace pattern {
+
+/// \brief A Dewey ID addressing a returning node of a BlossomTree (paper
+/// §3.2/§3.3): the path of 1-based child positions in the *returning tree*,
+/// e.g. "1.1.2".
+///
+/// These are the parameters of the logical NestedList operators (π, σ, ⋈),
+/// playing the role that column names play in relational algebra.
+class DeweyId {
+ public:
+  DeweyId() = default;
+  explicit DeweyId(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+
+  /// \brief Parses "1.1.2". Components must be positive integers.
+  static Result<DeweyId> Parse(std::string_view text);
+
+  const std::vector<uint32_t>& components() const { return components_; }
+  size_t depth() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+
+  /// \brief The ID of this node's parent in the returning tree.
+  DeweyId Parent() const;
+
+  /// \brief The ID of this node's i-th (1-based) child.
+  DeweyId Child(uint32_t i) const;
+
+  /// \brief True iff this is a proper prefix of (i.e. an ancestor of) `other`.
+  bool IsAncestorOf(const DeweyId& other) const;
+
+  std::string ToString() const;
+
+  bool operator==(const DeweyId& other) const {
+    return components_ == other.components_;
+  }
+  bool operator<(const DeweyId& other) const {
+    return components_ < other.components_;
+  }
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+}  // namespace pattern
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_PATTERN_DEWEY_H_

@@ -1,0 +1,22 @@
+#include "storage/page_store.h"
+
+namespace blossomtree {
+namespace storage {
+
+PageStore::PageStore(const xml::Document& doc, size_t page_bytes) {
+  nodes_per_page_ = page_bytes / sizeof(NodeRecord);
+  if (nodes_per_page_ == 0) nodes_per_page_ = 1;
+  records_.reserve(doc.NumNodes());
+  for (xml::NodeId n = 0; n < doc.NumNodes(); ++n) {
+    NodeRecord r;
+    r.tag = doc.IsElement(n) ? doc.Tag(n) : xml::kNullTag;
+    r.subtree_end = doc.SubtreeEnd(n);
+    r.level = doc.Level(n);
+    r.text_ref = static_cast<uint32_t>(-1);
+    records_.push_back(r);
+  }
+  num_pages_ = (records_.size() + nodes_per_page_ - 1) / nodes_per_page_;
+}
+
+}  // namespace storage
+}  // namespace blossomtree

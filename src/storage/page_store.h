@@ -1,0 +1,88 @@
+#ifndef BLOSSOMTREE_STORAGE_PAGE_STORE_H_
+#define BLOSSOMTREE_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace storage {
+
+/// \brief One fixed-width node record in the paged store.
+///
+/// The NoK paper's succinct storage keeps the tree as a document-order
+/// sequence with subtree extents; this record is the decoded equivalent:
+/// everything a sequential-scan NoK matcher needs to navigate via
+/// first-child / following-sibling without touching the DOM.
+struct NodeRecord {
+  xml::TagId tag;          ///< kNullTag for text nodes.
+  xml::NodeId subtree_end; ///< Largest NodeId in this node's subtree.
+  uint32_t level;          ///< Depth (root = 0).
+  uint32_t text_ref;       ///< Index into the text table, or UINT32_MAX.
+};
+
+/// \brief A document-order, page-partitioned node store with access counting.
+///
+/// Models the paper's secondary-storage scans: every page touched is counted,
+/// so benches can report scan/I-O proxies (e.g. merged-NoK saves scans;
+/// BNLJ touches only the outer match's subtree range). A one-page "current
+/// page" cache mimics a sequential reader: a linear scan of N nodes costs
+/// ~N / nodes_per_page page reads, while random re-reads cost a page each.
+class PageStore {
+ public:
+  /// \brief Builds the store from a finished document.
+  /// \param page_bytes page size in bytes (default 4 KiB).
+  explicit PageStore(const xml::Document& doc, size_t page_bytes = 4096);
+
+  size_t NumNodes() const { return records_.size(); }
+  size_t NumPages() const { return num_pages_; }
+  size_t NodesPerPage() const { return nodes_per_page_; }
+
+  /// \brief Fetches the record for `n`, counting a page read on page switch.
+  const NodeRecord& Get(xml::NodeId n) const {
+    size_t page = n / nodes_per_page_;
+    if (page != current_page_) {
+      current_page_ = page;
+      ++page_reads_;
+    }
+    return records_[n];
+  }
+
+  /// \brief Navigation in document order, derived from subtree extents.
+  /// First child is n+1 when the subtree extends past n.
+  xml::NodeId FirstChild(xml::NodeId n) const {
+    const NodeRecord& r = Get(n);
+    return r.subtree_end > n ? n + 1 : xml::kNullNode;
+  }
+
+  /// \brief Following sibling = node just past this subtree, if it is deeper
+  /// than or at the same level under the same parent.
+  xml::NodeId NextSibling(xml::NodeId n) const {
+    const NodeRecord& r = Get(n);
+    xml::NodeId next = r.subtree_end + 1;
+    if (next >= records_.size()) return xml::kNullNode;
+    const NodeRecord& nr = Get(next);
+    return nr.level == r.level ? next : xml::kNullNode;
+  }
+
+  // -- I/O accounting --------------------------------------------------------
+
+  uint64_t PageReads() const { return page_reads_; }
+  void ResetCounters() const {
+    page_reads_ = 0;
+    current_page_ = static_cast<size_t>(-1);
+  }
+
+ private:
+  std::vector<NodeRecord> records_;
+  size_t nodes_per_page_;
+  size_t num_pages_;
+  mutable size_t current_page_ = static_cast<size_t>(-1);
+  mutable uint64_t page_reads_ = 0;
+};
+
+}  // namespace storage
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_STORAGE_PAGE_STORE_H_

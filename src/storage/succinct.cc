@@ -1,0 +1,212 @@
+#include "storage/succinct.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/varint.h"
+
+namespace blossomtree {
+namespace storage {
+
+namespace {
+
+constexpr char kMagic[] = "BTSX";
+constexpr uint64_t kVersion = 1;
+
+enum Event : uint8_t {
+  kOpen = 0,
+  kText = 1,
+  kClose = 2,
+};
+
+/// Packs 2-bit events into bytes, 4 per byte.
+class EventWriter {
+ public:
+  void Add(Event e) {
+    if (count_ % 4 == 0) bytes_.push_back(0);
+    bytes_.back() |= static_cast<char>(e << ((count_ % 4) * 2));
+    ++count_;
+  }
+  const std::string& bytes() const { return bytes_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  std::string bytes_;
+  uint64_t count_ = 0;
+};
+
+class EventReader {
+ public:
+  EventReader(std::string_view bytes, uint64_t count)
+      : bytes_(bytes), count_(count) {}
+  bool AtEnd() const { return pos_ >= count_; }
+  Event Next() {
+    uint8_t byte = static_cast<uint8_t>(bytes_[pos_ / 4]);
+    Event e = static_cast<Event>((byte >> ((pos_ % 4) * 2)) & 0x3);
+    ++pos_;
+    return e;
+  }
+
+ private:
+  std::string_view bytes_;
+  uint64_t count_;
+  uint64_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeSuccinct(const xml::Document& doc) {
+  std::string out;
+  out.append(kMagic, 4);
+  PutVarint(&out, kVersion);
+
+  // Tag dictionary.
+  PutVarint(&out, doc.tags().size());
+  for (xml::TagId t = 0; t < doc.tags().size(); ++t) {
+    PutLengthPrefixed(&out, doc.tags().Name(t));
+  }
+
+  // Build the balanced-parentheses event stream plus payloads by walking
+  // nodes in document order with an explicit close stack.
+  EventWriter events;
+  std::string payload;
+  std::vector<xml::NodeId> open;
+  for (xml::NodeId n = 0; n < doc.NumNodes(); ++n) {
+    while (!open.empty() && doc.SubtreeEnd(open.back()) < n) {
+      events.Add(kClose);
+      open.pop_back();
+    }
+    if (doc.IsElement(n)) {
+      events.Add(kOpen);
+      PutVarint(&payload, doc.Tag(n));
+      auto attrs = doc.Attributes(n);
+      PutVarint(&payload, attrs.size());
+      for (const auto& [name, value] : attrs) {
+        PutLengthPrefixed(&payload, name);
+        PutLengthPrefixed(&payload, value);
+      }
+      open.push_back(n);
+    } else {
+      events.Add(kText);
+      PutLengthPrefixed(&payload, doc.Text(n));
+    }
+  }
+  while (!open.empty()) {
+    events.Add(kClose);
+    open.pop_back();
+  }
+
+  PutVarint(&out, events.count());
+  out.append(events.bytes());
+  out.append(payload);
+  return out;
+}
+
+Result<std::unique_ptr<xml::Document>> DecodeSuccinct(std::string_view data) {
+  size_t pos = 0;
+  if (data.size() < 4 || data.substr(0, 4) != kMagic) {
+    return Status::InvalidArgument("not a BTSX document (bad magic)");
+  }
+  pos = 4;
+  uint64_t version = 0;
+  if (!GetVarint(data, &pos, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported BTSX version");
+  }
+  uint64_t num_tags = 0;
+  if (!GetVarint(data, &pos, &num_tags)) {
+    return Status::InvalidArgument("truncated tag dictionary");
+  }
+  std::vector<std::string> tags;
+  tags.reserve(num_tags);
+  for (uint64_t i = 0; i < num_tags; ++i) {
+    std::string_view name;
+    if (!GetLengthPrefixed(data, &pos, &name)) {
+      return Status::InvalidArgument("truncated tag name");
+    }
+    tags.emplace_back(name);
+  }
+  uint64_t num_events = 0;
+  if (!GetVarint(data, &pos, &num_events)) {
+    return Status::InvalidArgument("truncated event count");
+  }
+  uint64_t event_bytes = (num_events + 3) / 4;
+  if (pos + event_bytes > data.size()) {
+    return Status::InvalidArgument("truncated event stream");
+  }
+  EventReader events(data.substr(pos, event_bytes), num_events);
+  pos += event_bytes;
+
+  auto doc = std::make_unique<xml::Document>();
+  int depth = 0;
+  while (!events.AtEnd()) {
+    switch (events.Next()) {
+      case kOpen: {
+        uint64_t tag = 0;
+        uint64_t num_attrs = 0;
+        if (!GetVarint(data, &pos, &tag) || tag >= tags.size() ||
+            !GetVarint(data, &pos, &num_attrs)) {
+          return Status::InvalidArgument("truncated element payload");
+        }
+        doc->BeginElement(tags[tag]);
+        for (uint64_t a = 0; a < num_attrs; ++a) {
+          std::string_view name;
+          std::string_view value;
+          if (!GetLengthPrefixed(data, &pos, &name) ||
+              !GetLengthPrefixed(data, &pos, &value)) {
+            return Status::InvalidArgument("truncated attribute");
+          }
+          doc->AddAttribute(name, value);
+        }
+        ++depth;
+        break;
+      }
+      case kText: {
+        std::string_view text;
+        if (!GetLengthPrefixed(data, &pos, &text)) {
+          return Status::InvalidArgument("truncated text payload");
+        }
+        if (depth == 0) {
+          return Status::InvalidArgument("text outside any element");
+        }
+        doc->AddText(text);
+        break;
+      }
+      case kClose:
+        if (depth == 0) {
+          return Status::InvalidArgument("unbalanced close event");
+        }
+        doc->EndElement();
+        --depth;
+        break;
+      default:
+        return Status::InvalidArgument("corrupt event stream");
+    }
+  }
+  if (depth != 0) {
+    return Status::InvalidArgument("unbalanced event stream");
+  }
+  BT_RETURN_NOT_OK(doc->Finish());
+  return doc;
+}
+
+Status SaveDocument(const xml::Document& doc, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "' for write");
+  std::string encoded = EncodeSuccinct(doc);
+  out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::unique_ptr<xml::Document>> LoadDocument(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string data = ss.str();
+  return DecodeSuccinct(data);
+}
+
+}  // namespace storage
+}  // namespace blossomtree

@@ -1,0 +1,45 @@
+#ifndef BLOSSOMTREE_STORAGE_SUCCINCT_H_
+#define BLOSSOMTREE_STORAGE_SUCCINCT_H_
+
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace storage {
+
+/// \brief The succinct physical storage scheme of the NoK paper (the
+/// paper's reference [22], "A Succinct Physical Storage Scheme for
+/// Efficient Evaluation of Path Queries in XML"): the tree structure is a
+/// balanced-parentheses event stream (2 bits per event), tags are
+/// dictionary-coded integers, and text/attribute payloads are
+/// length-prefixed, all in document order — the layout a single sequential
+/// scan (the NoK matcher's access pattern) reads optimally.
+///
+/// Format (all integers LEB128 varints):
+///   magic "BTSX", version
+///   tag dictionary: count, then names
+///   event stream length, then 2-bit events (kOpen/kText/kClose),
+///   per-event payloads in document order:
+///     kOpen → tag id, attribute count, (name, value)*
+///     kText → text bytes
+///     kClose → (nothing)
+///
+/// \return the encoded bytes.
+std::string EncodeSuccinct(const xml::Document& doc);
+
+/// \brief Decodes a document from EncodeSuccinct's output.
+Result<std::unique_ptr<xml::Document>> DecodeSuccinct(std::string_view data);
+
+/// \brief Writes the succinct encoding to a file.
+Status SaveDocument(const xml::Document& doc, const std::string& path);
+
+/// \brief Reads a document previously written by SaveDocument.
+Result<std::unique_ptr<xml::Document>> LoadDocument(const std::string& path);
+
+}  // namespace storage
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_STORAGE_SUCCINCT_H_

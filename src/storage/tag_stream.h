@@ -1,0 +1,66 @@
+#ifndef BLOSSOMTREE_STORAGE_TAG_STREAM_H_
+#define BLOSSOMTREE_STORAGE_TAG_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace storage {
+
+/// \brief A cursor over all elements with one tag, in document order, with
+/// region labels — the input streams of the join-based approaches
+/// (structural merge join, TwigStack).
+///
+/// The stream counts elements consumed so benches can report index I/O.
+class TagStream {
+ public:
+  TagStream(const xml::Document* doc, xml::TagId tag)
+      : doc_(doc), nodes_(&doc->TagIndex(tag)) {}
+
+  bool AtEnd() const { return pos_ >= nodes_->size(); }
+
+  /// \brief Current node. Undefined when AtEnd().
+  xml::NodeId Node() const { return (*nodes_)[pos_]; }
+  xml::NodeId Start() const { return Node(); }
+  xml::NodeId End() const { return doc_->SubtreeEnd(Node()); }
+  uint32_t Level() const { return doc_->Level(Node()); }
+
+  void Advance() {
+    ++pos_;
+    ++consumed_;
+  }
+
+  /// \brief Skips forward to the first node with id >= target (binary
+  /// search; models an index seek). Counts one consumed entry.
+  void SkipTo(xml::NodeId target) {
+    size_t lo = pos_;
+    size_t hi = nodes_->size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if ((*nodes_)[mid] < target) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    pos_ = lo;
+    ++consumed_;
+  }
+
+  void Rewind() { pos_ = 0; }
+  size_t size() const { return nodes_->size(); }
+  uint64_t Consumed() const { return consumed_; }
+
+ private:
+  const xml::Document* doc_;
+  const std::vector<xml::NodeId>* nodes_;
+  size_t pos_ = 0;
+  uint64_t consumed_ = 0;
+};
+
+}  // namespace storage
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_STORAGE_TAG_STREAM_H_

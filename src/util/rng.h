@@ -1,0 +1,76 @@
+#ifndef BLOSSOMTREE_UTIL_RNG_H_
+#define BLOSSOMTREE_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace blossomtree {
+
+/// \brief Deterministic, fast pseudo-random generator (xorshift128+).
+///
+/// Used by the synthetic data generators so that a (kind, scale, seed)
+/// triple always yields byte-identical documents — tests and benches rely
+/// on that reproducibility.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding to avoid correlated low-entropy states.
+    state_[0] = SplitMix(&seed);
+    state_[1] = SplitMix(&seed);
+  }
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t x = state_[0];
+    const uint64_t y = state_[1];
+    state_[0] = y;
+    x ^= x << 23;
+    state_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state_[1] + y;
+  }
+
+  /// \brief Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// \brief Bernoulli trial with probability `p`.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// \brief Samples an index according to non-negative `weights`.
+  ///
+  /// Returns weights.size() - 1 if all weights are zero.
+  size_t Weighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = NextDouble() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* s) {
+    uint64_t z = (*s += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_[2];
+};
+
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_UTIL_RNG_H_

@@ -1,0 +1,153 @@
+#ifndef BLOSSOMTREE_UTIL_STATUS_H_
+#define BLOSSOMTREE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace blossomtree {
+
+/// \brief Error categories used across the library.
+///
+/// Follows the RocksDB/Arrow convention of a lightweight status object
+/// returned by fallible operations instead of throwing exceptions across
+/// the public API boundary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed (bad query, ...).
+  kParseError,        ///< XML / XPath / FLWOR input failed to parse.
+  kNotFound,          ///< A referenced entity (tag, variable, file) is absent.
+  kOutOfRange,        ///< An index (Dewey ID, position) is out of bounds.
+  kUnsupported,       ///< Construct is outside the implemented subset.
+  kInternal,          ///< Invariant violation inside the library.
+  kIOError,           ///< Filesystem-level failure.
+  kResourceExhausted, ///< A configured limit (memory, DNF time) was hit.
+};
+
+/// \brief Human-readable name of a status code (e.g. "ParseError").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: a code plus a contextual message.
+///
+/// `Status` is cheap to copy when OK (no allocation) and carries an
+/// explanatory message otherwise. Use the factory functions
+/// (`Status::ParseError(...)` etc.) to construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief Formats as "Code: message" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value-or-error container, analogous to arrow::Result.
+///
+/// Holds either a `T` or a non-OK `Status`. Access the value only after
+/// checking `ok()`; `ValueOrDie()` asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit conversion from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& ValueOrDie() const& { return value(); }
+
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// \brief Propagates a non-OK Status out of the enclosing function.
+#define BT_RETURN_NOT_OK(expr)            \
+  do {                                    \
+    ::blossomtree::Status _st = (expr);   \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+/// \brief Assigns a Result's value to `lhs` or propagates its error.
+#define BT_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  auto BT_CONCAT_(_res, __LINE__) = (rexpr);    \
+  if (!BT_CONCAT_(_res, __LINE__).ok())         \
+    return BT_CONCAT_(_res, __LINE__).status(); \
+  lhs = BT_CONCAT_(_res, __LINE__).MoveValue()
+
+#define BT_CONCAT_IMPL_(a, b) a##b
+#define BT_CONCAT_(a, b) BT_CONCAT_IMPL_(a, b)
+
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_UTIL_STATUS_H_

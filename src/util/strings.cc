@@ -1,0 +1,103 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace blossomtree {
+
+namespace {
+bool IsXmlSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+}  // namespace
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && IsXmlSpace(s[b])) ++b;
+  while (e > b && IsXmlSpace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+bool IsAllWhitespace(std::string_view s) {
+  for (char c : s) {
+    if (!IsXmlSpace(c)) return false;
+  }
+  return true;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string XmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+long long ParseNonNegativeInt(std::string_view s) {
+  s = Trim(s);
+  if (s.empty()) return -1;
+  long long v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return -1;
+    v = v * 10 + (c - '0');
+    if (v < 0) return -1;  // overflow
+  }
+  return v;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace blossomtree

@@ -1,0 +1,57 @@
+#ifndef BLOSSOMTREE_UTIL_VARINT_H_
+#define BLOSSOMTREE_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace blossomtree {
+
+/// \brief LEB128 variable-length encoding of unsigned integers, used by the
+/// succinct document storage format.
+inline void PutVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+/// \brief Decodes a varint at `*pos`, advancing it. Returns false on
+/// truncated or oversized input.
+inline bool GetVarint(std::string_view data, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < data.size()) {
+    uint8_t byte = static_cast<uint8_t>(data[(*pos)++]);
+    if (shift >= 63 && byte > 1) return false;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+/// \brief Appends a length-prefixed string.
+inline void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutVarint(out, s.size());
+  out->append(s);
+}
+
+/// \brief Reads a length-prefixed string as a view into `data`.
+inline bool GetLengthPrefixed(std::string_view data, size_t* pos,
+                              std::string_view* out) {
+  uint64_t len = 0;
+  if (!GetVarint(data, pos, &len)) return false;
+  if (*pos + len > data.size()) return false;
+  *out = data.substr(*pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_UTIL_VARINT_H_

@@ -1,0 +1,64 @@
+#include "workload/queries.h"
+
+namespace blossomtree {
+namespace workload {
+
+std::vector<QuerySpec> QueriesFor(datagen::Dataset dataset) {
+  switch (dataset) {
+    case datagen::Dataset::kD1Recursive:
+      // Verbatim from Appendix A (the d1 vocabulary is the paper's).
+      return {
+          {"Q1", "hc", "//a//b4//c3"},
+          {"Q2", "hb", "//a[//b4][//b2]//c3"},
+          {"Q3", "mc", "//a//b3//c2"},
+          {"Q4", "mb", "//a[//b2]//b3//c1"},
+          {"Q5", "lc", "//a//b1"},
+          {"Q6", "lb", "//a[//c2]//b1"},
+      };
+    case datagen::Dataset::kD2Address:
+      // Appendix A uses the XBench address vocabulary; the optional-field
+      // probabilities of the generator reproduce the selectivity tiers.
+      return {
+          {"Q1", "hc", "//address//name_of_state"},
+          {"Q2", "hb", "//address[//name_of_state]//zip_code"},
+          {"Q3", "mc", "//address//country_id"},
+          {"Q4", "mb", "//address[//country_id][//name_of_city]//zip_code"},
+          {"Q5", "lc", "//address//zip_code"},
+          {"Q6", "lb",
+           "//address[//street_address][//name_of_city]//zip_code"},
+      };
+    case datagen::Dataset::kD3Catalog:
+      return {
+          {"Q1", "hc", "//item/attributes//length"},
+          {"Q2", "hb",
+           "//item[//author/contact_information//street_address]/title"},
+          {"Q3", "mc", "//publisher//street_information//street_address"},
+          {"Q4", "mb", "//publisher[//mailing_address]//street_address"},
+          {"Q5", "lc", "//author//mailing_address//street_address"},
+          {"Q6", "lb",
+           "//author[//date_of_birth][//last_name]//street_address"},
+      };
+    case datagen::Dataset::kD4Treebank:
+      return {
+          {"Q1", "hc", "//VP//VP/NP//PP/PP"},
+          {"Q2", "hb", "//VP[//VP]//NP[//PP]//NN"},
+          {"Q3", "mc", "//VP/VP/NP//NN"},
+          {"Q4", "mb", "//VP[//PP]//VP/NP//NN"},
+          {"Q5", "lc", "//VP//NP//NN"},
+          {"Q6", "lb", "//VP[//NP][//VB]//JJ"},
+      };
+    case datagen::Dataset::kD5Dblp:
+      return {
+          {"Q1", "hc", "//phdthesis//author"},
+          {"Q2", "hb", "//phdthesis[//author][//school]"},
+          {"Q3", "mc", "//www[//url]"},
+          {"Q4", "mb", "//www[//title][//url]//author"},
+          {"Q5", "lc", "//proceedings[//editor]"},
+          {"Q6", "lb", "//proceedings[//editor][//year][//url]"},
+      };
+  }
+  return {};
+}
+
+}  // namespace workload
+}  // namespace blossomtree

@@ -1,0 +1,30 @@
+#ifndef BLOSSOMTREE_WORKLOAD_QUERIES_H_
+#define BLOSSOMTREE_WORKLOAD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/datagen.h"
+
+namespace blossomtree {
+namespace workload {
+
+/// \brief One Table 2 workload entry: a query id (Q1..Q6), its
+/// selectivity/topology category (hc, hb, mc, mb, lc, lb — paper §5.1),
+/// and the concrete XPath for one dataset.
+struct QuerySpec {
+  std::string id;        ///< "Q1".."Q6".
+  std::string category;  ///< "hc","hb","mc","mb","lc","lb".
+  std::string xpath;
+};
+
+/// \brief The six Appendix A queries for a dataset, ported to this
+/// repository's generated tag vocabularies (see EXPERIMENTS.md for the
+/// mapping rationale; selectivity tiers and chain/branch topology follow
+/// the paper's design).
+std::vector<QuerySpec> QueriesFor(datagen::Dataset dataset);
+
+}  // namespace workload
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_WORKLOAD_QUERIES_H_

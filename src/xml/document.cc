@@ -1,0 +1,215 @@
+#include "xml/document.h"
+
+#include <algorithm>
+
+namespace blossomtree {
+namespace xml {
+
+TagId TagDictionary::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+TagId TagDictionary::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNullTag : it->second;
+}
+
+NodeId Document::BeginElement(std::string_view name) {
+  NodeId id = static_cast<NodeId>(kind_.size());
+  kind_.push_back(NodeKind::kElement);
+  tag_.push_back(tags_.Intern(name));
+  NodeId parent = open_stack_.empty() ? kNullNode : open_stack_.back();
+  parent_.push_back(parent);
+  first_child_.push_back(kNullNode);
+  last_child_.push_back(kNullNode);
+  next_sibling_.push_back(kNullNode);
+  subtree_end_.push_back(id);
+  level_.push_back(parent == kNullNode ? 0 : level_[parent] + 1);
+  text_span_.emplace_back(0, 0);
+  if (parent != kNullNode) {
+    if (first_child_[parent] == kNullNode) {
+      first_child_[parent] = id;
+    } else {
+      next_sibling_[last_child_[parent]] = id;
+    }
+    last_child_[parent] = id;
+  }
+  open_stack_.push_back(id);
+  return id;
+}
+
+void Document::AddAttribute(std::string_view name, std::string_view value) {
+  NodeId owner = open_stack_.back();
+  uint32_t name_off = static_cast<uint32_t>(text_pool_.size());
+  text_pool_.append(name);
+  uint32_t value_off = static_cast<uint32_t>(text_pool_.size());
+  text_pool_.append(value);
+  Attribute a{name_off, static_cast<uint32_t>(name.size()), value_off,
+              static_cast<uint32_t>(value.size())};
+  auto it = attr_range_.find(owner);
+  if (it == attr_range_.end()) {
+    uint32_t idx = static_cast<uint32_t>(attrs_.size());
+    attrs_.push_back(a);
+    attr_range_.emplace(owner, std::make_pair(idx, idx + 1));
+  } else {
+    // Attributes of one element are added contiguously by the builder.
+    attrs_.push_back(a);
+    it->second.second = static_cast<uint32_t>(attrs_.size());
+  }
+}
+
+NodeId Document::AddText(std::string_view text) {
+  NodeId id = static_cast<NodeId>(kind_.size());
+  kind_.push_back(NodeKind::kText);
+  tag_.push_back(kNullTag);
+  NodeId parent = open_stack_.empty() ? kNullNode : open_stack_.back();
+  parent_.push_back(parent);
+  first_child_.push_back(kNullNode);
+  last_child_.push_back(kNullNode);
+  next_sibling_.push_back(kNullNode);
+  subtree_end_.push_back(id);
+  level_.push_back(parent == kNullNode ? 0 : level_[parent] + 1);
+  uint32_t off = static_cast<uint32_t>(text_pool_.size());
+  text_pool_.append(text);
+  text_span_.emplace_back(off, static_cast<uint32_t>(text.size()));
+  if (parent != kNullNode) {
+    if (first_child_[parent] == kNullNode) {
+      first_child_[parent] = id;
+    } else {
+      next_sibling_[last_child_[parent]] = id;
+    }
+    last_child_[parent] = id;
+  }
+  return id;
+}
+
+void Document::EndElement() {
+  NodeId id = open_stack_.back();
+  open_stack_.pop_back();
+  subtree_end_[id] = static_cast<NodeId>(kind_.size() - 1);
+}
+
+Status Document::Finish() {
+  if (!open_stack_.empty()) {
+    return Status::Internal("Document::Finish with unclosed elements");
+  }
+  ComputeStats();
+  return Status::OK();
+}
+
+std::string_view Document::Text(NodeId n) const {
+  const auto& span = text_span_[n];
+  return std::string_view(text_pool_).substr(span.first, span.second);
+}
+
+std::string Document::StringValue(NodeId n) const {
+  if (kind_[n] == NodeKind::kText) return std::string(Text(n));
+  std::string out;
+  NodeId end = subtree_end_[n];
+  for (NodeId i = n; i <= end; ++i) {
+    if (kind_[i] == NodeKind::kText) {
+      auto t = Text(i);
+      out.append(t.data(), t.size());
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string_view, std::string_view>>
+Document::Attributes(NodeId n) const {
+  std::vector<std::pair<std::string_view, std::string_view>> out;
+  auto it = attr_range_.find(n);
+  if (it == attr_range_.end()) return out;
+  std::string_view pool(text_pool_);
+  for (uint32_t i = it->second.first; i < it->second.second; ++i) {
+    const Attribute& a = attrs_[i];
+    out.emplace_back(pool.substr(a.name_offset, a.name_len),
+                     pool.substr(a.value_offset, a.value_len));
+  }
+  return out;
+}
+
+bool Document::AttributeValue(NodeId n, std::string_view name,
+                              std::string_view* value) const {
+  auto it = attr_range_.find(n);
+  if (it == attr_range_.end()) return false;
+  std::string_view pool(text_pool_);
+  for (uint32_t i = it->second.first; i < it->second.second; ++i) {
+    const Attribute& a = attrs_[i];
+    if (pool.substr(a.name_offset, a.name_len) == name) {
+      *value = pool.substr(a.value_offset, a.value_len);
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<NodeId>& Document::TagIndex(TagId t) const {
+  if (!tag_index_built_) {
+    tag_index_.assign(tags_.size(), {});
+    for (NodeId n = 0; n < kind_.size(); ++n) {
+      if (kind_[n] == NodeKind::kElement) tag_index_[tag_[n]].push_back(n);
+    }
+    tag_index_built_ = true;
+  }
+  static const std::vector<NodeId> kEmpty;
+  if (t == kNullTag || t >= tag_index_.size()) return kEmpty;
+  return tag_index_[t];
+}
+
+void Document::ComputeStats() {
+  num_elements_ = 0;
+  max_depth_ = 0;
+  max_recursion_ = 0;
+  uint64_t depth_sum = 0;
+  // Same-tag nesting degree via a DFS with per-tag counters: the ancestor
+  // chain of node n is exactly the elements a with a <= n <= SubtreeEnd(a),
+  // which we track with an explicit stack during the linear scan.
+  std::vector<NodeId> stack;
+  std::vector<uint32_t> tag_depth(tags_.size(), 0);
+  tag_recursion_.assign(tags_.size(), 0);
+  for (NodeId n = 0; n < kind_.size(); ++n) {
+    while (!stack.empty() && subtree_end_[stack.back()] < n) {
+      --tag_depth[tag_[stack.back()]];
+      stack.pop_back();
+    }
+    if (kind_[n] != NodeKind::kElement) continue;
+    ++num_elements_;
+    uint32_t depth = level_[n] + 1;  // Table 1 counts the root as depth 1.
+    depth_sum += depth;
+    max_depth_ = std::max(max_depth_, depth);
+    uint32_t deg = ++tag_depth[tag_[n]];
+    max_recursion_ = std::max(max_recursion_, deg);
+    tag_recursion_[tag_[n]] = std::max(tag_recursion_[tag_[n]], deg);
+    stack.push_back(n);
+  }
+  avg_depth_ = num_elements_ == 0
+                   ? 0.0
+                   : static_cast<double>(depth_sum) / num_elements_;
+}
+
+uint32_t SiblingRank(const Document& doc, NodeId n, std::string_view tag) {
+  NodeId parent = doc.Parent(n);
+  if (parent == kNullNode) return 1;
+  uint32_t rank = 0;
+  for (NodeId c = doc.FirstChild(parent); c != kNullNode;
+       c = doc.NextSibling(c)) {
+    if (!doc.IsElement(c)) continue;
+    if (tag == "*" || doc.TagName(c) == tag) ++rank;
+    if (c == n) return rank;
+  }
+  return rank;
+}
+
+size_t Document::StructureBytes() const {
+  return kind_.size() * (sizeof(NodeKind) + sizeof(TagId) + 4 * sizeof(NodeId) +
+                         sizeof(uint32_t));
+}
+
+}  // namespace xml
+}  // namespace blossomtree

@@ -1,0 +1,227 @@
+#ifndef BLOSSOMTREE_XML_DOCUMENT_H_
+#define BLOSSOMTREE_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace blossomtree {
+namespace xml {
+
+/// \brief Index of a node inside a Document. Node ids are assigned in
+/// *document (preorder) order*, so `a < b` iff node a precedes node b in
+/// document order — the `<<` operator of XPath is integer comparison.
+using NodeId = uint32_t;
+
+/// \brief Interned tag-name identifier (see TagDictionary).
+using TagId = uint32_t;
+
+constexpr NodeId kNullNode = static_cast<NodeId>(-1);
+constexpr TagId kNullTag = static_cast<TagId>(-1);
+
+/// \brief Kind of a tree node. Attributes are stored out-of-band on their
+/// owning element, not as tree nodes, matching the region-encoding papers.
+enum class NodeKind : uint8_t {
+  kElement = 0,
+  kText = 1,
+};
+
+/// \brief Bidirectional map between tag names and dense TagIds.
+class TagDictionary {
+ public:
+  /// \brief Returns the id for `name`, interning it if new.
+  TagId Intern(std::string_view name);
+
+  /// \brief Returns the id for `name`, or kNullTag if never interned.
+  TagId Lookup(std::string_view name) const;
+
+  /// \brief Returns the name for a valid id.
+  const std::string& Name(TagId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TagId> ids_;
+};
+
+/// \brief One attribute of an element: both strings live in the document's
+/// text pool.
+struct Attribute {
+  uint32_t name_offset;
+  uint32_t name_len;
+  uint32_t value_offset;
+  uint32_t value_len;
+};
+
+/// \brief An in-memory XML document in structure-of-arrays layout.
+///
+/// Each node carries:
+///  - its kind and tag id (elements) or text payload (text nodes),
+///  - tree pointers (parent / first child / next sibling),
+///  - its region label: `start` = its own NodeId (preorder rank),
+///    `end` = the largest NodeId in its subtree, `level` = depth from the
+///    root (root is level 0).
+///
+/// Region labels make the classic structural predicates O(1):
+///  - `IsAncestor(a, d)`  ⇔  a < d && d <= end(a)
+///  - document order      ⇔  NodeId comparison
+///
+/// Documents are built in document order via BeginElement/AddText/EndElement
+/// (used by the parser and the data generators) and are immutable afterwards.
+class Document {
+ public:
+  Document() = default;
+
+  // -- Construction (document order) ----------------------------------------
+
+  /// \brief Opens a new element with tag `name`; returns its NodeId.
+  NodeId BeginElement(std::string_view name);
+
+  /// \brief Adds an attribute to the most recently opened element.
+  void AddAttribute(std::string_view name, std::string_view value);
+
+  /// \brief Adds a text node under the currently open element.
+  NodeId AddText(std::string_view text);
+
+  /// \brief Closes the most recently opened element.
+  void EndElement();
+
+  /// \brief Verifies the builder stack is empty and finalizes statistics.
+  Status Finish();
+
+  // -- Structure accessors ---------------------------------------------------
+
+  size_t NumNodes() const { return kind_.size(); }
+  bool empty() const { return kind_.empty(); }
+
+  /// \brief The document root element (first node), or kNullNode if empty.
+  NodeId Root() const { return kind_.empty() ? kNullNode : 0; }
+
+  NodeKind Kind(NodeId n) const { return kind_[n]; }
+  bool IsElement(NodeId n) const { return kind_[n] == NodeKind::kElement; }
+
+  /// \brief Tag id of an element node; kNullTag for text nodes.
+  TagId Tag(NodeId n) const { return tag_[n]; }
+
+  /// \brief Tag name of an element node.
+  const std::string& TagName(NodeId n) const { return tags_.Name(tag_[n]); }
+
+  NodeId Parent(NodeId n) const { return parent_[n]; }
+  NodeId FirstChild(NodeId n) const { return first_child_[n]; }
+  NodeId NextSibling(NodeId n) const { return next_sibling_[n]; }
+
+  /// \brief Largest NodeId inside n's subtree (n itself if leaf).
+  NodeId SubtreeEnd(NodeId n) const { return subtree_end_[n]; }
+
+  /// \brief Depth of n; the root has level 0.
+  uint32_t Level(NodeId n) const { return level_[n]; }
+
+  /// \brief True iff `anc` is a proper ancestor of `desc`.
+  bool IsAncestor(NodeId anc, NodeId desc) const {
+    return anc < desc && desc <= subtree_end_[anc];
+  }
+
+  /// \brief True iff `anc` is `desc` or a proper ancestor of it.
+  bool IsAncestorOrSelf(NodeId anc, NodeId desc) const {
+    return anc <= desc && desc <= subtree_end_[anc];
+  }
+
+  /// \brief Text payload of a text node.
+  std::string_view Text(NodeId n) const;
+
+  /// \brief Concatenation of all descendant text (XPath string-value).
+  std::string StringValue(NodeId n) const;
+
+  /// \brief Attributes of an element, as (name, value) views.
+  std::vector<std::pair<std::string_view, std::string_view>> Attributes(
+      NodeId n) const;
+
+  /// \brief Value of attribute `name` on element `n`; empty view + false if
+  /// absent.
+  bool AttributeValue(NodeId n, std::string_view name,
+                      std::string_view* value) const;
+
+  const TagDictionary& tags() const { return tags_; }
+  TagDictionary& mutable_tags() { return tags_; }
+
+  /// \brief All element nodes with tag id `t`, in document order.
+  ///
+  /// This is the "tag-name index" required by the join-based approaches
+  /// (TwigStack, structural merge join). Built lazily on first use.
+  const std::vector<NodeId>& TagIndex(TagId t) const;
+
+  // -- Statistics (valid after Finish) ---------------------------------------
+
+  /// \brief Number of element nodes.
+  size_t NumElements() const { return num_elements_; }
+  /// \brief Maximum element depth (root = 1), matching Table 1's convention.
+  uint32_t MaxDepth() const { return max_depth_; }
+  /// \brief Average element depth.
+  double AvgDepth() const { return avg_depth_; }
+  /// \brief Maximum same-tag nesting degree over all tags: 1 means
+  /// non-recursive (no element is a descendant of a same-tag element).
+  uint32_t MaxRecursionDegree() const { return max_recursion_; }
+  /// \brief True iff some element has a same-tag proper ancestor.
+  bool IsRecursive() const { return max_recursion_ > 1; }
+  /// \brief Per-tag nesting degree: 1 = elements of this tag never nest.
+  /// The optimizer's fine-grained rule uses this — pipelined //-joins are
+  /// order-preserving whenever the *outer* tag does not nest, even if the
+  /// document is recursive elsewhere.
+  uint32_t TagRecursionDegree(TagId t) const {
+    return t < tag_recursion_.size() ? tag_recursion_[t] : 0;
+  }
+  /// \brief Approximate in-memory size of the structural arrays in bytes.
+  size_t StructureBytes() const;
+  /// \brief Total bytes of text payload.
+  size_t TextBytes() const { return text_pool_.size(); }
+
+ private:
+  void ComputeStats();
+
+  TagDictionary tags_;
+  std::vector<NodeKind> kind_;
+  std::vector<TagId> tag_;
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> first_child_;
+  std::vector<NodeId> last_child_;  // builder-only helper
+  std::vector<NodeId> next_sibling_;
+  std::vector<NodeId> subtree_end_;
+  std::vector<uint32_t> level_;
+
+  // Text payloads: (offset, len) into text_pool_.
+  std::vector<std::pair<uint32_t, uint32_t>> text_span_;
+  std::string text_pool_;
+
+  // Attributes, grouped per element: element -> [first, last) in attrs_.
+  std::unordered_map<NodeId, std::pair<uint32_t, uint32_t>> attr_range_;
+  std::vector<Attribute> attrs_;
+
+  std::vector<NodeId> open_stack_;
+
+  // Stats.
+  size_t num_elements_ = 0;
+  uint32_t max_depth_ = 0;
+  double avg_depth_ = 0;
+  uint32_t max_recursion_ = 0;
+  std::vector<uint32_t> tag_recursion_;
+
+  // Lazy per-tag document-order index.
+  mutable std::vector<std::vector<NodeId>> tag_index_;
+  mutable bool tag_index_built_ = false;
+};
+
+/// \brief 1-based rank of element `n` among its parent's element children
+/// that match `tag` ("*" = any element) — the counting positional
+/// predicates use (`//book[2]` selects each parent's second book child).
+/// The document root has rank 1.
+uint32_t SiblingRank(const Document& doc, NodeId n, std::string_view tag);
+
+}  // namespace xml
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_XML_DOCUMENT_H_

@@ -1,0 +1,399 @@
+#include "xml/parser.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace blossomtree {
+namespace xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsSpace(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
+/// Cursor over the input with line/column tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t ahead) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  size_t pos() const { return pos_; }
+  std::string_view Slice(size_t from, size_t to) const {
+    return input_.substr(from, to - from);
+  }
+
+  void Advance() {
+    if (input_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void AdvanceN(size_t n) {
+    for (size_t i = 0; i < n; ++i) Advance();
+  }
+
+  bool ConsumePrefix(std::string_view prefix) {
+    if (input_.substr(pos_).substr(0, prefix.size()) != prefix) return false;
+    AdvanceN(prefix.size());
+    return true;
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && IsSpace(Peek())) Advance();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("XML parse error at line " +
+                              std::to_string(line_) + ", column " +
+                              std::to_string(col_) + ": " + msg);
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
+/// Decodes entity and character references into `out`.
+Status DecodeText(Cursor* c, std::string_view raw, std::string* out) {
+  out->clear();
+  out->reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out->push_back(raw[i]);
+      continue;
+    }
+    size_t semi = raw.find(';', i);
+    if (semi == std::string_view::npos) {
+      return c->Error("unterminated entity reference");
+    }
+    std::string_view ent = raw.substr(i + 1, semi - i - 1);
+    if (ent == "amp") {
+      out->push_back('&');
+    } else if (ent == "lt") {
+      out->push_back('<');
+    } else if (ent == "gt") {
+      out->push_back('>');
+    } else if (ent == "quot") {
+      out->push_back('"');
+    } else if (ent == "apos") {
+      out->push_back('\'');
+    } else if (!ent.empty() && ent[0] == '#') {
+      long long cp = -1;
+      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
+        cp = 0;
+        for (size_t k = 2; k < ent.size(); ++k) {
+          char h = ent[k];
+          int d;
+          if (h >= '0' && h <= '9') {
+            d = h - '0';
+          } else if (h >= 'a' && h <= 'f') {
+            d = h - 'a' + 10;
+          } else if (h >= 'A' && h <= 'F') {
+            d = h - 'A' + 10;
+          } else {
+            return c->Error("bad hex character reference");
+          }
+          cp = cp * 16 + d;
+        }
+      } else {
+        cp = ParseNonNegativeInt(ent.substr(1));
+      }
+      if (cp < 0 || cp > 0x10FFFF) {
+        return c->Error("bad character reference");
+      }
+      // UTF-8 encode.
+      uint32_t u = static_cast<uint32_t>(cp);
+      if (u < 0x80) {
+        out->push_back(static_cast<char>(u));
+      } else if (u < 0x800) {
+        out->push_back(static_cast<char>(0xC0 | (u >> 6)));
+        out->push_back(static_cast<char>(0x80 | (u & 0x3F)));
+      } else if (u < 0x10000) {
+        out->push_back(static_cast<char>(0xE0 | (u >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((u >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (u & 0x3F)));
+      } else {
+        out->push_back(static_cast<char>(0xF0 | (u >> 18)));
+        out->push_back(static_cast<char>(0x80 | ((u >> 12) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | ((u >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (u & 0x3F)));
+      }
+    } else {
+      return c->Error("unknown entity '&" + std::string(ent) + ";'");
+    }
+    i = semi;
+  }
+  return Status::OK();
+}
+
+Status ParseName(Cursor* c, std::string_view* name) {
+  if (c->AtEnd() || !IsNameStartChar(c->Peek())) {
+    return c->Error("expected a name");
+  }
+  size_t start = c->pos();
+  while (!c->AtEnd() && IsNameChar(c->Peek())) c->Advance();
+  *name = c->Slice(start, c->pos());
+  return Status::OK();
+}
+
+Status SkipComment(Cursor* c) {
+  // Cursor is just past "<!--".
+  while (!c->AtEnd()) {
+    if (c->Peek() == '-' && c->PeekAt(1) == '-') {
+      if (c->PeekAt(2) != '>') return c->Error("'--' inside comment");
+      c->AdvanceN(3);
+      return Status::OK();
+    }
+    c->Advance();
+  }
+  return c->Error("unterminated comment");
+}
+
+Status SkipPI(Cursor* c) {
+  while (!c->AtEnd()) {
+    if (c->Peek() == '?' && c->PeekAt(1) == '>') {
+      c->AdvanceN(2);
+      return Status::OK();
+    }
+    c->Advance();
+  }
+  return c->Error("unterminated processing instruction");
+}
+
+Status SkipDoctype(Cursor* c) {
+  // Cursor is just past "<!DOCTYPE". Skip until matching '>', allowing one
+  // level of internal subset brackets.
+  int bracket_depth = 0;
+  while (!c->AtEnd()) {
+    char ch = c->Peek();
+    if (ch == '[') {
+      ++bracket_depth;
+    } else if (ch == ']') {
+      --bracket_depth;
+    } else if (ch == '>' && bracket_depth == 0) {
+      c->Advance();
+      return Status::OK();
+    }
+    c->Advance();
+  }
+  return c->Error("unterminated DOCTYPE");
+}
+
+Status ParseAttributes(Cursor* c, SaxHandler* handler) {
+  std::string decoded;
+  while (true) {
+    c->SkipSpace();
+    if (c->AtEnd()) return c->Error("unterminated start tag");
+    char ch = c->Peek();
+    if (ch == '>' || ch == '/') return Status::OK();
+    std::string_view name;
+    BT_RETURN_NOT_OK(ParseName(c, &name));
+    c->SkipSpace();
+    if (c->AtEnd() || c->Peek() != '=') {
+      return c->Error("expected '=' after attribute name");
+    }
+    c->Advance();
+    c->SkipSpace();
+    if (c->AtEnd() || (c->Peek() != '"' && c->Peek() != '\'')) {
+      return c->Error("expected quoted attribute value");
+    }
+    char quote = c->Peek();
+    c->Advance();
+    size_t start = c->pos();
+    while (!c->AtEnd() && c->Peek() != quote) {
+      if (c->Peek() == '<') return c->Error("'<' in attribute value");
+      c->Advance();
+    }
+    if (c->AtEnd()) return c->Error("unterminated attribute value");
+    std::string_view raw = c->Slice(start, c->pos());
+    c->Advance();  // Closing quote.
+    BT_RETURN_NOT_OK(DecodeText(c, raw, &decoded));
+    handler->OnAttribute(name, decoded);
+  }
+}
+
+}  // namespace
+
+Status ParseXml(std::string_view input, SaxHandler* handler,
+                const ParseOptions& options) {
+  Cursor c(input);
+  std::vector<std::string> open;  // Tag names for well-formedness checking.
+  bool seen_root = false;
+  std::string text_buf;
+  std::string decoded;
+
+  auto flush_text = [&]() -> Status {
+    if (text_buf.empty()) return Status::OK();
+    if (!open.empty() &&
+        !(options.skip_whitespace_text && IsAllWhitespace(text_buf))) {
+      handler->OnText(text_buf);
+    }
+    text_buf.clear();
+    return Status::OK();
+  };
+
+  while (!c.AtEnd()) {
+    if (c.Peek() != '<') {
+      size_t start = c.pos();
+      while (!c.AtEnd() && c.Peek() != '<') c.Advance();
+      std::string_view raw = c.Slice(start, c.pos());
+      if (open.empty()) {
+        if (!IsAllWhitespace(raw)) {
+          return c.Error("character data outside the root element");
+        }
+        continue;
+      }
+      BT_RETURN_NOT_OK(DecodeText(&c, raw, &decoded));
+      text_buf += decoded;
+      continue;
+    }
+    // '<' — dispatch on the following characters.
+    if (c.PeekAt(1) == '?') {
+      if (!options.allow_misc) return c.Error("processing instruction");
+      BT_RETURN_NOT_OK(flush_text());
+      c.AdvanceN(2);
+      BT_RETURN_NOT_OK(SkipPI(&c));
+      continue;
+    }
+    if (c.PeekAt(1) == '!') {
+      if (c.PeekAt(2) == '-' && c.PeekAt(3) == '-') {
+        if (!options.allow_misc) return c.Error("comment");
+        BT_RETURN_NOT_OK(flush_text());
+        c.AdvanceN(4);
+        BT_RETURN_NOT_OK(SkipComment(&c));
+        continue;
+      }
+      if (c.ConsumePrefix("<![CDATA[")) {
+        if (open.empty()) return c.Error("CDATA outside the root element");
+        size_t start = c.pos();
+        while (!c.AtEnd() && !(c.Peek() == ']' && c.PeekAt(1) == ']' &&
+                               c.PeekAt(2) == '>')) {
+          c.Advance();
+        }
+        if (c.AtEnd()) return c.Error("unterminated CDATA section");
+        text_buf.append(c.Slice(start, c.pos()));
+        c.AdvanceN(3);
+        continue;
+      }
+      if (c.ConsumePrefix("<!DOCTYPE")) {
+        if (seen_root) return c.Error("DOCTYPE after the root element");
+        BT_RETURN_NOT_OK(SkipDoctype(&c));
+        continue;
+      }
+      return c.Error("unrecognized markup declaration");
+    }
+    if (c.PeekAt(1) == '/') {
+      // End tag.
+      BT_RETURN_NOT_OK(flush_text());
+      c.AdvanceN(2);
+      std::string_view name;
+      BT_RETURN_NOT_OK(ParseName(&c, &name));
+      c.SkipSpace();
+      if (c.AtEnd() || c.Peek() != '>') {
+        return c.Error("expected '>' in end tag");
+      }
+      c.Advance();
+      if (open.empty() || open.back() != name) {
+        return c.Error("mismatched end tag </" + std::string(name) + ">");
+      }
+      handler->OnEndElement(name);
+      open.pop_back();
+      continue;
+    }
+    // Start tag.
+    BT_RETURN_NOT_OK(flush_text());
+    c.Advance();  // '<'
+    std::string_view name;
+    BT_RETURN_NOT_OK(ParseName(&c, &name));
+    if (open.empty() && seen_root) {
+      return c.Error("multiple root elements");
+    }
+    seen_root = true;
+    handler->OnStartElement(name);
+    BT_RETURN_NOT_OK(ParseAttributes(&c, handler));
+    if (c.Peek() == '/') {
+      c.Advance();
+      if (c.AtEnd() || c.Peek() != '>') {
+        return c.Error("expected '>' after '/' in empty-element tag");
+      }
+      c.Advance();
+      handler->OnEndElement(name);
+      continue;
+    }
+    c.Advance();  // '>'
+    open.emplace_back(name);
+  }
+  if (!open.empty()) {
+    return c.Error("unclosed element <" + open.back() + ">");
+  }
+  if (!seen_root) {
+    return c.Error("no root element");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Builds a Document from SAX events.
+class DomBuilder : public SaxHandler {
+ public:
+  explicit DomBuilder(Document* doc) : doc_(doc) {}
+
+  void OnStartElement(std::string_view name) override {
+    doc_->BeginElement(name);
+  }
+  void OnAttribute(std::string_view name, std::string_view value) override {
+    doc_->AddAttribute(name, value);
+  }
+  void OnText(std::string_view text) override { doc_->AddText(text); }
+  void OnEndElement(std::string_view) override { doc_->EndElement(); }
+
+ private:
+  Document* doc_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Document>> ParseDocument(std::string_view input,
+                                                const ParseOptions& options) {
+  auto doc = std::make_unique<Document>();
+  DomBuilder builder(doc.get());
+  BT_RETURN_NOT_OK(ParseXml(input, &builder, options));
+  BT_RETURN_NOT_OK(doc->Finish());
+  return doc;
+}
+
+Result<std::unique_ptr<Document>> ParseDocumentFile(
+    const std::string& path, const ParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string content = ss.str();
+  return ParseDocument(content, options);
+}
+
+}  // namespace xml
+}  // namespace blossomtree

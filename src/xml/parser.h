@@ -1,0 +1,59 @@
+#ifndef BLOSSOMTREE_XML_PARSER_H_
+#define BLOSSOMTREE_XML_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace xml {
+
+/// \brief Parser configuration.
+struct ParseOptions {
+  /// Drop text nodes that are pure whitespace between elements (standard for
+  /// data-oriented XML; keeps node counts comparable with the paper).
+  bool skip_whitespace_text = true;
+  /// Keep XML comments/processing instructions? (They are always skipped from
+  /// the tree; this flag only controls whether they are a parse error.)
+  bool allow_misc = true;
+};
+
+/// \brief Receives parse events in document order (SAX-style).
+///
+/// The navigational approaches in the paper consume exactly this stream; the
+/// DOM builder is one implementation.
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+  virtual void OnStartElement(std::string_view name) = 0;
+  /// Called between OnStartElement and the first child event.
+  virtual void OnAttribute(std::string_view name, std::string_view value) = 0;
+  virtual void OnText(std::string_view text) = 0;
+  virtual void OnEndElement(std::string_view name) = 0;
+};
+
+/// \brief Parses XML text, delivering events to `handler`.
+///
+/// Supports: one root element, attributes, character data, the five
+/// predefined entities plus numeric character references, CDATA sections,
+/// comments, processing instructions, an XML declaration, and a DOCTYPE
+/// declaration (skipped, internal subsets without nested brackets).
+/// Reports errors with 1-based line/column positions.
+Status ParseXml(std::string_view input, SaxHandler* handler,
+                const ParseOptions& options = {});
+
+/// \brief Parses XML text into an in-memory Document.
+Result<std::unique_ptr<Document>> ParseDocument(
+    std::string_view input, const ParseOptions& options = {});
+
+/// \brief Reads a file and parses it into a Document.
+Result<std::unique_ptr<Document>> ParseDocumentFile(
+    const std::string& path, const ParseOptions& options = {});
+
+}  // namespace xml
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_XML_PARSER_H_

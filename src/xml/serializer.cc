@@ -1,0 +1,70 @@
+#include "xml/serializer.h"
+
+#include "util/strings.h"
+
+namespace blossomtree {
+namespace xml {
+
+namespace {
+
+bool HasElementChild(const Document& doc, NodeId n) {
+  for (NodeId c = doc.FirstChild(n); c != kNullNode; c = doc.NextSibling(c)) {
+    if (doc.IsElement(c)) return true;
+  }
+  return false;
+}
+
+void SerializeRec(const Document& doc, NodeId n, const SerializeOptions& opts,
+                  int depth, std::string* out) {
+  if (!doc.IsElement(n)) {
+    out->append(XmlEscape(doc.Text(n)));
+    return;
+  }
+  auto indent = [&](int d) {
+    if (opts.indent) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(d) * 2, ' ');
+    }
+  };
+  out->push_back('<');
+  out->append(doc.TagName(n));
+  for (const auto& [name, value] : doc.Attributes(n)) {
+    out->push_back(' ');
+    out->append(name);
+    out->append("=\"");
+    out->append(XmlEscape(value));
+    out->push_back('"');
+  }
+  NodeId child = doc.FirstChild(n);
+  if (child == kNullNode) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  bool block = opts.indent && HasElementChild(doc, n);
+  for (NodeId c = child; c != kNullNode; c = doc.NextSibling(c)) {
+    if (block) indent(depth + 1);
+    SerializeRec(doc, c, opts, depth + 1, out);
+  }
+  if (block) indent(depth);
+  out->append("</");
+  out->append(doc.TagName(n));
+  out->push_back('>');
+}
+
+}  // namespace
+
+std::string SerializeSubtree(const Document& doc, NodeId n,
+                             const SerializeOptions& options) {
+  std::string out;
+  SerializeRec(doc, n, options, 0, &out);
+  return out;
+}
+
+std::string Serialize(const Document& doc, const SerializeOptions& options) {
+  if (doc.empty()) return "";
+  return SerializeSubtree(doc, doc.Root(), options);
+}
+
+}  // namespace xml
+}  // namespace blossomtree

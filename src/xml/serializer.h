@@ -1,0 +1,27 @@
+#ifndef BLOSSOMTREE_XML_SERIALIZER_H_
+#define BLOSSOMTREE_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace xml {
+
+/// \brief Serialization options.
+struct SerializeOptions {
+  /// Pretty-print with 2-space indentation; text-only elements stay inline.
+  bool indent = false;
+};
+
+/// \brief Serializes the subtree rooted at `n` back to XML text.
+std::string SerializeSubtree(const Document& doc, NodeId n,
+                             const SerializeOptions& options = {});
+
+/// \brief Serializes the whole document.
+std::string Serialize(const Document& doc, const SerializeOptions& options = {});
+
+}  // namespace xml
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_XML_SERIALIZER_H_

@@ -1,0 +1,31 @@
+#ifndef BLOSSOMTREE_XPATH_PARSER_H_
+#define BLOSSOMTREE_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xpath/ast.h"
+
+namespace blossomtree {
+namespace xpath {
+
+/// \brief Parses a complete path expression (the whole input must be
+/// consumed, modulo surrounding whitespace).
+///
+/// Accepted forms (paper §3.1 and the Appendix A test queries):
+///   /a/b[c/d = "x"]//e   //a[2]/b[.="v"]   doc("bib.xml")//book/title
+///   $v/author            .//name           following-sibling::b
+Result<PathExpr> ParsePath(std::string_view input);
+
+/// \brief Parses the longest path expression starting at `*pos` and leaves
+/// `*pos` just past it. Used by the FLWOR parser, whose grammar embeds paths
+/// terminated by keywords / punctuation.
+///
+/// Stops (without error) at top-level whitespace, ',', '{', '}', ')',
+/// comparison characters and end of input.
+Result<PathExpr> ParsePathPrefix(std::string_view input, size_t* pos);
+
+}  // namespace xpath
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_XPATH_PARSER_H_

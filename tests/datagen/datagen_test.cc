@@ -1,0 +1,153 @@
+#include "datagen/datagen.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace blossomtree {
+namespace datagen {
+namespace {
+
+GenOptions Small() {
+  GenOptions o;
+  o.scale = 0.02;
+  o.seed = 42;
+  return o;
+}
+
+class DatagenAllTest : public ::testing::TestWithParam<Dataset> {};
+
+TEST_P(DatagenAllTest, ProducesNonEmptyDocument) {
+  auto doc = GenerateDataset(GetParam(), Small());
+  ASSERT_NE(doc, nullptr);
+  EXPECT_GT(doc->NumElements(), 10u);
+}
+
+TEST_P(DatagenAllTest, DeterministicForSameSeed) {
+  auto a = GenerateDataset(GetParam(), Small());
+  auto b = GenerateDataset(GetParam(), Small());
+  EXPECT_EQ(xml::Serialize(*a), xml::Serialize(*b));
+}
+
+TEST_P(DatagenAllTest, DifferentSeedsDiffer) {
+  GenOptions o1 = Small();
+  GenOptions o2 = Small();
+  o2.seed = 43;
+  auto a = GenerateDataset(GetParam(), o1);
+  auto b = GenerateDataset(GetParam(), o2);
+  EXPECT_NE(xml::Serialize(*a), xml::Serialize(*b));
+}
+
+TEST_P(DatagenAllTest, SerializedFormReparses) {
+  auto doc = GenerateDataset(GetParam(), Small());
+  std::string text = xml::Serialize(*doc);
+  auto r = xml::ParseDocument(text);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->NumElements(), doc->NumElements());
+  EXPECT_EQ((*r)->MaxDepth(), doc->MaxDepth());
+}
+
+TEST_P(DatagenAllTest, ScaleGrowsSize) {
+  GenOptions small = Small();
+  GenOptions larger = Small();
+  larger.scale = 0.08;
+  auto a = GenerateDataset(GetParam(), small);
+  auto b = GenerateDataset(GetParam(), larger);
+  EXPECT_GT(b->NumElements(), a->NumElements() * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatagenAllTest,
+                         ::testing::ValuesIn(AllDatasets()),
+                         [](const auto& info) {
+                           return std::string(DatasetName(info.param));
+                         });
+
+TEST(DatagenShapeTest, D1MatchesTable1Shape) {
+  auto doc = GenerateDataset(Dataset::kD1Recursive, Small());
+  EXPECT_TRUE(doc->IsRecursive());
+  EXPECT_EQ(doc->MaxDepth(), 8u);
+  EXPECT_GT(doc->AvgDepth(), 6.0);
+  EXPECT_LE(doc->tags().size(), 8u);
+  EXPECT_GE(doc->tags().size(), 7u);
+}
+
+TEST(DatagenShapeTest, D2MatchesTable1Shape) {
+  auto doc = GenerateDataset(Dataset::kD2Address, Small());
+  EXPECT_FALSE(doc->IsRecursive());
+  EXPECT_EQ(doc->MaxDepth(), 3u);
+  EXPECT_EQ(doc->tags().size(), 7u);
+}
+
+TEST(DatagenShapeTest, D3MatchesTable1Shape) {
+  GenOptions o = Small();
+  o.scale = 0.1;  // Enough items for all optional blocks to occur.
+  auto doc = GenerateDataset(Dataset::kD3Catalog, o);
+  EXPECT_FALSE(doc->IsRecursive());
+  EXPECT_EQ(doc->MaxDepth(), 8u);
+  EXPECT_GT(doc->AvgDepth(), 4.0);
+  EXPECT_LT(doc->AvgDepth(), 6.0);
+  EXPECT_GE(doc->tags().size(), 45u);
+  EXPECT_LE(doc->tags().size(), 55u);
+}
+
+TEST(DatagenShapeTest, D4MatchesTable1Shape) {
+  GenOptions o = Small();
+  o.scale = 0.1;
+  auto doc = GenerateDataset(Dataset::kD4Treebank, o);
+  EXPECT_TRUE(doc->IsRecursive());
+  EXPECT_GT(doc->MaxDepth(), 15u);
+  EXPECT_LE(doc->MaxDepth(), 36u);
+  EXPECT_GT(doc->AvgDepth(), 5.0);
+}
+
+TEST(DatagenShapeTest, D4FullScaleTagCount) {
+  GenOptions o;
+  o.scale = 1.0;
+  auto doc = GenerateDataset(Dataset::kD4Treebank, o);
+  EXPECT_GE(doc->tags().size(), 240u);
+  EXPECT_LE(doc->tags().size(), 260u);
+}
+
+TEST(DatagenShapeTest, D5MatchesTable1Shape) {
+  GenOptions o = Small();
+  o.scale = 0.1;
+  auto doc = GenerateDataset(Dataset::kD5Dblp, o);
+  EXPECT_FALSE(doc->IsRecursive());
+  EXPECT_GE(doc->MaxDepth(), 3u);
+  EXPECT_LE(doc->MaxDepth(), 6u);
+  EXPECT_GE(doc->tags().size(), 30u);
+  EXPECT_LE(doc->tags().size(), 38u);
+  EXPECT_LT(doc->AvgDepth(), 4.0);
+}
+
+TEST(DatagenShapeTest, D5HasQueriedTags) {
+  auto doc = GenerateDataset(Dataset::kD5Dblp, Small());
+  for (const char* tag :
+       {"phdthesis", "www", "proceedings", "author", "school", "editor",
+        "url", "year", "title"}) {
+    EXPECT_NE(doc->tags().Lookup(tag), xml::kNullTag) << tag;
+  }
+}
+
+TEST(DatagenStatsTest, ComputeStatsFillsRow) {
+  auto doc = GenerateDataset(Dataset::kD2Address, Small());
+  DatasetStats s = ComputeStats(*doc, "d2");
+  EXPECT_EQ(s.name, "d2");
+  EXPECT_FALSE(s.recursive);
+  EXPECT_EQ(s.num_nodes, doc->NumElements());
+  EXPECT_EQ(s.max_depth, 3u);
+  EXPECT_EQ(s.num_tags, 7u);
+  EXPECT_GT(s.xml_bytes, 1000u);
+  EXPECT_GT(s.tree_bytes, 0u);
+}
+
+TEST(DatagenStatsTest, DatasetNames) {
+  EXPECT_STREQ(DatasetName(Dataset::kD1Recursive), "d1");
+  EXPECT_STREQ(DatasetName(Dataset::kD5Dblp), "d5");
+  EXPECT_EQ(AllDatasets().size(), 5u);
+}
+
+}  // namespace
+}  // namespace datagen
+}  // namespace blossomtree

@@ -1,0 +1,93 @@
+#include "engine/construct.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace blossomtree {
+namespace engine {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(ConstructTest, BuildElementWithText) {
+  auto src = Parse("<r/>");
+  ResultBuilder b(src.get());
+  b.BeginElement("out");
+  b.AddText("hello");
+  b.EndElement();
+  auto xml = b.ToXml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(*xml, "<out>hello</out>");
+}
+
+TEST(ConstructTest, TopLevelSequence) {
+  auto src = Parse("<r/>");
+  ResultBuilder b(src.get());
+  b.BeginElement("a");
+  b.EndElement();
+  b.BeginElement("b");
+  b.AddText("x");
+  b.EndElement();
+  auto xml = b.ToXml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(*xml, "<a/><b>x</b>");
+}
+
+TEST(ConstructTest, CopySubtreePreservesEverything) {
+  auto src = Parse(R"(<r><k id="7">te<b/>xt</k></r>)");
+  ResultBuilder b(src.get());
+  b.CopyNode(1);
+  auto xml = b.ToXml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(*xml, R"(<k id="7">te<b/>xt</k>)");
+}
+
+TEST(ConstructTest, CopyTextNode) {
+  auto src = Parse("<r>hello</r>");
+  ResultBuilder b(src.get());
+  b.CopyNode(1);  // The text node.
+  auto xml = b.ToXml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(*xml, "hello");
+}
+
+TEST(ConstructTest, NestedConstructionAroundCopies) {
+  auto src = Parse("<r><k>v</k></r>");
+  ResultBuilder b(src.get());
+  b.BeginElement("wrap");
+  b.AddAttribute("n", "1");
+  b.CopyNode(1);
+  b.CopyNode(1);
+  b.EndElement();
+  auto xml = b.ToXml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(*xml, R"(<wrap n="1"><k>v</k><k>v</k></wrap>)");
+}
+
+TEST(ConstructTest, EscapingInConstructedText) {
+  auto src = Parse("<r/>");
+  ResultBuilder b(src.get());
+  b.BeginElement("o");
+  b.AddText("a<b>&c");
+  b.EndElement();
+  auto xml = b.ToXml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(*xml, "<o>a&lt;b&gt;&amp;c</o>");
+}
+
+TEST(ConstructTest, EmptyResult) {
+  auto src = Parse("<r/>");
+  ResultBuilder b(src.get());
+  auto xml = b.ToXml();
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(*xml, "");
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace blossomtree

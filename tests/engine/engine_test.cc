@@ -1,0 +1,212 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/navigational.h"
+#include "flwor/parser.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace engine {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+/// Paper Example 2's input document.
+constexpr const char* kBibXml =
+    "<bib>"
+    "<book><title>Maximum Security</title></book>"
+    "<book><title>The Art of Computer Programming</title>"
+    "<author><last>Knuth</last><first>Donald</first></author></book>"
+    "<book><title>Terrorist Hunter</title></book>"
+    "<book><title>TeX Book</title>"
+    "<author><last>Knuth</last><first>Donald</first></author></book>"
+    "</bib>";
+
+/// Paper Example 1's query.
+constexpr const char* kExample1Query = R"(
+<bib>
+{
+for $book1 in doc("bib.xml")//book,
+    $book2 in doc("bib.xml")//book
+let $aut1 := $book1/author
+let $aut2 := $book2/author
+where $book1 << $book2
+  and not($book1/title = $book2/title)
+  and deep-equal($aut1, $aut2)
+return
+  <book-pair>
+    { $book1/title }
+    { $book2/title }
+  </book-pair>
+}
+</bib>
+)";
+
+/// Paper Example 2's expected output (the original has a "Hunger" typo for
+/// the copied title; the correct echo of the input is "Hunter").
+constexpr const char* kExample2Output =
+    "<bib>"
+    "<book-pair>"
+    "<title>Maximum Security</title>"
+    "<title>Terrorist Hunter</title>"
+    "</book-pair>"
+    "<book-pair>"
+    "<title>The Art of Computer Programming</title>"
+    "<title>TeX Book</title>"
+    "</book-pair>"
+    "</bib>";
+
+TEST(EngineTest, Example1ProducesExample2Output) {
+  auto doc = Parse(kBibXml);
+  BlossomTreeEngine engine(doc.get());
+  auto r = engine.EvaluateQuery(kExample1Query);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, kExample2Output);
+}
+
+TEST(EngineTest, NavigationalBaselineAgreesOnExample1) {
+  auto doc = Parse(kBibXml);
+  baseline::NavigationalEvaluator nav(doc.get());
+  auto r = nav.EvaluateQuery(kExample1Query);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, kExample2Output);
+  EXPECT_GT(nav.NodesVisited(), 0u);
+}
+
+TEST(EngineTest, SimpleForReturn) {
+  auto doc = Parse("<r><k>1</k><k>2</k></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto r = engine.EvaluateQuery("for $x in //k return <v>{ $x }</v>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "<v><k>1</k></v><v><k>2</k></v>");
+}
+
+TEST(EngineTest, LetBindsWholeSequence) {
+  auto doc = Parse("<r><g><k>1</k><k>2</k></g><g><k>3</k></g></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto r = engine.EvaluateQuery(
+      "for $g in //g let $ks := $g/k return <n>{ $ks }</n>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "<n><k>1</k><k>2</k></n><n><k>3</k></n>");
+}
+
+TEST(EngineTest, LetOverEmptyIsEmptySequence) {
+  auto doc = Parse("<r><g><k>1</k></g><g/></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto r = engine.EvaluateQuery(
+      "for $g in //g let $ks := $g/k return <n>{ $ks }</n>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "<n><k>1</k></n><n/>");
+}
+
+TEST(EngineTest, WhereValueFilter) {
+  auto doc = Parse("<r><k>1</k><k>2</k><k>3</k></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto r = engine.EvaluateQuery(
+      "for $x in //k where $x = 2 return <hit>{ $x }</hit>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "<hit><k>2</k></hit>");
+}
+
+TEST(EngineTest, OrderBy) {
+  auto doc = Parse("<r><k>b</k><k>a</k><k>c</k></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto r = engine.EvaluateQuery("for $x in //k order by $x return $x");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "<k>a</k><k>b</k><k>c</k>");
+  auto r2 = engine.EvaluateQuery(
+      "for $x in //k order by $x descending return $x");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, "<k>c</k><k>b</k><k>a</k>");
+}
+
+TEST(EngineTest, ChainedForVariables) {
+  auto doc = Parse("<r><b><t>x</t><t>y</t></b><b><t>z</t></b></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto r = engine.EvaluateQuery(
+      "for $b in //b for $t in $b/t return <p>{ $t }</p>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "<p><t>x</t></p><p><t>y</t></p><p><t>z</t></p>");
+}
+
+TEST(EngineTest, CrossProductOfTwoTrees) {
+  auto doc = Parse("<r><a>1</a><a>2</a><c>9</c></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto r = engine.EvaluateQuery(
+      "for $x in //a, $y in //c return <p>{ $x }{ $y }</p>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "<p><a>1</a><c>9</c></p><p><a>2</a><c>9</c></p>");
+}
+
+TEST(EngineTest, IsComparison) {
+  auto doc = Parse("<r><a/><a/></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto r = engine.EvaluateQuery(
+      "for $x in //a, $y in //a where $x is $y return <same/>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "<same/><same/>");  // Two of four pairs are identical.
+}
+
+TEST(EngineTest, PathQueryThroughEngine) {
+  auto doc = Parse("<r><a><b/></a><a/></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto p = xpath::ParsePath("//a[//b]");
+  ASSERT_TRUE(p.ok());
+  auto r = engine.EvaluatePath(*p);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_FALSE(engine.LastExplain().empty());
+}
+
+TEST(EngineTest, ConstructorWithAttributesAndText) {
+  auto doc = Parse("<r><k>v</k></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto r = engine.EvaluateQuery(
+      R"(<out kind="test">prefix { //k } suffix</out>)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, R"(<out kind="test">prefix<k>v</k>suffix</out>)");
+}
+
+TEST(EngineTest, NestedFlworWithFreeVariable) {
+  auto doc = Parse("<r><g><k>1</k><k>2</k></g></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto r = engine.EvaluateQuery(
+      "for $g in //g return <o>{ for $k in $g/k return <i>{ $k }</i> }</o>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, "<o><i><k>1</k></i><i><k>2</k></i></o>");
+}
+
+TEST(EngineTest, EnginesAgreeOnFlworSuite) {
+  auto doc = Parse(
+      "<lib><shelf><book><t>b</t><y>2</y></book>"
+      "<book><t>a</t><y>1</y></book></shelf>"
+      "<shelf><book><t>c</t></book></shelf></lib>");
+  const char* queries[] = {
+      "for $b in //book return <t>{ $b/t }</t>",
+      "for $s in //shelf for $b in $s/book return <p>{ $b/t }</p>",
+      "for $b in //book where $b/y = 1 return $b/t",
+      "for $b in //book let $y := $b/y return <e>{ $y }</e>",
+      "for $b in //book order by $b/t return $b/t",
+      "for $a in //book, $b in //book where $a << $b and "
+      "deep-equal($a/y, $b/y) return <pair/>",
+  };
+  for (const char* q : queries) {
+    BlossomTreeEngine engine(doc.get());
+    baseline::NavigationalEvaluator nav(doc.get());
+    auto r1 = engine.EvaluateQuery(q);
+    auto r2 = nav.EvaluateQuery(q);
+    ASSERT_TRUE(r1.ok()) << q << ": " << r1.status().ToString();
+    ASSERT_TRUE(r2.ok()) << q << ": " << r2.status().ToString();
+    EXPECT_EQ(*r1, *r2) << q;
+  }
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace blossomtree

@@ -1,0 +1,169 @@
+// Reverse axes (parent::, ancestor::, ..) — outside the BlossomTree subset
+// (pattern edges point downward), evaluated navigationally with a graceful
+// engine fallback.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/path_eval.h"
+#include "pattern/builder.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace engine {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+std::vector<xml::NodeId> Eval(const xml::Document& doc,
+                              std::string_view query) {
+  auto p = xpath::ParsePath(query);
+  EXPECT_TRUE(p.ok()) << query << ": " << p.status().ToString();
+  PathEvaluator ev(&doc);
+  auto r = ev.Evaluate(*p);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.MoveValue() : std::vector<xml::NodeId>{};
+}
+
+TEST(ReverseAxesTest, ParserAcceptsNamedAxes) {
+  auto p = xpath::ParsePath("//b/parent::a");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->steps[1].axis, xpath::Axis::kParent);
+  EXPECT_EQ(p->steps[1].name, "a");
+  auto a = xpath::ParsePath("//b/ancestor::a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->steps[1].axis, xpath::Axis::kAncestor);
+  auto c = xpath::ParsePath("//b/child::c");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->steps[1].axis, xpath::Axis::kChild);
+  auto s = xpath::ParsePath("//b/self::b");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->steps[1].axis, xpath::Axis::kSelf);
+  EXPECT_FALSE(xpath::ParsePath("//b/sideways::a").ok());
+}
+
+TEST(ReverseAxesTest, DotDotShorthand) {
+  auto p = xpath::ParsePath("//b/..");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->steps.size(), 2u);
+  EXPECT_EQ(p->steps[1].axis, xpath::Axis::kParent);
+  EXPECT_EQ(p->steps[1].name, "*");
+}
+
+TEST(ReverseAxesTest, ToStringRoundTrip) {
+  for (const char* q :
+       {"//b/parent::a", "//b/ancestor::a/c", "//b/self::b"}) {
+    auto p = xpath::ParsePath(q);
+    ASSERT_TRUE(p.ok()) << q;
+    auto again = xpath::ParsePath(p->ToString());
+    ASSERT_TRUE(again.ok()) << p->ToString();
+    EXPECT_EQ(again->ToString(), p->ToString());
+  }
+}
+
+TEST(ReverseAxesTest, ParentEvaluation) {
+  auto doc = Parse("<r><a><b/></a><x><b/></x></r>");
+  auto out = Eval(*doc, "//b/parent::a");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(doc->TagName(out[0]), "a");
+  EXPECT_EQ(Eval(*doc, "//b/..").size(), 2u);
+}
+
+TEST(ReverseAxesTest, AncestorEvaluation) {
+  auto doc = Parse("<a><x><a><b/></a></x></a>");
+  auto out = Eval(*doc, "//b/ancestor::a");
+  EXPECT_EQ(out.size(), 2u);
+  // Positional counts outward from the context.
+  auto nearest = Eval(*doc, "//b/ancestor::a[1]");
+  ASSERT_EQ(nearest.size(), 1u);
+  EXPECT_EQ(nearest[0], 2u);  // The inner a.
+}
+
+TEST(ReverseAxesTest, SelfWithNameFilters) {
+  auto doc = Parse("<r><a/><b/></r>");
+  EXPECT_EQ(Eval(*doc, "/r/*/self::a").size(), 1u);
+}
+
+TEST(ReverseAxesTest, ParentRootHasNoParent) {
+  auto doc = Parse("<a><b/></a>");
+  EXPECT_TRUE(Eval(*doc, "/a/..").empty());
+}
+
+TEST(ReverseAxesTest, BuilderRejectsReverseAxes) {
+  auto p = xpath::ParsePath("//b/parent::a");
+  ASSERT_TRUE(p.ok());
+  auto t = pattern::BuildFromPath(*p);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ReverseAxesTest, EngineFallsBackNavigationally) {
+  auto doc = Parse("<r><a><b/></a><x><b/></x></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto p = xpath::ParsePath("//b/parent::a");
+  ASSERT_TRUE(p.ok());
+  auto r = engine.EvaluatePath(*p);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_NE(engine.LastExplain().find("navigational fallback"),
+            std::string::npos);
+}
+
+TEST(ReverseAxesTest, FlworWithReverseAxisBinding) {
+  auto doc = Parse("<r><a><b>1</b></a><a><b>2</b></a></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto out = engine.EvaluateQuery(
+      "for $b in //b for $a in $b/parent::a return <p>{ $b }</p>");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(*out, "<p><b>1</b></p><p><b>2</b></p>");
+}
+
+TEST(ReverseAxesTest, FollowingAxis) {
+  auto doc = Parse("<r><a><x/></a><b/><a/><b/></r>");
+  // following::b from the first a: both b's (the x inside a is skipped).
+  auto out = Eval(*doc, "/r/a[1]/following::b");
+  EXPECT_EQ(out.size(), 2u);
+  // following from the last b: nothing.
+  EXPECT_TRUE(Eval(*doc, "/r/b[2]/following::a").empty());
+}
+
+TEST(ReverseAxesTest, PrecedingAxisExcludesAncestors) {
+  auto doc = Parse("<a><b/><a><c/></a></a>");
+  // preceding::a from c: the outer a is an ancestor → excluded.
+  EXPECT_TRUE(Eval(*doc, "//c/preceding::a").empty());
+  // preceding::b from c: the earlier sibling-subtree b.
+  EXPECT_EQ(Eval(*doc, "//c/preceding::b").size(), 1u);
+}
+
+TEST(ReverseAxesTest, PrecedingPositionalCountsBackward) {
+  auto doc = Parse("<r><k>1</k><k>2</k><k>3</k><z/></r>");
+  auto out = Eval(*doc, "//z/preceding::k[1]");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(doc->StringValue(out[0]), "3");  // Nearest preceding first.
+}
+
+TEST(ReverseAxesTest, FollowingVsDocOrderEquivalence) {
+  // following::x == all x after the subtree; cross-check by region labels.
+  auto doc = Parse("<r><a><x/><y/></a><x/><y><x/></y></r>");
+  auto out = Eval(*doc, "//a/following::x");
+  for (xml::NodeId n : out) {
+    EXPECT_GT(n, doc->SubtreeEnd(1));
+  }
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ReverseAxesTest, PredicateWithReverseAxis) {
+  auto doc = Parse("<r><a><b/></a><x><b/></x></r>");
+  // b's whose parent is an a.
+  auto out = Eval(*doc, "//b[parent::a]");
+  ASSERT_EQ(out.size(), 1u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace blossomtree

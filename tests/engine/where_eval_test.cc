@@ -1,0 +1,188 @@
+#include "engine/where_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "flwor/parser.h"
+#include "xml/parser.h"
+
+namespace blossomtree {
+namespace engine {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+/// Parses a query "for $x in //x where <CLAUSE> return $x" and extracts the
+/// where expression.
+struct WhereFixture {
+  std::unique_ptr<flwor::Expr> expr;
+  const flwor::BoolExpr* where = nullptr;
+
+  explicit WhereFixture(const std::string& clause) {
+    auto r = flwor::ParseQuery("for $q in //q where " + clause +
+                               " return $q");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (r.ok()) {
+      expr = r.MoveValue();
+      where = expr->flwor->where.get();
+    }
+  }
+};
+
+bool Eval(const xml::Document& doc, const flwor::BoolExpr& where,
+          const Env& env) {
+  PathEvaluator ev(&doc);
+  auto r = EvalWhere(where, env, doc, &ev);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() && *r;
+}
+
+TEST(WhereEvalTest, DocOrderComparisons) {
+  auto doc = Parse("<r><a/><b/></r>");
+  Env env;
+  env["x"] = {1};
+  env["y"] = {2};
+  WhereFixture lt("$x << $y");
+  EXPECT_TRUE(Eval(*doc, *lt.where, env));
+  WhereFixture gt("$x >> $y");
+  EXPECT_FALSE(Eval(*doc, *gt.where, env));
+  // Empty operand → false.
+  env["y"] = {};
+  EXPECT_FALSE(Eval(*doc, *lt.where, env));
+}
+
+TEST(WhereEvalTest, IsIdentity) {
+  auto doc = Parse("<r><a/><a/></r>");
+  Env env;
+  env["x"] = {1};
+  env["y"] = {1};
+  WhereFixture is("$x is $y");
+  EXPECT_TRUE(Eval(*doc, *is.where, env));
+  env["y"] = {2};
+  EXPECT_FALSE(Eval(*doc, *is.where, env));
+}
+
+TEST(WhereEvalTest, GeneralEqOverPaths) {
+  auto doc = Parse("<r><g><v>1</v><v>2</v></g><g><v>2</v></g></r>");
+  Env env;
+  env["x"] = {1};  // First g.
+  env["y"] = {6};  // Second g (nodes: r=0 g=1 v=2 t=3 v=4 t=5 g=6 ...).
+  WhereFixture eq("$x/v = $y/v");
+  EXPECT_TRUE(Eval(*doc, *eq.where, env));  // 2 = 2.
+  WhereFixture neq("$x/v != $y/v");
+  EXPECT_TRUE(Eval(*doc, *neq.where, env));  // 1 != 2.
+}
+
+TEST(WhereEvalTest, LiteralComparisons) {
+  auto doc = Parse("<r><g><v>7</v></g></r>");
+  Env env;
+  env["x"] = {1};
+  WhereFixture eq("$x/v = 7");
+  EXPECT_TRUE(Eval(*doc, *eq.where, env));
+  WhereFixture eq2("$x/v = \"7\"");
+  EXPECT_TRUE(Eval(*doc, *eq2.where, env));
+  WhereFixture eq3("$x/v = 8");
+  EXPECT_FALSE(Eval(*doc, *eq3.where, env));
+}
+
+TEST(WhereEvalTest, DeepEqualOnSequences) {
+  auto doc = Parse(
+      "<r><g><a><n>k</n></a></g><g><a><n>k</n></a></g><g/></r>");
+  auto gs = doc->TagIndex(doc->tags().Lookup("g"));
+  Env env;
+  env["x"] = {gs[0]};
+  env["y"] = {gs[1]};
+  WhereFixture de("deep-equal($x/a, $y/a)");
+  EXPECT_TRUE(Eval(*doc, *de.where, env));
+  env["y"] = {gs[2]};
+  EXPECT_FALSE(Eval(*doc, *de.where, env));
+  // Both empty → deep-equal((), ()) is true (Example 2's key case).
+  env["x"] = {gs[2]};
+  EXPECT_TRUE(Eval(*doc, *de.where, env));
+}
+
+TEST(WhereEvalTest, BooleanConnectives) {
+  auto doc = Parse("<r><a/><b/></r>");
+  Env env;
+  env["x"] = {1};
+  env["y"] = {2};
+  WhereFixture both("$x << $y and $x is $x");
+  EXPECT_TRUE(Eval(*doc, *both.where, env));
+  WhereFixture either("$x >> $y or $x << $y");
+  EXPECT_TRUE(Eval(*doc, *either.where, env));
+  WhereFixture neither("$x >> $y or $y << $x");
+  EXPECT_FALSE(Eval(*doc, *neither.where, env));
+  WhereFixture negated("not($x >> $y)");
+  EXPECT_TRUE(Eval(*doc, *negated.where, env));
+}
+
+TEST(WhereEvalTest, ExistsAndEmpty) {
+  auto doc = Parse("<r><g><v/></g><g/></r>");
+  auto gs = doc->TagIndex(doc->tags().Lookup("g"));
+  Env env;
+  env["x"] = {gs[0]};
+  WhereFixture ex("exists($x/v)");
+  EXPECT_TRUE(Eval(*doc, *ex.where, env));
+  WhereFixture em("empty($x/v)");
+  EXPECT_FALSE(Eval(*doc, *em.where, env));
+  env["x"] = {gs[1]};
+  EXPECT_FALSE(Eval(*doc, *ex.where, env));
+  EXPECT_TRUE(Eval(*doc, *em.where, env));
+}
+
+TEST(WhereEvalTest, CountComparisons) {
+  auto doc = Parse("<r><g><v/><v/></g><g><v/></g></r>");
+  auto gs = doc->TagIndex(doc->tags().Lookup("g"));
+  Env env;
+  env["x"] = {gs[0]};
+  WhereFixture two("count($x/v) = 2");
+  EXPECT_TRUE(Eval(*doc, *two.where, env));
+  env["x"] = {gs[1]};
+  EXPECT_FALSE(Eval(*doc, *two.where, env));
+  WhereFixture pair("count($x/v) = count($x/v)");
+  EXPECT_TRUE(Eval(*doc, *pair.where, env));
+}
+
+TEST(WhereEvalTest, EndToEndExistsAndCountInQueries) {
+  auto doc = Parse("<r><g><v/><v/></g><g/></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto r1 = engine.EvaluateQuery(
+      "for $g in //g where exists($g/v) return <hit/>");
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(*r1, "<hit/>");
+  auto r2 = engine.EvaluateQuery(
+      "for $g in //g where empty($g/v) return <none/>");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(*r2, "<none/>");
+  auto r3 = engine.EvaluateQuery(
+      "for $g in //g where count($g/v) = 2 return <two/>");
+  ASSERT_TRUE(r3.ok()) << r3.status().ToString();
+  EXPECT_EQ(*r3, "<two/>");
+}
+
+TEST(WhereEvalTest, ErrorsOnNonSingletonDocOrder) {
+  auto doc = Parse("<r><a/><a/><b/></r>");
+  Env env;
+  env["x"] = {1, 2};
+  env["y"] = {3};
+  WhereFixture lt("$x << $y");
+  PathEvaluator ev(doc.get());
+  auto r = EvalWhere(*lt.where, env, *doc, &ev);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WhereEvalTest, UnboundVariableErrors) {
+  auto doc = Parse("<r/>");
+  WhereFixture eq("$missing = 1");
+  PathEvaluator ev(doc.get());
+  auto r = EvalWhere(*eq.where, Env{}, *doc, &ev);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace blossomtree

@@ -1,0 +1,115 @@
+#include "exec/merged_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "nestedlist/ops.h"
+#include "pattern/builder.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace exec {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+struct Fixture {
+  std::unique_ptr<xml::Document> doc;
+  pattern::BlossomTree tree;
+  pattern::Decomposition decomp;
+
+  Fixture(const char* xml, const char* query) : doc(Parse(xml)) {
+    auto p = xpath::ParsePath(query);
+    EXPECT_TRUE(p.ok());
+    auto tr = pattern::BuildFromPath(*p);
+    EXPECT_TRUE(tr.ok());
+    tree = tr.MoveValue();
+    decomp = pattern::Decompose(tree);
+  }
+
+  std::vector<const pattern::NokTree*> NonTrivialNoks() const {
+    std::vector<const pattern::NokTree*> out;
+    for (const auto& nok : decomp.noks) {
+      if (nok.vertices.size() == 1 && tree.vertex(nok.root).IsVirtualRoot()) {
+        continue;
+      }
+      out.push_back(&nok);
+    }
+    return out;
+  }
+};
+
+TEST(MergedScanTest, MatchesSeparateScans) {
+  Fixture fx("<r><a><b/></a><b/><a><c/><b/></a></r>", "//a[//c]//b");
+  auto noks = fx.NonTrivialNoks();
+  MergedNokScan merged(fx.doc.get(), &fx.tree, noks);
+  merged.Run();
+  for (size_t i = 0; i < noks.size(); ++i) {
+    auto merged_op = merged.MakeOperator(i);
+    NokScanOperator separate(fx.doc.get(), &fx.tree, noks[i]);
+    nestedlist::NestedList a;
+    nestedlist::NestedList b;
+    while (true) {
+      bool ga = merged_op->GetNext(&a);
+      bool gb = separate.GetNext(&b);
+      ASSERT_EQ(ga, gb);
+      if (!ga) break;
+      ASSERT_EQ(a.tops.size(), b.tops.size());
+      for (size_t t = 0; t < a.tops.size(); ++t) {
+        ASSERT_EQ(a.tops[t].size(), b.tops[t].size());
+        for (size_t e = 0; e < a.tops[t].size(); ++e) {
+          EXPECT_EQ(a.tops[t][e].node, b.tops[t][e].node);
+        }
+      }
+    }
+  }
+}
+
+TEST(MergedScanTest, SingleSharedPass) {
+  Fixture fx("<r><a/><b/><c/></r>", "//a[//b][//c]");
+  auto noks = fx.NonTrivialNoks();
+  ASSERT_EQ(noks.size(), 3u);
+  MergedNokScan merged(fx.doc.get(), &fx.tree, noks);
+  merged.Run();
+  // One pass of 4 nodes — separate scans would cost 12.
+  EXPECT_EQ(merged.NodesScanned(), fx.doc->NumNodes());
+}
+
+TEST(MergedScanTest, RunIsIdempotent) {
+  Fixture fx("<r><a/></r>", "//a");
+  auto noks = fx.NonTrivialNoks();
+  MergedNokScan merged(fx.doc.get(), &fx.tree, noks);
+  merged.Run();
+  uint64_t scanned = merged.NodesScanned();
+  merged.Run();
+  EXPECT_EQ(merged.NodesScanned(), scanned);
+}
+
+TEST(MergedScanTest, HandlesVirtualRootNok) {
+  Fixture fx("<a><b/></a>", "/a/b");
+  // The single NoK includes the virtual root.
+  std::vector<const pattern::NokTree*> noks;
+  for (const auto& nok : fx.decomp.noks) noks.push_back(&nok);
+  MergedNokScan merged(fx.doc.get(), &fx.tree, noks);
+  merged.Run();
+  auto op = merged.MakeOperator(0);
+  nestedlist::NestedList nl;
+  EXPECT_TRUE(op->GetNext(&nl));
+  EXPECT_FALSE(op->GetNext(&nl));
+}
+
+TEST(MergedScanTest, MatchWorkAccumulates) {
+  Fixture fx("<r><a/><a/></r>", "//a[//b]");
+  auto noks = fx.NonTrivialNoks();
+  MergedNokScan merged(fx.doc.get(), &fx.tree, noks);
+  merged.Run();
+  EXPECT_GT(merged.MatchWork(), 0u);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace blossomtree

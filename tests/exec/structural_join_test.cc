@@ -1,0 +1,94 @@
+#include "exec/structural_join.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace blossomtree {
+namespace exec {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+std::vector<xml::NodeId> TagNodes(const xml::Document& doc,
+                                  const std::string& tag) {
+  return doc.TagIndex(doc.tags().Lookup(tag));
+}
+
+TEST(StructuralJoinTest, BasicAncDesc) {
+  auto doc = Parse("<r><a><b/></a><b/><a><x><b/></x></a></r>");
+  auto pairs = StackStructuralJoin(*doc, TagNodes(*doc, "a"),
+                                   TagNodes(*doc, "b"));
+  ASSERT_EQ(pairs.size(), 2u);
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(doc->IsAncestor(p.ancestor, p.descendant));
+  }
+}
+
+TEST(StructuralJoinTest, NestedAncestorsProduceAllPairs) {
+  auto doc = Parse("<a><a><b/></a></a>");
+  auto pairs = StackStructuralJoin(*doc, TagNodes(*doc, "a"),
+                                   TagNodes(*doc, "b"));
+  EXPECT_EQ(pairs.size(), 2u);  // Both a's are ancestors of b.
+}
+
+TEST(StructuralJoinTest, ExhaustiveAgainstNaive) {
+  auto doc = Parse(
+      "<r><a><b/><a><b/><c/></a></a><c><a/><b/></c><a><c><b/></c></a></r>");
+  auto as = TagNodes(*doc, "a");
+  auto bs = TagNodes(*doc, "b");
+  auto pairs = StackStructuralJoin(*doc, as, bs);
+  std::vector<AncDescPair> naive;
+  for (xml::NodeId a : as) {
+    for (xml::NodeId b : bs) {
+      if (doc->IsAncestor(a, b)) naive.push_back({a, b});
+    }
+  }
+  ASSERT_EQ(pairs.size(), naive.size());
+  auto key = [](const AncDescPair& p) {
+    return std::make_pair(p.ancestor, p.descendant);
+  };
+  std::vector<std::pair<xml::NodeId, xml::NodeId>> k1, k2;
+  for (const auto& p : pairs) k1.push_back(key(p));
+  for (const auto& p : naive) k2.push_back(key(p));
+  std::sort(k1.begin(), k1.end());
+  std::sort(k2.begin(), k2.end());
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(StructuralJoinTest, ParentChildVariant) {
+  auto doc = Parse("<r><a><b/><x><b/></x></a></r>");
+  auto pairs = StackStructuralJoinParentChild(*doc, TagNodes(*doc, "a"),
+                                              TagNodes(*doc, "b"));
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(doc->Parent(pairs[0].descendant), pairs[0].ancestor);
+}
+
+TEST(StructuralJoinTest, SemiJoinDescendants) {
+  auto doc = Parse("<r><a><b/></a><b/><a><b/><b/></a></r>");
+  auto ds = DescendantsWithAncestor(*doc, TagNodes(*doc, "a"),
+                                    TagNodes(*doc, "b"));
+  ASSERT_EQ(ds.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ds.begin(), ds.end()));
+}
+
+TEST(StructuralJoinTest, SemiJoinAncestors) {
+  auto doc = Parse("<r><a><b/></a><a><c/></a><a><b/></a></r>");
+  auto as = AncestorsWithDescendant(*doc, TagNodes(*doc, "a"),
+                                    TagNodes(*doc, "b"));
+  EXPECT_EQ(as.size(), 2u);
+}
+
+TEST(StructuralJoinTest, EmptyInputs) {
+  auto doc = Parse("<r><a/></r>");
+  EXPECT_TRUE(StackStructuralJoin(*doc, {}, TagNodes(*doc, "a")).empty());
+  EXPECT_TRUE(StackStructuralJoin(*doc, TagNodes(*doc, "a"), {}).empty());
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace blossomtree

@@ -1,0 +1,126 @@
+#include "exec/twig_semijoin.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/navigational.h"
+#include "pattern/builder.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace exec {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+std::vector<xml::NodeId> RunSemijoin(const xml::Document& doc,
+                                     std::string_view query) {
+  auto p = xpath::ParsePath(query);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  auto tr = pattern::BuildFromPath(*p);
+  EXPECT_TRUE(tr.ok()) << tr.status().ToString();
+  TwigSemijoin sj(&doc, &*tr);
+  std::vector<xml::NodeId> out;
+  Status st = sj.Run(tr->VertexOfVariable("result"), &out);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+TEST(TwigSemijoinTest, SimpleChain) {
+  auto doc = Parse("<r><a><b/></a><a><x><b/></x></a><b/></r>");
+  EXPECT_EQ(RunSemijoin(*doc, "//a//b").size(), 2u);
+}
+
+TEST(TwigSemijoinTest, ChildVsDescendant) {
+  auto doc = Parse("<r><a><b/></a><a><x><b/></x></a></r>");
+  EXPECT_EQ(RunSemijoin(*doc, "//a/b").size(), 1u);
+  EXPECT_EQ(RunSemijoin(*doc, "//a//b").size(), 2u);
+}
+
+TEST(TwigSemijoinTest, Branching) {
+  auto doc = Parse(
+      "<r><a><b/><c/></a><a><b/></a><a><c/></a><a><x><b/></x><c/></a></r>");
+  EXPECT_EQ(RunSemijoin(*doc, "//a[//b][//c]").size(), 2u);
+}
+
+TEST(TwigSemijoinTest, TopDownRemovesDanglingDescendants) {
+  // b's outside any a must disappear even though bottom-up keeps them.
+  auto doc = Parse("<r><b/><a><b/></a></r>");
+  auto out = RunSemijoin(*doc, "//a//b");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 3u);
+}
+
+TEST(TwigSemijoinTest, ResultOnMidVertex) {
+  auto doc = Parse("<r><a><b><c/></b></a><a><b/></a></r>");
+  // Result = b, constrained from both sides (under a, containing c).
+  auto out = RunSemijoin(*doc, "//a/b[//c]");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(doc->TagName(out[0]), "b");
+}
+
+TEST(TwigSemijoinTest, ValueConstraints) {
+  auto doc = Parse("<r><k>x</k><k>y</k></r>");
+  EXPECT_EQ(RunSemijoin(*doc, "//k[. = \"y\"]").size(), 1u);
+}
+
+TEST(TwigSemijoinTest, RootedQueries) {
+  auto doc = Parse("<a><b/><a><b/></a></a>");
+  EXPECT_EQ(RunSemijoin(*doc, "/a/b").size(), 1u);
+  EXPECT_EQ(RunSemijoin(*doc, "//a/b").size(), 2u);
+}
+
+TEST(TwigSemijoinTest, RecursiveDocuments) {
+  auto doc = Parse("<a><a><b/></a></a>");
+  EXPECT_EQ(RunSemijoin(*doc, "//a//b").size(), 1u);
+  EXPECT_EQ(RunSemijoin(*doc, "//a//a//b").size(), 1u);
+  EXPECT_TRUE(RunSemijoin(*doc, "//a//a//a//b").empty());
+}
+
+TEST(TwigSemijoinTest, AgreesWithOracleOnMixedQueries) {
+  auto doc = Parse(
+      "<r><a><b><c/><d/></b></a><a><b><c/></b><d/></a>"
+      "<x><a><b/><c/></a></x><c><a/><b/></c></r>");
+  baseline::NavigationalEvaluator nav(doc.get());
+  for (const char* q : {"//a//b//c", "//a/b/c", "//a[//c]//b", "//a[b]",
+                        "//a[b][//d]", "//x//a//b", "/r/a//c"}) {
+    auto p = xpath::ParsePath(q);
+    ASSERT_TRUE(p.ok());
+    auto oracle = nav.EvaluatePath(*p);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(RunSemijoin(*doc, q), *oracle) << q;
+  }
+}
+
+TEST(TwigSemijoinTest, RejectsPositions) {
+  auto doc = Parse("<r><a/></r>");
+  auto p = xpath::ParsePath("//a[2]");
+  ASSERT_TRUE(p.ok());
+  auto tr = pattern::BuildFromPath(*p);
+  ASSERT_TRUE(tr.ok());
+  TwigSemijoin sj(doc.get(), &*tr);
+  std::vector<xml::NodeId> out;
+  EXPECT_EQ(sj.Run(tr->VertexOfVariable("result"), &out).code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(TwigSemijoinTest, StatsPopulated) {
+  auto doc = Parse("<r><a><b/></a></r>");
+  auto p = xpath::ParsePath("//a//b");
+  ASSERT_TRUE(p.ok());
+  auto tr = pattern::BuildFromPath(*p);
+  ASSERT_TRUE(tr.ok());
+  TwigSemijoin sj(doc.get(), &*tr);
+  std::vector<xml::NodeId> out;
+  ASSERT_TRUE(sj.Run(tr->VertexOfVariable("result"), &out).ok());
+  EXPECT_GT(sj.stats().candidates_loaded, 0u);
+  EXPECT_EQ(sj.stats().semijoins, 2u);  // One per pass for the single edge.
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace blossomtree

@@ -1,0 +1,143 @@
+#include "exec/twigstack.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/builder.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace exec {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+std::vector<xml::NodeId> RunTwig(const xml::Document& doc,
+                                 std::string_view query) {
+  auto p = xpath::ParsePath(query);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  auto tr = pattern::BuildFromPath(*p);
+  EXPECT_TRUE(tr.ok()) << tr.status().ToString();
+  TwigStack ts(&doc, &*tr);
+  std::vector<xml::NodeId> out;
+  Status st = ts.Run(tr->VertexOfVariable("result"), &out);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+TEST(TwigStackTest, SimpleDescendantChain) {
+  auto doc = Parse("<r><a><b/></a><a><x><b/></x></a><b/></r>");
+  auto out = RunTwig(*doc, "//a//b");
+  ASSERT_EQ(out.size(), 2u);
+  for (xml::NodeId n : out) EXPECT_EQ(doc->TagName(n), "b");
+}
+
+TEST(TwigStackTest, RecursiveNesting) {
+  auto doc = Parse("<a><a><b/></a></a>");
+  auto out = RunTwig(*doc, "//a//b");
+  EXPECT_EQ(out.size(), 1u);  // Distinct b nodes.
+}
+
+TEST(TwigStackTest, BranchingTwig) {
+  auto doc = Parse(
+      "<r><a><b/><c/></a><a><b/></a><a><c/></a><a><x><b/></x><c/></a></r>");
+  // a with both a b and a c descendant.
+  auto out = RunTwig(*doc, "//a[//b][//c]");
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(TwigStackTest, ChildEdgeChecksLevels) {
+  auto doc = Parse("<r><a><b/></a><a><x><b/></x></a></r>");
+  auto out = RunTwig(*doc, "//a/b");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(doc->TagName(doc->Parent(out[0])), "a");
+}
+
+TEST(TwigStackTest, MixedChildAndDescendant) {
+  auto doc = Parse(
+      "<r><a><b><c/></b></a><a><b/><c/></a><a><x><b><y><c/></y></b></x></a>"
+      "</r>");
+  // //a/b//c: b must be a child of a, c any descendant of b.
+  auto out = RunTwig(*doc, "//a//b//c");
+  EXPECT_EQ(out.size(), 2u);
+  auto out2 = RunTwig(*doc, "//a/b//c");
+  EXPECT_EQ(out2.size(), 1u);
+}
+
+TEST(TwigStackTest, RootedQuery) {
+  auto doc = Parse("<a><b/><a><b/></a></a>");
+  // /a/b: only the document root's direct b child.
+  auto out = RunTwig(*doc, "/a/b");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1u);
+}
+
+TEST(TwigStackTest, WildcardNode) {
+  auto doc = Parse("<r><x><t/></x><y><t/></y><t/></r>");
+  auto out = RunTwig(*doc, "//r/*/t");
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(TwigStackTest, ValueConstraintFiltersStream) {
+  auto doc = Parse("<r><k>x</k><k>y</k><k>y</k></r>");
+  auto out = RunTwig(*doc, "//k[. = \"y\"]");
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(TwigStackTest, ResultOnBranchingNode) {
+  auto doc = Parse("<r><a><b/><c/></a><a><b/></a></r>");
+  auto out = RunTwig(*doc, "//a[//b]//c");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(doc->TagName(out[0]), "c");
+}
+
+TEST(TwigStackTest, EmptyResult) {
+  auto doc = Parse("<r><a/></r>");
+  EXPECT_TRUE(RunTwig(*doc, "//a//zzz").empty());
+  EXPECT_TRUE(RunTwig(*doc, "//zzz").empty());
+}
+
+TEST(TwigStackTest, StatsArePopulated) {
+  auto doc = Parse("<r><a><b/></a><a><b/></a></r>");
+  auto p = xpath::ParsePath("//a//b");
+  ASSERT_TRUE(p.ok());
+  auto tr = pattern::BuildFromPath(*p);
+  ASSERT_TRUE(tr.ok());
+  TwigStack ts(&*doc, &*tr);
+  std::vector<xml::NodeId> out;
+  ASSERT_TRUE(ts.Run(tr->VertexOfVariable("result"), &out).ok());
+  EXPECT_GT(ts.stats().stream_elements, 0u);
+  EXPECT_EQ(ts.stats().path_solutions, 2u);
+}
+
+TEST(TwigStackTest, RejectsPositionalPredicate) {
+  auto doc = Parse("<r><a/></r>");
+  auto p = xpath::ParsePath("//a[2]");
+  ASSERT_TRUE(p.ok());
+  auto tr = pattern::BuildFromPath(*p);
+  ASSERT_TRUE(tr.ok());
+  TwigStack ts(&*doc, &*tr);
+  std::vector<xml::NodeId> out;
+  Status st = ts.Run(tr->VertexOfVariable("result"), &out);
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+}
+
+TEST(TwigStackTest, DeepBranchingTwigAgainstKnownAnswer) {
+  auto doc = Parse(
+      "<r>"
+      "<a><p><q/></p><s/></a>"       // Has p/q and s → match.
+      "<a><p/><s/></a>"              // p without q → no match.
+      "<a><p><q/></p></a>"           // No s → no match.
+      "<a><z><p><q/></p><s/></z></a>"  // Nested: still descendants → match.
+      "</r>");
+  auto out = RunTwig(*doc, "//a[//p//q]//s");
+  EXPECT_EQ(out.size(), 2u);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace blossomtree

@@ -1,0 +1,78 @@
+#include "workload/queries.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pattern/builder.h"
+#include "pattern/decompose.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace workload {
+namespace {
+
+TEST(WorkloadTest, SixQueriesPerDataset) {
+  for (datagen::Dataset d : datagen::AllDatasets()) {
+    auto qs = QueriesFor(d);
+    ASSERT_EQ(qs.size(), 6u) << datagen::DatasetName(d);
+    std::set<std::string> ids;
+    std::set<std::string> cats;
+    for (const QuerySpec& q : qs) {
+      ids.insert(q.id);
+      cats.insert(q.category);
+    }
+    EXPECT_EQ(ids.size(), 6u);
+    // The 3x2 category grid of Table 2.
+    EXPECT_EQ(cats, std::set<std::string>({"hc", "hb", "mc", "mb", "lc",
+                                           "lb"}));
+  }
+}
+
+TEST(WorkloadTest, CategoriesMatchTopology) {
+  // Chain categories (xc) must have no branching (every BlossomTree vertex
+  // has at most one child); branching categories (xb) must branch.
+  for (datagen::Dataset d : datagen::AllDatasets()) {
+    for (const QuerySpec& q : QueriesFor(d)) {
+      auto p = xpath::ParsePath(q.xpath);
+      ASSERT_TRUE(p.ok()) << q.xpath;
+      auto t = pattern::BuildFromPath(*p);
+      ASSERT_TRUE(t.ok()) << q.xpath;
+      bool branches = false;
+      for (pattern::VertexId v = 0; v < t->NumVertices(); ++v) {
+        if (t->vertex(v).children.size() > 1) branches = true;
+      }
+      if (q.category[1] == 'b') {
+        EXPECT_TRUE(branches) << q.xpath;
+      } else {
+        EXPECT_FALSE(branches) << q.xpath;
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, AllQueriesParseAndDecompose) {
+  for (datagen::Dataset d : datagen::AllDatasets()) {
+    for (const QuerySpec& q : QueriesFor(d)) {
+      auto p = xpath::ParsePath(q.xpath);
+      ASSERT_TRUE(p.ok()) << q.xpath << ": " << p.status().ToString();
+      auto t = pattern::BuildFromPath(*p);
+      ASSERT_TRUE(t.ok()) << q.xpath;
+      // Every workload query has at least two NoK subtrees (the paper's
+      // topology requirement in §5.1).
+      auto decomp = pattern::Decompose(*t);
+      size_t nontrivial = 0;
+      for (const auto& nok : decomp.noks) {
+        if (!(nok.vertices.size() == 1 &&
+              t->vertex(nok.root).IsVirtualRoot())) {
+          ++nontrivial;
+        }
+      }
+      EXPECT_GE(nontrivial, 2u) << q.xpath;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace blossomtree

@@ -1,0 +1,224 @@
+#include "nestedlist/nested_list.h"
+
+#include <gtest/gtest.h>
+
+#include "nestedlist/ops.h"
+#include "xml/parser.h"
+
+namespace blossomtree {
+namespace nestedlist {
+namespace {
+
+using pattern::BlossomTree;
+using pattern::DeweyId;
+using pattern::EdgeMode;
+using pattern::SlotId;
+using pattern::VertexId;
+
+/// Builds the paper's Example 3 NoK pattern tree: a(1) with children b(1.1)
+/// and c(1.2), b with child d(1.1.1); a-b mandatory, b-d and a-c optional.
+BlossomTree Example3Pattern() {
+  BlossomTree t;
+  VertexId a = t.AddRoot("a");
+  VertexId b = t.AddChild(a, "b", xpath::Axis::kChild, EdgeMode::kFor);
+  VertexId d = t.AddChild(b, "d", xpath::Axis::kChild, EdgeMode::kLet);
+  VertexId c = t.AddChild(a, "c", xpath::Axis::kChild, EdgeMode::kLet);
+  t.MarkReturning(a);
+  t.MarkReturning(b);
+  t.MarkReturning(d);
+  t.MarkReturning(c);
+  EXPECT_TRUE(t.Finalize().ok());
+  return t;
+}
+
+TEST(NestedListTest, Example3DeweyIds) {
+  BlossomTree t = Example3Pattern();
+  ASSERT_EQ(t.NumSlots(), 4u);
+  EXPECT_EQ(t.slot(0).dewey.ToString(), "1");      // a
+  EXPECT_EQ(t.slot(1).dewey.ToString(), "1.1");    // b
+  EXPECT_EQ(t.slot(2).dewey.ToString(), "1.1.1");  // d
+  EXPECT_EQ(t.slot(3).dewey.ToString(), "1.2");    // c
+}
+
+/// Hand-builds the Figure 4 NestedList:
+/// (a1,[(b1,()),(b2,[(d1),(d2)]),(b3,(d3))],[(c1),(c2)])
+/// over the document <a><b/><c/><b><d/><d/></b><c/><b><d/></b></a>
+/// whose node ids are a=0 b=1 c=2 b=3 d=4 d=5 c=6 b=7 d=8.
+NestedList Figure4List() {
+  auto leaf = [](xml::NodeId n) {
+    Entry e;
+    e.node = n;
+    return e;
+  };
+  Entry b1 = leaf(1);
+  b1.groups.resize(1);
+  Entry b2 = leaf(3);
+  b2.groups.resize(1);
+  b2.groups[0].push_back(leaf(4));
+  b2.groups[0].push_back(leaf(5));
+  Entry b3 = leaf(7);
+  b3.groups.resize(1);
+  b3.groups[0].push_back(leaf(8));
+  Entry a1 = leaf(0);
+  a1.groups.resize(2);
+  a1.groups[0] = {b1, b2, b3};
+  a1.groups[1] = {leaf(2), leaf(6)};
+  NestedList out;
+  out.tops.push_back(Group{a1});
+  return out;
+}
+
+std::unique_ptr<xml::Document> Figure3Document() {
+  auto r = xml::ParseDocument("<a><b/><c/><b><d/><d/></b><c/><b><d/></b></a>");
+  EXPECT_TRUE(r.ok());
+  return r.MoveValue();
+}
+
+TEST(NestedListTest, Figure4Serialization) {
+  auto doc = Figure3Document();
+  NestedList list = Figure4List();
+  OccurrenceLabeler label(doc.get());
+  EXPECT_EQ(ToString(list, label),
+            "(a1,[(b1,()),(b2,[(d1),(d2)]),(b3,(d3))],[(c1),(c2)])");
+}
+
+TEST(NestedListTest, PlaceholderSerialization) {
+  BlossomTree t = Example3Pattern();
+  auto doc = Figure3Document();
+  // Placeholder entry for slot a has two empty child groups.
+  Entry p = MakePlaceholderEntry(t, 0);
+  OccurrenceLabeler label(doc.get());
+  EXPECT_EQ(EntryToString(p, label), "((),())");
+  NestedList ph = MakePlaceholder(t, {0});
+  EXPECT_EQ(ToString(ph, label), "((),())");
+}
+
+TEST(NestedListTest, ProjectionExample) {
+  // Paper §3.3: π_{1.1}(t) = [b1, b2, b3].
+  BlossomTree t = Example3Pattern();
+  NestedList list = Figure4List();
+  std::vector<SlotId> tops = {0};
+  SlotId b = t.SlotOfDewey(DeweyId({1, 1}));
+  auto nodes = Project(t, tops, list, b);
+  EXPECT_EQ(nodes, std::vector<xml::NodeId>({1, 3, 7}));
+}
+
+TEST(NestedListTest, ProjectionDeepSlot) {
+  BlossomTree t = Example3Pattern();
+  NestedList list = Figure4List();
+  SlotId d = t.SlotOfDewey(DeweyId({1, 1, 1}));
+  auto nodes = Project(t, {0}, list, d);
+  EXPECT_EQ(nodes, std::vector<xml::NodeId>({4, 5, 8}));
+}
+
+TEST(NestedListTest, ProjectionIsDocumentOrder) {
+  // Theorem 1 at the data-structure level: projections come out sorted.
+  BlossomTree t = Example3Pattern();
+  NestedList list = Figure4List();
+  for (SlotId s = 0; s < t.NumSlots(); ++s) {
+    auto nodes = Project(t, {0}, list, s);
+    EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()))
+        << "slot " << t.slot(s).dewey.ToString();
+  }
+}
+
+TEST(NestedListTest, ProjectionUnreachableSlotIsEmpty) {
+  BlossomTree t = Example3Pattern();
+  NestedList list = Figure4List();
+  // Project d but with tops claiming only slot 3 (c): unreachable.
+  auto nodes = Project(t, {3}, list, 2);
+  EXPECT_TRUE(nodes.empty());
+}
+
+TEST(NestedListTest, SelectionByPosition) {
+  // Paper §3.3: σ_{position(1.1)=2} = [b2].
+  BlossomTree t = Example3Pattern();
+  NestedList list = Figure4List();
+  SlotId b = t.SlotOfDewey(DeweyId({1, 1}));
+  ASSERT_TRUE(SelectPosition(t, {0}, &list, b, 2));
+  auto nodes = Project(t, {0}, list, b);
+  EXPECT_EQ(nodes, std::vector<xml::NodeId>({3}));  // b2 only.
+  // d-children of the removed b's disappear with them.
+  auto ds = Project(t, {0}, list, 2);
+  EXPECT_EQ(ds, std::vector<xml::NodeId>({4, 5}));
+}
+
+TEST(NestedListTest, SelectionInvalidatesMandatory) {
+  // Removing all b's empties a mandatory (f) group → invalid list.
+  BlossomTree t = Example3Pattern();
+  NestedList list = Figure4List();
+  SlotId b = t.SlotOfDewey(DeweyId({1, 1}));
+  EXPECT_FALSE(
+      Select(t, {0}, &list, b, [](xml::NodeId, size_t) { return false; }));
+}
+
+TEST(NestedListTest, SelectionOnOptionalGroupStaysValid) {
+  // Removing all c's empties an optional (l) group → still valid.
+  BlossomTree t = Example3Pattern();
+  NestedList list = Figure4List();
+  SlotId c = t.SlotOfDewey(DeweyId({1, 2}));
+  EXPECT_TRUE(
+      Select(t, {0}, &list, c, [](xml::NodeId, size_t) { return false; }));
+  EXPECT_TRUE(Project(t, {0}, list, c).empty());
+  EXPECT_EQ(Project(t, {0}, list, 0).size(), 1u);  // a survives.
+}
+
+TEST(NestedListTest, EnforceMandatoryPrunesEntriesWithEmptyGroup) {
+  BlossomTree t = Example3Pattern();
+  // Make b-d mandatory for this test by rebuilding: a(b(d-f))(c).
+  BlossomTree t2;
+  VertexId a = t2.AddRoot("a");
+  VertexId b = t2.AddChild(a, "b", xpath::Axis::kChild, EdgeMode::kFor);
+  t2.AddChild(b, "d", xpath::Axis::kChild, EdgeMode::kFor);
+  t2.AddChild(a, "c", xpath::Axis::kChild, EdgeMode::kLet);
+  for (VertexId v = 0; v < t2.NumVertices(); ++v) t2.MarkReturning(v);
+  ASSERT_TRUE(t2.Finalize().ok());
+  NestedList list = Figure4List();
+  SlotId b_slot = t2.SlotOfDewey(DeweyId({1, 1}));
+  // b1 has an empty d-group → pruned; b2, b3 remain.
+  ASSERT_TRUE(EnforceMandatory(t2, {0}, &list, b_slot, 0));
+  auto nodes = Project(t2, {0}, list, b_slot);
+  EXPECT_EQ(nodes, std::vector<xml::NodeId>({3, 7}));
+}
+
+TEST(NestedListTest, CombineFillsPlaceholders) {
+  BlossomTree t = Example3Pattern();
+  NestedList filled = Figure4List();
+  NestedList ph = MakePlaceholder(t, {0});
+  // Pretend two top groups: left owns 0.
+  NestedList l;
+  l.tops = {filled.tops[0], ph.tops[0]};
+  NestedList r;
+  r.tops = {ph.tops[0], filled.tops[0]};
+  NestedList combined = Combine(l, r, {true, false});
+  EXPECT_EQ(combined.tops[0].size(), 1u);
+  EXPECT_FALSE(combined.tops[0][0].IsPlaceholder());
+  EXPECT_FALSE(combined.tops[1][0].IsPlaceholder());
+}
+
+TEST(NestedListTest, SlotChainAndChildIndex) {
+  BlossomTree t = Example3Pattern();
+  auto chain = SlotChain(t, {0}, 2);  // d
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], 0u);
+  EXPECT_EQ(chain[1], 1u);
+  EXPECT_EQ(chain[2], 2u);
+  EXPECT_EQ(ChildIndex(t, 0, 1), 0u);  // b is a's first child slot.
+  EXPECT_EQ(ChildIndex(t, 0, 3), 1u);  // c is a's second child slot.
+}
+
+TEST(NestedListTest, OccurrenceLabelerCountsPerTag) {
+  auto doc = Figure3Document();
+  OccurrenceLabeler label(doc.get());
+  EXPECT_EQ(label(0), "a1");
+  EXPECT_EQ(label(1), "b1");
+  EXPECT_EQ(label(3), "b2");
+  EXPECT_EQ(label(7), "b3");
+  EXPECT_EQ(label(2), "c1");
+  EXPECT_EQ(label(6), "c2");
+  EXPECT_EQ(label(8), "d3");
+}
+
+}  // namespace
+}  // namespace nestedlist
+}  // namespace blossomtree

@@ -1,0 +1,197 @@
+#include "opt/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/builder.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace opt {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+pattern::BlossomTree Tree(std::string_view query) {
+  auto p = xpath::ParsePath(query);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  auto t = pattern::BuildFromPath(*p);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return t.MoveValue();
+}
+
+std::vector<xml::NodeId> Eval(const xml::Document& doc,
+                              std::string_view query,
+                              const PlanOptions& opts = {}) {
+  pattern::BlossomTree t = Tree(query);
+  auto r = EvaluatePathQuery(&doc, &t, opts);
+  EXPECT_TRUE(r.ok()) << query << ": " << r.status().ToString();
+  return r.ok() ? r.MoveValue() : std::vector<xml::NodeId>{};
+}
+
+TEST(PlannerTest, AutoPicksPipelinedOnNonRecursive) {
+  auto doc = Parse("<r><a><b/></a></r>");
+  pattern::BlossomTree t = Tree("//a//b");
+  auto plan = PlanQuery(doc.get(), &t);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->chosen, JoinStrategy::kPipelined);
+  EXPECT_NE(plan->Explain().find("PipelinedDescJoin"), std::string::npos);
+}
+
+TEST(PlannerTest, AutoPicksBnljOnRecursive) {
+  auto doc = Parse("<r><a><a><b/></a></a></r>");
+  pattern::BlossomTree t = Tree("//a//b");
+  auto plan = PlanQuery(doc.get(), &t);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->chosen, JoinStrategy::kBoundedNestedLoop);
+  EXPECT_NE(plan->Explain().find("BoundedNestedLoopJoin"),
+            std::string::npos);
+}
+
+TEST(PlannerTest, AutoUsesPerTagRecursion) {
+  // The document is recursive (nested x's), but the queried tags a and b
+  // never nest → the fine-grained rule still picks the pipelined join.
+  auto doc = Parse("<r><x><x><a><b/></a></x></x><a><c/></a></r>");
+  ASSERT_TRUE(doc->IsRecursive());
+  pattern::BlossomTree t = Tree("//a//b");
+  auto plan = PlanQuery(doc.get(), &t);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->chosen, JoinStrategy::kPipelined);
+  // And the result is still correct.
+  EXPECT_EQ(Eval(*doc, "//a//b").size(), 1u);
+}
+
+TEST(PlannerTest, AutoMixedStrategies) {
+  // a nests (BNLJ for a//b), but b does not (PL for b//c): a mixed plan.
+  auto doc = Parse("<r><a><a><b><c/></b></a></a></r>");
+  pattern::BlossomTree t = Tree("//a//b//c");
+  auto plan = PlanQuery(doc.get(), &t);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->chosen, JoinStrategy::kAuto);
+  EXPECT_NE(plan->Explain().find("BoundedNestedLoopJoin(a // b"),
+            std::string::npos);
+  EXPECT_NE(plan->Explain().find("PipelinedDescJoin(b // c"),
+            std::string::npos);
+  EXPECT_EQ(Eval(*doc, "//a//b//c").size(), 1u);
+}
+
+TEST(PlannerTest, AutoConservativeOnWildcards) {
+  // Wildcard outer: nesting cannot be bounded per tag → BNLJ.
+  auto doc = Parse("<r><x><y><b/></y></x></r>");
+  pattern::BlossomTree t = Tree("//*//b");
+  auto plan = PlanQuery(doc.get(), &t);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->Explain().find("BoundedNestedLoopJoin"),
+            std::string::npos);
+}
+
+TEST(PlannerTest, TrivialVirtualRootIsElided) {
+  auto doc = Parse("<r><a/></r>");
+  pattern::BlossomTree t = Tree("//a");
+  auto plan = PlanQuery(doc.get(), &t);
+  ASSERT_TRUE(plan.ok());
+  // One pattern tree, a single NoK scan, no joins.
+  ASSERT_EQ(plan->trees.size(), 1u);
+  EXPECT_EQ(plan->trees[0].scans.size(), 1u);
+  EXPECT_EQ(plan->Explain().find("Join"), std::string::npos);
+}
+
+TEST(PlannerTest, LocalPathKeepsVirtualRootNok) {
+  auto doc = Parse("<a><b/></a>");
+  auto out = Eval(*doc, "/a/b");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1u);
+}
+
+TEST(PlannerTest, ChainQuery) {
+  auto doc = Parse("<r><a><b><c/></b></a><a><b/></a><c/></r>");
+  auto out = Eval(*doc, "//a//b//c");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(doc->TagName(out[0]), "c");
+}
+
+TEST(PlannerTest, BranchingQuery) {
+  auto doc = Parse(
+      "<r><a><b/><c/><d/></a><a><b/><c/></a><a><b/><c/><x><d/></x></a></r>");
+  auto out = Eval(*doc, "//a[//b][//c][//d]");
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(PlannerTest, ForcedStrategiesAgree) {
+  auto doc = Parse(
+      "<r><a><b/><x><b/><c/></x></a><a><c/></a><a><b/><c/></a></r>");
+  PlanOptions pl;
+  pl.strategy = JoinStrategy::kPipelined;
+  PlanOptions nl;
+  nl.strategy = JoinStrategy::kBoundedNestedLoop;
+  for (const char* q : {"//a//b", "//a[//b]//c", "//a//b[//c]"}) {
+    EXPECT_EQ(Eval(*doc, q, pl), Eval(*doc, q, nl)) << q;
+  }
+}
+
+TEST(PlannerTest, BnljHandlesRecursiveChains) {
+  auto doc = Parse("<a><a><b><b/></b></a><b/></a>");
+  auto out = Eval(*doc, "//a//b//b");
+  // b@3 is the only b nested under another b (which is under an a).
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(PlannerTest, MergedScanProducesSameResults) {
+  auto doc = Parse(
+      "<r><a><b/><c/></a><a><b/></a><a><x><b/></x><c/></a></r>");
+  PlanOptions merged;
+  merged.strategy = JoinStrategy::kPipelined;
+  merged.merge_nok_scans = true;
+  PlanOptions plain;
+  plain.strategy = JoinStrategy::kPipelined;
+  for (const char* q : {"//a//b", "//a[//b][//c]", "//a[//c]//b"}) {
+    EXPECT_EQ(Eval(*doc, q, merged), Eval(*doc, q, plain)) << q;
+  }
+}
+
+TEST(PlannerTest, MergedScanUsesOnePass) {
+  auto doc = Parse("<r><a><b/></a><a><c/></a></r>");
+  pattern::BlossomTree t = Tree("//a[//b]//c");
+  PlanOptions opts;
+  opts.strategy = JoinStrategy::kPipelined;
+  opts.merge_nok_scans = true;
+  auto plan = PlanQuery(doc.get(), &t, opts);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_NE(plan->merged_scan, nullptr);
+  // One pass over the 5 nodes, not 3 (one per NoK).
+  EXPECT_EQ(plan->merged_scan->NodesScanned(), doc->NumNodes());
+  EXPECT_TRUE(plan->trees[0].scans.empty());
+}
+
+TEST(PlannerTest, ScanMetricsExposed) {
+  auto doc = Parse("<r><a><b/></a></r>");
+  pattern::BlossomTree t = Tree("//a//b");
+  auto plan = PlanQuery(doc.get(), &t);
+  ASSERT_TRUE(plan.ok());
+  nestedlist::NestedList nl;
+  while (plan->trees[0].root->GetNext(&nl)) {
+  }
+  EXPECT_GT(plan->trees[0].TotalNodesScanned(), 0u);
+}
+
+TEST(PlannerTest, ValueConstraintQuery) {
+  auto doc = Parse("<r><a><k>x</k></a><a><k>y</k></a></r>");
+  auto out = Eval(*doc, "//a[//k = \"y\"]");
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(PlannerTest, UnfinalizedTreeRejected) {
+  auto doc = Parse("<r/>");
+  pattern::BlossomTree t;
+  t.AddRoot("~");
+  auto plan = PlanQuery(doc.get(), &t);
+  EXPECT_FALSE(plan.ok());
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace blossomtree

@@ -1,0 +1,217 @@
+#include "pattern/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "flwor/parser.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace pattern {
+namespace {
+
+BlossomTree FromPath(std::string_view path) {
+  auto p = xpath::ParsePath(path);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  auto t = BuildFromPath(*p);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return t.MoveValue();
+}
+
+BlossomTree FromQuery(std::string_view q) {
+  auto e = flwor::ParseQuery(q);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  auto t = BuildFromQuery(**e);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return t.MoveValue();
+}
+
+TEST(BuilderTest, SimplePath) {
+  BlossomTree t = FromPath("/a/b");
+  // Vertices: ~, a, b.
+  ASSERT_EQ(t.NumVertices(), 3u);
+  EXPECT_EQ(t.roots().size(), 1u);
+  EXPECT_TRUE(t.vertex(t.roots()[0]).IsVirtualRoot());
+  VertexId b = t.VertexOfVariable("result");
+  ASSERT_NE(b, kNoVertex);
+  EXPECT_EQ(t.vertex(b).tag, "b");
+  EXPECT_EQ(t.vertex(b).axis, xpath::Axis::kChild);
+  // Only b is returning.
+  EXPECT_EQ(t.NumSlots(), 1u);
+  EXPECT_EQ(t.slot(t.SlotOfVertex(b)).dewey.ToString(), "1");
+}
+
+TEST(BuilderTest, DescendantEdgesMarkEndpointsReturning) {
+  BlossomTree t = FromPath("//a//b");
+  // ~, a, b; a and b returning (global-edge endpoints; b also the result).
+  ASSERT_EQ(t.NumVertices(), 3u);
+  EXPECT_EQ(t.NumSlots(), 2u);
+  SlotId sa = t.SlotOfDewey(DeweyId({1}));
+  SlotId sb = t.SlotOfDewey(DeweyId({1, 1}));
+  ASSERT_NE(sa, kNoSlot);
+  ASSERT_NE(sb, kNoSlot);
+  EXPECT_EQ(t.vertex(t.slot(sa).vertex).tag, "a");
+  EXPECT_EQ(t.vertex(t.slot(sb).vertex).tag, "b");
+  EXPECT_EQ(t.slot(sb).parent, sa);
+}
+
+TEST(BuilderTest, PredicateSubtreeIsNotReturning) {
+  BlossomTree t = FromPath("/a[b]/c");
+  // ~, a, b(predicate), c. Only c returning.
+  ASSERT_EQ(t.NumVertices(), 4u);
+  EXPECT_EQ(t.NumSlots(), 1u);
+  VertexId c = t.VertexOfVariable("result");
+  EXPECT_EQ(t.vertex(c).tag, "c");
+}
+
+TEST(BuilderTest, PredicateWithDescendantCreatesSlots) {
+  BlossomTree t = FromPath("//a[//b]/c");
+  // a//b cut edge: a and b returning; c result.
+  EXPECT_EQ(t.NumSlots(), 3u);
+  SlotId sa = t.SlotOfDewey(DeweyId({1}));
+  ASSERT_NE(sa, kNoSlot);
+  EXPECT_EQ(t.slot(sa).children.size(), 2u);  // b and c below a.
+}
+
+TEST(BuilderTest, ValuePredicate) {
+  BlossomTree t = FromPath("/book[author = \"Smith\"]/title");
+  VertexId author = kNoVertex;
+  for (VertexId v = 0; v < t.NumVertices(); ++v) {
+    if (t.vertex(v).tag == "author") author = v;
+  }
+  ASSERT_NE(author, kNoVertex);
+  ASSERT_TRUE(t.vertex(author).value.has_value());
+  EXPECT_EQ(t.vertex(author).value->literal, "Smith");
+  EXPECT_EQ(t.vertex(author).value->op, xpath::CompareOp::kEq);
+}
+
+TEST(BuilderTest, SelfValuePredicate) {
+  BlossomTree t = FromPath("//author[. = \"Smith\"]");
+  VertexId a = t.VertexOfVariable("result");
+  ASSERT_TRUE(t.vertex(a).value.has_value());
+  EXPECT_EQ(t.vertex(a).value->literal, "Smith");
+}
+
+TEST(BuilderTest, PositionPredicate) {
+  BlossomTree t = FromPath("//book[2]");
+  VertexId b = t.VertexOfVariable("result");
+  EXPECT_EQ(t.vertex(b).position, 2);
+}
+
+TEST(BuilderTest, Example1Blossoms) {
+  constexpr const char* kExample1 = R"(
+    for $book1 in doc("bib.xml")//book,
+        $book2 in doc("bib.xml")//book
+    let $aut1 := $book1/author
+    let $aut2 := $book2/author
+    where $book1 << $book2
+      and not($book1/title = $book2/title)
+      and deep-equal($aut1, $aut2)
+    return <book-pair>{ $book1/title }{ $book2/title }</book-pair>
+  )";
+  BlossomTree t = FromQuery(kExample1);
+
+  // Two pattern-tree roots (two doc()-anchored for-clauses).
+  EXPECT_EQ(t.roots().size(), 2u);
+
+  // Blossoms: book1, book2, aut1, aut2, plus title vertices from where.
+  VertexId b1 = t.VertexOfVariable("book1");
+  VertexId b2 = t.VertexOfVariable("book2");
+  VertexId a1 = t.VertexOfVariable("aut1");
+  VertexId a2 = t.VertexOfVariable("aut2");
+  ASSERT_NE(b1, kNoVertex);
+  ASSERT_NE(b2, kNoVertex);
+  ASSERT_NE(a1, kNoVertex);
+  ASSERT_NE(a2, kNoVertex);
+
+  // let-edges are l-annotated.
+  EXPECT_EQ(t.vertex(a1).mode, EdgeMode::kLet);
+  EXPECT_EQ(t.vertex(a2).mode, EdgeMode::kLet);
+  EXPECT_EQ(t.vertex(b1).mode, EdgeMode::kFor);
+
+  // Dewey IDs per paper §3.3: super-root with book1 = 1.1, book2 = 1.2.
+  EXPECT_EQ(t.slot(t.SlotOfVariable("book1")).dewey.ToString(), "1.1");
+  EXPECT_EQ(t.slot(t.SlotOfVariable("book2")).dewey.ToString(), "1.2");
+  // aut1 and the book1/title vertex are 1.1.x.
+  EXPECT_TRUE(
+      t.slot(t.SlotOfVariable("book1"))
+          .dewey.IsAncestorOf(t.slot(t.SlotOfVariable("aut1")).dewey));
+
+  // Crossing edges: <<, not(=) on titles, deep-equal on authors.
+  ASSERT_EQ(t.cross_edges().size(), 3u);
+  EXPECT_EQ(t.cross_edges()[0].kind, CrossKind::kDocBefore);
+  EXPECT_FALSE(t.cross_edges()[0].negated);
+  EXPECT_EQ(t.cross_edges()[1].kind, CrossKind::kValueEq);
+  EXPECT_TRUE(t.cross_edges()[1].negated);
+  EXPECT_EQ(t.cross_edges()[2].kind, CrossKind::kDeepEqual);
+  EXPECT_EQ(t.cross_edges()[2].left, a1);
+  EXPECT_EQ(t.cross_edges()[2].right, a2);
+
+  // The slot mode of aut1 is l (let-bound).
+  EXPECT_EQ(t.slot(t.SlotOfVariable("aut1")).mode, EdgeMode::kLet);
+  EXPECT_EQ(t.slot(t.SlotOfVariable("book1")).mode, EdgeMode::kFor);
+}
+
+TEST(BuilderTest, WhereTitleVerticesAreShared) {
+  // $b/title referenced twice (where + another comparison) creates one
+  // vertex.
+  BlossomTree t = FromQuery(
+      "for $a in //x, $b in //y where $a/t = $b/t and $a/t != $b/t "
+      "return $a");
+  size_t t_under_a = 0;
+  VertexId a = t.VertexOfVariable("a");
+  for (VertexId c : t.vertex(a).children) {
+    if (t.vertex(c).tag == "t") ++t_under_a;
+  }
+  EXPECT_EQ(t_under_a, 1u);
+}
+
+TEST(BuilderTest, VariableChainExtendsVertex) {
+  BlossomTree t = FromQuery(
+      "for $a in //x for $b in $a/y/z return $b");
+  VertexId b = t.VertexOfVariable("b");
+  ASSERT_NE(b, kNoVertex);
+  EXPECT_EQ(t.vertex(b).tag, "z");
+  // Chain: x <- y <- z through one pattern tree; single root.
+  EXPECT_EQ(t.roots().size(), 1u);
+}
+
+TEST(BuilderTest, DocAfterSwapsOperands) {
+  BlossomTree t = FromQuery(
+      "for $a in //x, $b in //y where $a >> $b return $a");
+  ASSERT_EQ(t.cross_edges().size(), 1u);
+  EXPECT_EQ(t.cross_edges()[0].kind, CrossKind::kDocBefore);
+  EXPECT_EQ(t.cross_edges()[0].left, t.VertexOfVariable("b"));
+  EXPECT_EQ(t.cross_edges()[0].right, t.VertexOfVariable("a"));
+}
+
+TEST(BuilderTest, OrBranchesProduceNoCrossEdges) {
+  BlossomTree t = FromQuery(
+      "for $a in //x, $b in //y where $a = $b or $a << $b return $a");
+  EXPECT_TRUE(t.cross_edges().empty());
+}
+
+TEST(BuilderTest, ErrorUnboundVariable) {
+  auto e = flwor::ParseQuery("for $a in $nope/x return $a");
+  ASSERT_TRUE(e.ok());
+  auto t = BuildFromQuery(**e);
+  EXPECT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuilderTest, ErrorReboundVariable) {
+  auto e = flwor::ParseQuery("for $a in //x for $a in //y return $a");
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(BuildFromQuery(**e).ok());
+}
+
+TEST(BuilderTest, ToStringMentionsStructure) {
+  BlossomTree t = FromPath("//a[//b]/c");
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("~"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("($result)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pattern
+}  // namespace blossomtree

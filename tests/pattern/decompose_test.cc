@@ -1,0 +1,137 @@
+#include "pattern/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "flwor/parser.h"
+#include "pattern/builder.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace pattern {
+namespace {
+
+BlossomTree FromPath(std::string_view path) {
+  auto p = xpath::ParsePath(path);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  auto t = BuildFromPath(*p);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return t.MoveValue();
+}
+
+std::string TagOf(const BlossomTree& t, VertexId v) {
+  return t.vertex(v).tag;
+}
+
+TEST(DecomposeTest, LocalOnlyPathIsOneNok) {
+  BlossomTree t = FromPath("/a/b/c");
+  Decomposition d = Decompose(t);
+  ASSERT_EQ(d.noks.size(), 1u);
+  EXPECT_TRUE(d.connections.empty());
+  EXPECT_EQ(d.noks[0].vertices.size(), 4u);  // ~, a, b, c.
+}
+
+TEST(DecomposeTest, DescendantEdgeCutsTree) {
+  // The paper's §2.1 example: /book[//author="Smith"]/title decomposes into
+  // {book, title} and {author}.
+  BlossomTree t = FromPath("/book[//author = \"Smith\"]/title");
+  Decomposition d = Decompose(t);
+  ASSERT_EQ(d.noks.size(), 2u);
+  ASSERT_EQ(d.connections.size(), 1u);
+  EXPECT_EQ(TagOf(t, d.connections[0].from), "book");
+  EXPECT_EQ(TagOf(t, d.connections[0].to), "author");
+  EXPECT_EQ(d.connections[0].axis, xpath::Axis::kDescendant);
+  // First NoK: ~, book, title. Second: author.
+  EXPECT_EQ(d.noks[0].vertices.size(), 3u);
+  EXPECT_EQ(d.noks[1].vertices.size(), 1u);
+  EXPECT_EQ(TagOf(t, d.noks[1].root), "author");
+}
+
+TEST(DecomposeTest, ChainOfDescendants) {
+  BlossomTree t = FromPath("//a//b//c");
+  Decomposition d = Decompose(t);
+  // {~}, {a}, {b}, {c}.
+  ASSERT_EQ(d.noks.size(), 4u);
+  ASSERT_EQ(d.connections.size(), 3u);
+  EXPECT_EQ(TagOf(t, d.connections[0].from), "~");
+  EXPECT_EQ(TagOf(t, d.connections[0].to), "a");
+  EXPECT_EQ(TagOf(t, d.connections[1].from), "a");
+  EXPECT_EQ(TagOf(t, d.connections[1].to), "b");
+  EXPECT_EQ(TagOf(t, d.connections[2].from), "b");
+  EXPECT_EQ(TagOf(t, d.connections[2].to), "c");
+}
+
+TEST(DecomposeTest, BranchingQuery) {
+  // Q4-style: //a/b[//c][//d][//e] → NoKs {~}, {a,b}, {c}, {d}, {e}.
+  BlossomTree t = FromPath("//a/b[//c][//d][//e]");
+  Decomposition d = Decompose(t);
+  ASSERT_EQ(d.noks.size(), 5u);
+  ASSERT_EQ(d.connections.size(), 4u);
+  // b is the 'from' of three connections.
+  int from_b = 0;
+  for (const Connection& c : d.connections) {
+    if (TagOf(t, c.from) == "b") ++from_b;
+  }
+  EXPECT_EQ(from_b, 3);
+}
+
+TEST(DecomposeTest, MixedAxesKeepLocalSubtrees) {
+  BlossomTree t = FromPath("/a/b//c/d/e");
+  Decomposition d = Decompose(t);
+  ASSERT_EQ(d.noks.size(), 2u);
+  EXPECT_EQ(d.noks[0].vertices.size(), 3u);  // ~, a, b.
+  EXPECT_EQ(d.noks[1].vertices.size(), 3u);  // c, d, e.
+  EXPECT_EQ(TagOf(t, d.noks[1].root), "c");
+}
+
+TEST(DecomposeTest, NokOfVertexIndex) {
+  BlossomTree t = FromPath("/a//b");
+  Decomposition d = Decompose(t);
+  ASSERT_EQ(d.noks.size(), 2u);
+  for (size_t i = 0; i < d.noks.size(); ++i) {
+    for (VertexId v : d.noks[i].vertices) {
+      EXPECT_EQ(d.NokOf(v), i);
+    }
+  }
+}
+
+TEST(DecomposeTest, FlworWithTwoTrees) {
+  auto e = flwor::ParseQuery(
+      "for $a in //x, $b in //y where $a << $b return $a");
+  ASSERT_TRUE(e.ok());
+  auto tr = BuildFromQuery(**e);
+  ASSERT_TRUE(tr.ok());
+  Decomposition d = Decompose(*tr);
+  // Two pattern trees, each {~} + {tag} → 4 NoKs, 2 // connections; the
+  // crossing edge << is not a tree edge and produces no connection.
+  EXPECT_EQ(d.noks.size(), 4u);
+  EXPECT_EQ(d.connections.size(), 2u);
+}
+
+TEST(DecomposeTest, ConnectionModePropagatesLet) {
+  auto e = flwor::ParseQuery("for $a in //x let $c := $a//z return $a");
+  ASSERT_TRUE(e.ok());
+  auto tr = BuildFromQuery(**e);
+  ASSERT_TRUE(tr.ok());
+  Decomposition d = Decompose(*tr);
+  bool found = false;
+  for (const Connection& c : d.connections) {
+    if (tr->vertex(c.to).tag == "z") {
+      EXPECT_EQ(c.mode, EdgeMode::kLet);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DecomposeTest, ToStringListsNoKsAndConnections) {
+  BlossomTree t = FromPath("/a//b");
+  Decomposition d = Decompose(t);
+  std::string s = d.ToString(t);
+  EXPECT_NE(s.find("NoK0"), std::string::npos);
+  EXPECT_NE(s.find("NoK1"), std::string::npos);
+  EXPECT_NE(s.find("conn: a // b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pattern
+}  // namespace blossomtree

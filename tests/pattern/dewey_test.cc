@@ -1,0 +1,58 @@
+#include "pattern/dewey.h"
+
+#include <gtest/gtest.h>
+
+namespace blossomtree {
+namespace pattern {
+namespace {
+
+TEST(DeweyTest, ParseAndToString) {
+  auto r = DeweyId::Parse("1.1.2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "1.1.2");
+  EXPECT_EQ(r->depth(), 3u);
+}
+
+TEST(DeweyTest, ParseSingle) {
+  auto r = DeweyId::Parse("1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->components(), std::vector<uint32_t>({1}));
+}
+
+TEST(DeweyTest, ParseErrors) {
+  EXPECT_FALSE(DeweyId::Parse("").ok());
+  EXPECT_FALSE(DeweyId::Parse("1..2").ok());
+  EXPECT_FALSE(DeweyId::Parse("1.0").ok());
+  EXPECT_FALSE(DeweyId::Parse("a.b").ok());
+  EXPECT_FALSE(DeweyId::Parse("1.-2").ok());
+}
+
+TEST(DeweyTest, ParentAndChild) {
+  DeweyId id({1, 2, 3});
+  EXPECT_EQ(id.Parent().ToString(), "1.2");
+  EXPECT_EQ(id.Child(4).ToString(), "1.2.3.4");
+  EXPECT_TRUE(DeweyId({1}).Parent().empty());
+}
+
+TEST(DeweyTest, Ancestry) {
+  DeweyId root({1});
+  DeweyId a({1, 1});
+  DeweyId b({1, 1, 2});
+  DeweyId c({1, 2});
+  EXPECT_TRUE(root.IsAncestorOf(a));
+  EXPECT_TRUE(root.IsAncestorOf(b));
+  EXPECT_TRUE(a.IsAncestorOf(b));
+  EXPECT_FALSE(a.IsAncestorOf(c));
+  EXPECT_FALSE(a.IsAncestorOf(a));
+  EXPECT_FALSE(b.IsAncestorOf(a));
+}
+
+TEST(DeweyTest, Ordering) {
+  EXPECT_TRUE(DeweyId({1, 1}) < DeweyId({1, 2}));
+  EXPECT_TRUE(DeweyId({1}) < DeweyId({1, 1}));
+  EXPECT_TRUE(DeweyId({1, 1}) == DeweyId({1, 1}));
+}
+
+}  // namespace
+}  // namespace pattern
+}  // namespace blossomtree

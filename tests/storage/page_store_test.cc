@@ -1,0 +1,97 @@
+#include "storage/page_store.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "xml/parser.h"
+
+namespace blossomtree {
+namespace storage {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(PageStoreTest, RecordsMirrorDocument) {
+  auto doc = Parse("<a><b><d/></b><c/></a>");
+  PageStore store(*doc);
+  ASSERT_EQ(store.NumNodes(), 4u);
+  EXPECT_EQ(store.Get(0).subtree_end, doc->SubtreeEnd(0));
+  EXPECT_EQ(store.Get(1).level, 1u);
+  EXPECT_EQ(store.Get(0).tag, doc->Tag(0));
+}
+
+TEST(PageStoreTest, NavigationMatchesDocument) {
+  auto doc = Parse("<a><b><d/><e/></b><c/></a>");
+  PageStore store(*doc);
+  for (xml::NodeId n = 0; n < doc->NumNodes(); ++n) {
+    EXPECT_EQ(store.FirstChild(n), doc->FirstChild(n)) << "node " << n;
+    EXPECT_EQ(store.NextSibling(n), doc->NextSibling(n)) << "node " << n;
+  }
+}
+
+TEST(PageStoreTest, NavigationWithTextNodes) {
+  auto doc = Parse("<a><b>t1</b>t2<c/></a>");
+  PageStore store(*doc);
+  for (xml::NodeId n = 0; n < doc->NumNodes(); ++n) {
+    EXPECT_EQ(store.FirstChild(n), doc->FirstChild(n)) << "node " << n;
+    EXPECT_EQ(store.NextSibling(n), doc->NextSibling(n)) << "node " << n;
+  }
+}
+
+TEST(PageStoreTest, SequentialScanCostsOnePassOfPages) {
+  // 64-byte pages => 4 records per page.
+  auto doc = Parse("<a><b/><b/><b/><b/><b/><b/><b/></a>");
+  PageStore store(*doc, /*page_bytes=*/64);
+  ASSERT_EQ(store.NodesPerPage(), 4u);
+  ASSERT_EQ(store.NumPages(), 2u);
+  store.ResetCounters();
+  for (xml::NodeId n = 0; n < store.NumNodes(); ++n) {
+    store.Get(n);
+  }
+  EXPECT_EQ(store.PageReads(), 2u);
+}
+
+TEST(PageStoreTest, RandomAccessCostsPerJump) {
+  auto doc = Parse("<a><b/><b/><b/><b/><b/><b/><b/></a>");
+  PageStore store(*doc, 64);
+  store.ResetCounters();
+  store.Get(0);  // page 0
+  store.Get(7);  // page 1
+  store.Get(0);  // page 0 again
+  EXPECT_EQ(store.PageReads(), 3u);
+}
+
+TEST(PageStoreTest, NavigationMatchesDocumentOnGeneratedData) {
+  // Property: the paged store's derived navigation (from subtree extents
+  // and levels alone) equals the DOM pointers on every dataset shape.
+  for (blossomtree::datagen::Dataset d : blossomtree::datagen::AllDatasets()) {
+    blossomtree::datagen::GenOptions o;
+    o.scale = 0.01;
+    auto doc = blossomtree::datagen::GenerateDataset(d, o);
+    PageStore store(*doc);
+    for (xml::NodeId n = 0; n < doc->NumNodes(); ++n) {
+      ASSERT_EQ(store.FirstChild(n), doc->FirstChild(n))
+          << blossomtree::datagen::DatasetName(d) << " node " << n;
+      ASSERT_EQ(store.NextSibling(n), doc->NextSibling(n))
+          << blossomtree::datagen::DatasetName(d) << " node " << n;
+    }
+  }
+}
+
+TEST(PageStoreTest, RepeatedSamePageIsCached) {
+  auto doc = Parse("<a><b/><b/></a>");
+  PageStore store(*doc, 4096);
+  store.ResetCounters();
+  store.Get(0);
+  store.Get(1);
+  store.Get(2);
+  EXPECT_EQ(store.PageReads(), 1u);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace blossomtree

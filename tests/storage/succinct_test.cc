@@ -1,0 +1,134 @@
+#include "storage/succinct.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/datagen.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace blossomtree {
+namespace storage {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+void ExpectRoundTrip(const xml::Document& doc) {
+  std::string encoded = EncodeSuccinct(doc);
+  auto decoded = DecodeSuccinct(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(xml::Serialize(**decoded), xml::Serialize(doc));
+  EXPECT_EQ((*decoded)->NumNodes(), doc.NumNodes());
+  EXPECT_EQ((*decoded)->MaxDepth(), doc.MaxDepth());
+}
+
+TEST(SuccinctTest, RoundTripSimple) {
+  ExpectRoundTrip(*Parse("<a><b>text</b><c x=\"1\"/></a>"));
+}
+
+TEST(SuccinctTest, RoundTripMixedContent) {
+  ExpectRoundTrip(*Parse("<a>x<b>y</b>z<b/>w</a>"));
+}
+
+TEST(SuccinctTest, RoundTripDeepNesting) {
+  std::string in;
+  for (int i = 0; i < 64; ++i) in += "<n>";
+  in += "leaf";
+  for (int i = 0; i < 64; ++i) in += "</n>";
+  ExpectRoundTrip(*Parse(in));
+}
+
+TEST(SuccinctTest, RoundTripAttributes) {
+  ExpectRoundTrip(*Parse(R"(<a k1="v1" k2="v&amp;2"><b k3=""/></a>)"));
+}
+
+TEST(SuccinctTest, RoundTripEmptyDocument) {
+  xml::Document doc;
+  ASSERT_TRUE(doc.Finish().ok());
+  ExpectRoundTrip(doc);
+}
+
+class SuccinctDatasetTest : public ::testing::TestWithParam<datagen::Dataset> {
+};
+
+TEST_P(SuccinctDatasetTest, RoundTripsGeneratedData) {
+  datagen::GenOptions o;
+  o.scale = 0.02;
+  auto doc = datagen::GenerateDataset(GetParam(), o);
+  ExpectRoundTrip(*doc);
+}
+
+TEST_P(SuccinctDatasetTest, EncodingIsCompact) {
+  datagen::GenOptions o;
+  o.scale = 0.02;
+  auto doc = datagen::GenerateDataset(GetParam(), o);
+  std::string xml_text = xml::Serialize(*doc);
+  std::string encoded = EncodeSuccinct(*doc);
+  // The succinct form should beat the textual form (tags are dictionary
+  // coded, structure is 2 bits per event).
+  EXPECT_LT(encoded.size(), xml_text.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, SuccinctDatasetTest,
+                         ::testing::ValuesIn(datagen::AllDatasets()),
+                         [](const auto& info) {
+                           return std::string(
+                               datagen::DatasetName(info.param));
+                         });
+
+TEST(SuccinctTest, SaveAndLoadFile) {
+  auto doc = Parse("<a><b>x</b></a>");
+  std::string path = ::testing::TempDir() + "/bt_succinct_test.btsx";
+  ASSERT_TRUE(SaveDocument(*doc, path).ok());
+  auto loaded = LoadDocument(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(xml::Serialize(**loaded), "<a><b>x</b></a>");
+  std::remove(path.c_str());
+}
+
+TEST(SuccinctTest, LoadMissingFileFails) {
+  auto r = LoadDocument("/nonexistent/path/file.btsx");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+// -- Corruption handling -------------------------------------------------------
+
+TEST(SuccinctTest, RejectsBadMagic) {
+  EXPECT_FALSE(DecodeSuccinct("NOPE rest").ok());
+  EXPECT_FALSE(DecodeSuccinct("").ok());
+}
+
+TEST(SuccinctTest, RejectsTruncation) {
+  auto doc = Parse("<a><b>text</b><c/></a>");
+  std::string encoded = EncodeSuccinct(*doc);
+  // Every strict prefix must fail cleanly, not crash.
+  for (size_t len = 0; len < encoded.size(); ++len) {
+    auto r = DecodeSuccinct(std::string_view(encoded).substr(0, len));
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(SuccinctTest, RejectsCorruptTagId) {
+  auto doc = Parse("<a><b/></a>");
+  std::string encoded = EncodeSuccinct(*doc);
+  // Flip bytes one at a time; decoding must either fail or produce some
+  // well-formed document — never crash.
+  for (size_t i = 4; i < encoded.size(); ++i) {
+    std::string corrupt = encoded;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x5A);
+    auto r = DecodeSuccinct(corrupt);
+    if (r.ok()) {
+      EXPECT_TRUE((*r)->NumNodes() > 0 || (*r)->empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace blossomtree

@@ -1,0 +1,79 @@
+#include "storage/tag_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace blossomtree {
+namespace storage {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(TagStreamTest, IteratesInDocumentOrder) {
+  auto doc = Parse("<a><b/><c><b/></c><b/></a>");
+  TagStream s(doc.get(), doc->tags().Lookup("b"));
+  ASSERT_EQ(s.size(), 3u);
+  xml::NodeId prev = 0;
+  int count = 0;
+  while (!s.AtEnd()) {
+    EXPECT_GE(s.Node(), prev);
+    prev = s.Node();
+    s.Advance();
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.Consumed(), 3u);
+}
+
+TEST(TagStreamTest, RegionLabels) {
+  auto doc = Parse("<a><b><c/></b></a>");
+  TagStream s(doc.get(), doc->tags().Lookup("b"));
+  ASSERT_FALSE(s.AtEnd());
+  EXPECT_EQ(s.Start(), 1u);
+  EXPECT_EQ(s.End(), 2u);
+  EXPECT_EQ(s.Level(), 1u);
+}
+
+TEST(TagStreamTest, SkipToSeeks) {
+  auto doc = Parse("<a><b/><b/><b/><c/><b/></a>");
+  TagStream s(doc.get(), doc->tags().Lookup("b"));
+  s.SkipTo(3);
+  ASSERT_FALSE(s.AtEnd());
+  EXPECT_GE(s.Node(), 3u);
+  s.SkipTo(100);
+  EXPECT_TRUE(s.AtEnd());
+}
+
+TEST(TagStreamTest, SkipToCurrentPositionIsNoMove) {
+  auto doc = Parse("<a><b/><b/></a>");
+  TagStream s(doc.get(), doc->tags().Lookup("b"));
+  xml::NodeId first = s.Node();
+  s.SkipTo(first);
+  EXPECT_EQ(s.Node(), first);
+}
+
+TEST(TagStreamTest, UnknownTagIsEmpty) {
+  auto doc = Parse("<a/>");
+  TagStream s(doc.get(), doc->tags().Lookup("zzz"));
+  EXPECT_TRUE(s.AtEnd());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(TagStreamTest, RewindRestarts) {
+  auto doc = Parse("<a><b/><b/></a>");
+  TagStream s(doc.get(), doc->tags().Lookup("b"));
+  s.Advance();
+  s.Advance();
+  EXPECT_TRUE(s.AtEnd());
+  s.Rewind();
+  EXPECT_FALSE(s.AtEnd());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace blossomtree

@@ -1,0 +1,75 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace blossomtree {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(10), 10u);
+    uint64_t v = r.UniformRange(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Chance(0.0));
+    EXPECT_TRUE(r.Chance(1.0));
+  }
+}
+
+TEST(RngTest, WeightedRespectsZeros) {
+  Rng r(13);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.Weighted(w), 1u);
+  }
+}
+
+TEST(RngTest, WeightedRoughProportions) {
+  Rng r(17);
+  std::vector<double> w = {1.0, 3.0};
+  int count1 = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (r.Weighted(w) == 1) ++count1;
+  }
+  // Expect ~75%; allow generous tolerance.
+  EXPECT_GT(count1, kTrials * 0.70);
+  EXPECT_LT(count1, kTrials * 0.80);
+}
+
+}  // namespace
+}  // namespace blossomtree

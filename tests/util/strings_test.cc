@@ -1,0 +1,78 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace blossomtree {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  auto parts = Split("1.2.3", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "1");
+  EXPECT_EQ(parts[1], "2");
+  EXPECT_EQ(parts[2], "3");
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a..b", '.');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringsTest, SplitNoSeparator) {
+  auto parts = Split("abc", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, SplitEmptyInput) {
+  auto parts = Split("", '.');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x \n"), "x");
+  EXPECT_EQ(Trim("\t\r\n "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringsTest, IsAllWhitespace) {
+  EXPECT_TRUE(IsAllWhitespace(" \t\r\n"));
+  EXPECT_TRUE(IsAllWhitespace(""));
+  EXPECT_FALSE(IsAllWhitespace(" a "));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(Join({}, "."), "");
+  EXPECT_EQ(Join({"x"}, "."), "x");
+}
+
+TEST(StringsTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+}
+
+TEST(StringsTest, ParseNonNegativeInt) {
+  EXPECT_EQ(ParseNonNegativeInt("42"), 42);
+  EXPECT_EQ(ParseNonNegativeInt(" 7 "), 7);
+  EXPECT_EQ(ParseNonNegativeInt("0"), 0);
+  EXPECT_EQ(ParseNonNegativeInt("-1"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("abc"), -1);
+  EXPECT_EQ(ParseNonNegativeInt(""), -1);
+}
+
+TEST(StringsTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble(" -2 ", &v));
+  EXPECT_DOUBLE_EQ(v, -2.0);
+  EXPECT_FALSE(ParseDouble("12x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+}  // namespace
+}  // namespace blossomtree

@@ -1,0 +1,101 @@
+#include "util/varint.h"
+
+#include <gtest/gtest.h>
+
+namespace blossomtree {
+namespace {
+
+TEST(VarintTest, RoundTripValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             300,
+                             16383,
+                             16384,
+                             0xFFFFFFFFULL,
+                             0xFFFFFFFFFFFFFFFFULL};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint(&buf, v);
+    size_t pos = 0;
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint(buf, &pos, &decoded)) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, EncodingSizes) {
+  std::string buf;
+  PutVarint(&buf, 127);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.clear();
+  PutVarint(&buf, 128);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.clear();
+  PutVarint(&buf, 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(buf.size(), 10u);
+}
+
+TEST(VarintTest, SequentialDecode) {
+  std::string buf;
+  PutVarint(&buf, 5);
+  PutVarint(&buf, 70000);
+  PutVarint(&buf, 0);
+  size_t pos = 0;
+  uint64_t v = 0;
+  ASSERT_TRUE(GetVarint(buf, &pos, &v));
+  EXPECT_EQ(v, 5u);
+  ASSERT_TRUE(GetVarint(buf, &pos, &v));
+  EXPECT_EQ(v, 70000u);
+  ASSERT_TRUE(GetVarint(buf, &pos, &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, TruncatedFails) {
+  std::string buf;
+  PutVarint(&buf, 1ULL << 40);
+  for (size_t len = 0; len + 1 < buf.size(); ++len) {
+    size_t pos = 0;
+    uint64_t v = 0;
+    EXPECT_FALSE(GetVarint(std::string_view(buf).substr(0, len), &pos, &v));
+  }
+}
+
+TEST(VarintTest, OverlongFails) {
+  // 11 continuation bytes exceed 64 bits.
+  std::string buf(10, static_cast<char>(0xFF));
+  buf.push_back(0x7F);
+  size_t pos = 0;
+  uint64_t v = 0;
+  EXPECT_FALSE(GetVarint(buf, &pos, &v));
+}
+
+TEST(VarintTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(300, 'x'));
+  size_t pos = 0;
+  std::string_view s;
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &s));
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &s));
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &s));
+  EXPECT_EQ(s.size(), 300u);
+}
+
+TEST(VarintTest, LengthPrefixedTruncatedFails) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  size_t pos = 0;
+  std::string_view s;
+  EXPECT_FALSE(
+      GetLengthPrefixed(std::string_view(buf).substr(0, 3), &pos, &s));
+}
+
+}  // namespace
+}  // namespace blossomtree

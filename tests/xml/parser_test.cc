@@ -1,0 +1,190 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace blossomtree {
+namespace xml {
+namespace {
+
+TEST(ParserTest, MinimalDocument) {
+  auto r = ParseDocument("<a/>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->NumNodes(), 1u);
+  EXPECT_EQ((*r)->TagName(0), "a");
+}
+
+TEST(ParserTest, NestedElementsAndText) {
+  auto r = ParseDocument("<a><b>x</b><c>y</c></a>");
+  ASSERT_TRUE(r.ok());
+  auto& doc = **r;
+  EXPECT_EQ(doc.NumNodes(), 5u);
+  EXPECT_EQ(doc.StringValue(0), "xy");
+}
+
+TEST(ParserTest, SkipsWhitespaceTextByDefault) {
+  auto r = ParseDocument("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->NumNodes(), 3u);
+}
+
+TEST(ParserTest, KeepsWhitespaceWhenAsked) {
+  ParseOptions opts;
+  opts.skip_whitespace_text = false;
+  auto r = ParseDocument("<a> <b/> </a>", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->NumNodes(), 4u);
+}
+
+TEST(ParserTest, EntityDecoding) {
+  auto r = ParseDocument("<a>&lt;x&gt; &amp; &quot;q&quot; &apos;s&apos;</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->StringValue(0), "<x> & \"q\" 's'");
+}
+
+TEST(ParserTest, NumericCharacterReferences) {
+  auto r = ParseDocument("<a>&#65;&#x42;&#x4E2D;</a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->StringValue(0), "AB\xE4\xB8\xAD");
+}
+
+TEST(ParserTest, AttributesWithEntities) {
+  auto r = ParseDocument(R"(<a t="x &amp; y"/>)");
+  ASSERT_TRUE(r.ok());
+  std::string_view v;
+  ASSERT_TRUE((*r)->AttributeValue(0, "t", &v));
+  EXPECT_EQ(v, "x & y");
+}
+
+TEST(ParserTest, SingleQuotedAttributes) {
+  auto r = ParseDocument("<a t='v'/>");
+  ASSERT_TRUE(r.ok());
+  std::string_view v;
+  ASSERT_TRUE((*r)->AttributeValue(0, "t", &v));
+  EXPECT_EQ(v, "v");
+}
+
+TEST(ParserTest, CommentsAndPIsSkipped) {
+  auto r = ParseDocument(
+      "<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><b/><?pi data?></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->NumNodes(), 2u);
+}
+
+TEST(ParserTest, CdataSection) {
+  auto r = ParseDocument("<a><![CDATA[<not> & markup]]></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->StringValue(0), "<not> & markup");
+}
+
+TEST(ParserTest, DoctypeSkipped) {
+  auto r = ParseDocument(
+      "<!DOCTYPE a [ <!ELEMENT a (b*)> ]><a><b/></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->NumNodes(), 2u);
+}
+
+TEST(ParserTest, CommentSplitsTextNodes) {
+  auto r = ParseDocument("<a>x<!-- c -->y</a>");
+  ASSERT_TRUE(r.ok());
+  // Two separate text nodes.
+  EXPECT_EQ((*r)->NumNodes(), 3u);
+  EXPECT_EQ((*r)->StringValue(0), "xy");
+}
+
+// -- Error cases --------------------------------------------------------------
+
+TEST(ParserTest, ErrorMismatchedTags) {
+  auto r = ParseDocument("<a><b></a></b>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnclosedElement) {
+  auto r = ParseDocument("<a><b>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unclosed"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorMultipleRoots) {
+  auto r = ParseDocument("<a/><b/>");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(ParserTest, ErrorNoRoot) {
+  auto r = ParseDocument("   ");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(ParserTest, ErrorTextOutsideRoot) {
+  auto r = ParseDocument("hello<a/>");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(ParserTest, ErrorBadEntity) {
+  auto r = ParseDocument("<a>&nope;</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("entity"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorUnterminatedComment) {
+  auto r = ParseDocument("<a><!-- oops</a>");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(ParserTest, ErrorAngleInAttribute) {
+  auto r = ParseDocument("<a t\"<\"/>");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(ParserTest, ErrorReportsLineNumbers) {
+  auto r = ParseDocument("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ParserTest, SelfClosingWithSpace) {
+  auto r = ParseDocument("<a><b /></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->NumNodes(), 2u);
+}
+
+TEST(ParserTest, ParseDocumentFile) {
+  std::string path = ::testing::TempDir() + "/bt_parser_test.xml";
+  {
+    std::ofstream out(path);
+    out << "<a><b>file</b></a>";
+  }
+  auto r = ParseDocumentFile(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->StringValue(0), "file");
+  std::remove(path.c_str());
+}
+
+TEST(ParserTest, ParseDocumentFileMissing) {
+  auto r = ParseDocumentFile("/nonexistent/file.xml");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(ParserTest, RoundTripDepth) {
+  // Deep nesting should not blow up (iterative text handling, recursion only
+  // in serializer).
+  std::string in;
+  const int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) in += "<n>";
+  in += "x";
+  for (int i = 0; i < kDepth; ++i) in += "</n>";
+  auto r = ParseDocument(in);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->MaxDepth(), static_cast<uint32_t>(kDepth));
+  EXPECT_TRUE((*r)->IsRecursive());
+  EXPECT_EQ((*r)->MaxRecursionDegree(), static_cast<uint32_t>(kDepth));
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace blossomtree

@@ -1,0 +1,61 @@
+#include "xml/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace blossomtree {
+namespace xml {
+namespace {
+
+std::unique_ptr<Document> Parse(std::string_view s) {
+  auto r = ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+TEST(SerializerTest, RoundTripSimple) {
+  auto doc = Parse("<a><b>x</b><c/></a>");
+  EXPECT_EQ(Serialize(*doc), "<a><b>x</b><c/></a>");
+}
+
+TEST(SerializerTest, EscapesText) {
+  auto doc = Parse("<a>&lt;&amp;&gt;</a>");
+  EXPECT_EQ(Serialize(*doc), "<a>&lt;&amp;&gt;</a>");
+}
+
+TEST(SerializerTest, Attributes) {
+  auto doc = Parse(R"(<a x="1" y="a&amp;b"><c/></a>)");
+  EXPECT_EQ(Serialize(*doc), R"(<a x="1" y="a&amp;b"><c/></a>)");
+}
+
+TEST(SerializerTest, SubtreeOnly) {
+  auto doc = Parse("<a><b>x</b><c>y</c></a>");
+  EXPECT_EQ(SerializeSubtree(*doc, 1), "<b>x</b>");
+}
+
+TEST(SerializerTest, IndentedOutput) {
+  auto doc = Parse("<a><b>x</b><c/></a>");
+  SerializeOptions opts;
+  opts.indent = true;
+  EXPECT_EQ(Serialize(*doc, opts), "<a>\n  <b>x</b>\n  <c/>\n</a>");
+}
+
+TEST(SerializerTest, ReparseRoundTripIsStable) {
+  std::string original = "<bib><book id=\"1\"><title>T&amp;A</title>"
+                         "<author><last>K</last></author></book></bib>";
+  auto doc = Parse(original);
+  std::string once = Serialize(*doc);
+  auto doc2 = Parse(once);
+  EXPECT_EQ(Serialize(*doc2), once);
+}
+
+TEST(SerializerTest, EmptyDocument) {
+  Document doc;
+  ASSERT_TRUE(doc.Finish().ok());
+  EXPECT_EQ(Serialize(doc), "");
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace blossomtree

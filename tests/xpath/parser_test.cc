@@ -1,0 +1,242 @@
+#include "xpath/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace blossomtree {
+namespace xpath {
+namespace {
+
+PathExpr Parse(std::string_view s) {
+  auto r = ParsePath(s);
+  EXPECT_TRUE(r.ok()) << s << " -> " << r.status().ToString();
+  return r.ok() ? r.MoveValue() : PathExpr{};
+}
+
+TEST(XPathParserTest, SimpleAbsolutePath) {
+  PathExpr p = Parse("/a/b");
+  EXPECT_EQ(p.start, PathExpr::StartKind::kRoot);
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(p.steps[0].name, "a");
+  EXPECT_EQ(p.steps[1].name, "b");
+}
+
+TEST(XPathParserTest, DescendantAxis) {
+  PathExpr p = Parse("//a//b");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendant);
+  EXPECT_EQ(p.steps[1].axis, Axis::kDescendant);
+}
+
+TEST(XPathParserTest, MixedAxes) {
+  PathExpr p = Parse("/a//b/c");
+  ASSERT_EQ(p.steps.size(), 3u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(p.steps[1].axis, Axis::kDescendant);
+  EXPECT_EQ(p.steps[2].axis, Axis::kChild);
+}
+
+TEST(XPathParserTest, DocFunction) {
+  PathExpr p = Parse("doc(\"bib.xml\")//book");
+  EXPECT_EQ(p.start, PathExpr::StartKind::kRoot);
+  EXPECT_EQ(p.document, "bib.xml");
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps[0].name, "book");
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendant);
+}
+
+TEST(XPathParserTest, VariableStart) {
+  PathExpr p = Parse("$book1/title");
+  EXPECT_EQ(p.start, PathExpr::StartKind::kVariable);
+  EXPECT_EQ(p.variable, "book1");
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps[0].name, "title");
+}
+
+TEST(XPathParserTest, BareVariable) {
+  PathExpr p = Parse("$aut1");
+  EXPECT_EQ(p.start, PathExpr::StartKind::kVariable);
+  EXPECT_EQ(p.variable, "aut1");
+  EXPECT_TRUE(p.steps.empty());
+}
+
+TEST(XPathParserTest, ExistencePredicate) {
+  PathExpr p = Parse("//a[//b]/c");
+  ASSERT_EQ(p.steps.size(), 2u);
+  ASSERT_EQ(p.steps[0].predicates.size(), 1u);
+  const Predicate& pred = p.steps[0].predicates[0];
+  EXPECT_EQ(pred.kind, Predicate::Kind::kExists);
+  ASSERT_EQ(pred.path->steps.size(), 1u);
+  EXPECT_EQ(pred.path->start, PathExpr::StartKind::kContext);
+  EXPECT_EQ(pred.path->steps[0].axis, Axis::kDescendant);
+  EXPECT_EQ(pred.path->steps[0].name, "b");
+}
+
+TEST(XPathParserTest, MultiplePredicates) {
+  PathExpr p = Parse("//a[//b][//c][//d]/e");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].predicates.size(), 3u);
+}
+
+TEST(XPathParserTest, ValuePredicate) {
+  PathExpr p = Parse("/book[author = \"Smith\"]/title");
+  const Predicate& pred = p.steps[0].predicates[0];
+  EXPECT_EQ(pred.kind, Predicate::Kind::kValueCompare);
+  EXPECT_EQ(pred.op, CompareOp::kEq);
+  EXPECT_EQ(pred.literal, "Smith");
+  EXPECT_EQ(pred.path->steps[0].name, "author");
+}
+
+TEST(XPathParserTest, SelfValuePredicate) {
+  PathExpr p = Parse("//author[.=\"Smith\"]");
+  const Predicate& pred = p.steps[0].predicates[0];
+  EXPECT_EQ(pred.kind, Predicate::Kind::kValueCompare);
+  ASSERT_EQ(pred.path->steps.size(), 1u);
+  EXPECT_EQ(pred.path->steps[0].axis, Axis::kSelf);
+}
+
+TEST(XPathParserTest, ComparisonOperators) {
+  EXPECT_EQ(Parse("//a[b != \"x\"]").steps[0].predicates[0].op,
+            CompareOp::kNeq);
+  EXPECT_EQ(Parse("//a[b < 5]").steps[0].predicates[0].op, CompareOp::kLt);
+  EXPECT_EQ(Parse("//a[b <= 5]").steps[0].predicates[0].op, CompareOp::kLe);
+  EXPECT_EQ(Parse("//a[b > 5]").steps[0].predicates[0].op, CompareOp::kGt);
+  EXPECT_EQ(Parse("//a[b >= 5]").steps[0].predicates[0].op, CompareOp::kGe);
+}
+
+TEST(XPathParserTest, NumericLiteral) {
+  PathExpr p = Parse("//a[b = 42]");
+  EXPECT_EQ(p.steps[0].predicates[0].literal, "42");
+}
+
+TEST(XPathParserTest, PositionPredicate) {
+  PathExpr p = Parse("//book[2]");
+  const Predicate& pred = p.steps[0].predicates[0];
+  EXPECT_EQ(pred.kind, Predicate::Kind::kPosition);
+  EXPECT_EQ(pred.position, 2);
+}
+
+TEST(XPathParserTest, WildcardStep) {
+  PathExpr p = Parse("//*/b");
+  EXPECT_EQ(p.steps[0].name, "*");
+}
+
+TEST(XPathParserTest, WildcardWithPredicateOnly) {
+  // Paper Table 2 Q1 for d1: "/a/b//[c/d//e]".
+  PathExpr p = Parse("/a/b//[c/d//e]");
+  ASSERT_EQ(p.steps.size(), 3u);
+  EXPECT_EQ(p.steps[2].name, "*");
+  EXPECT_EQ(p.steps[2].axis, Axis::kDescendant);
+  ASSERT_EQ(p.steps[2].predicates.size(), 1u);
+  EXPECT_EQ(p.steps[2].predicates[0].path->steps.size(), 3u);
+}
+
+TEST(XPathParserTest, NestedPredicates) {
+  // Paper Appendix Q4 for d1: //a//c2//b1/c2[//c2[b1]]/b1//c3
+  PathExpr p = Parse("//a//c2//b1/c2[//c2[b1]]/b1//c3");
+  ASSERT_EQ(p.steps.size(), 6u);
+  const Predicate& outer = p.steps[3].predicates[0];
+  EXPECT_EQ(outer.kind, Predicate::Kind::kExists);
+  ASSERT_EQ(outer.path->steps.size(), 1u);
+  EXPECT_EQ(outer.path->steps[0].predicates.size(), 1u);
+}
+
+TEST(XPathParserTest, FollowingSiblingAxis) {
+  PathExpr p = Parse("/a/following-sibling::b");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[1].axis, Axis::kFollowingSibling);
+  EXPECT_EQ(p.steps[1].name, "b");
+}
+
+TEST(XPathParserTest, AttributeStep) {
+  PathExpr p = Parse("//book/@id");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[1].axis, Axis::kAttribute);
+  EXPECT_EQ(p.steps[1].name, "id");
+}
+
+TEST(XPathParserTest, UnderscoreNames) {
+  PathExpr p = Parse("//name_of_state");
+  EXPECT_EQ(p.steps[0].name, "name_of_state");
+}
+
+TEST(XPathParserTest, ContextDot) {
+  PathExpr p = Parse(".");
+  EXPECT_EQ(p.start, PathExpr::StartKind::kContext);
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kSelf);
+}
+
+TEST(XPathParserTest, ContextRelativeDescendant) {
+  PathExpr p = Parse(".//name");
+  EXPECT_EQ(p.start, PathExpr::StartKind::kContext);
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendant);
+}
+
+TEST(XPathParserTest, ToStringRoundTrip) {
+  const char* queries[] = {
+      "/a/b",
+      "//a//b",
+      "//a[//b][//c]//e",
+      "//book[2]",
+      "$v/title",
+      "//author[. = \"Smith\"]",
+      "doc(\"bib.xml\")//book/title",
+  };
+  for (const char* q : queries) {
+    PathExpr p = Parse(q);
+    // Round-trip: parse(ToString(parse(q))) == ToString(parse(q)).
+    std::string s1 = p.ToString();
+    PathExpr p2 = Parse(s1);
+    EXPECT_EQ(p2.ToString(), s1) << "query: " << q;
+  }
+}
+
+TEST(XPathParserTest, ClonePathIsDeep) {
+  PathExpr p = Parse("//a[b = \"x\"]/c");
+  PathExpr q = ClonePath(p);
+  EXPECT_EQ(q.ToString(), p.ToString());
+  q.steps[0].predicates[0].literal = "y";
+  EXPECT_EQ(p.steps[0].predicates[0].literal, "x");
+}
+
+// -- Errors -------------------------------------------------------------------
+
+TEST(XPathParserTest, ErrorTrailingInput) {
+  auto r = ParsePath("/a/b garbage");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(XPathParserTest, ErrorEmpty) {
+  EXPECT_FALSE(ParsePath("").ok());
+}
+
+TEST(XPathParserTest, ErrorUnclosedPredicate) {
+  EXPECT_FALSE(ParsePath("//a[b").ok());
+}
+
+TEST(XPathParserTest, ErrorBadPosition) {
+  EXPECT_FALSE(ParsePath("//a[0]").ok());
+}
+
+TEST(XPathParserTest, ErrorUnterminatedString) {
+  EXPECT_FALSE(ParsePath("//a[b = \"x]").ok());
+}
+
+TEST(XPathParserTest, ErrorLoneSlash) {
+  EXPECT_FALSE(ParsePath("/").ok());
+}
+
+TEST(XPathParserTest, PrefixParsingStopsAtComma) {
+  size_t pos = 0;
+  auto r = ParsePathPrefix("$a/b, $c/d", &pos);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->ToString(), "$a/b");
+  EXPECT_EQ(pos, 4u);
+}
+
+}  // namespace
+}  // namespace xpath
+}  // namespace blossomtree
