@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bnlj.dir/bench_ablation_bnlj.cc.o"
+  "CMakeFiles/bench_ablation_bnlj.dir/bench_ablation_bnlj.cc.o.d"
+  "bench_ablation_bnlj"
+  "bench_ablation_bnlj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bnlj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flwor.dir/bench_ablation_flwor.cc.o"
+  "CMakeFiles/bench_ablation_flwor.dir/bench_ablation_flwor.cc.o.d"
+  "bench_ablation_flwor"
+  "bench_ablation_flwor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flwor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/book_pairs.dir/book_pairs.cpp.o"
+  "CMakeFiles/book_pairs.dir/book_pairs.cpp.o.d"
+  "book_pairs"
+  "book_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/book_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btquery.dir/btquery.cpp.o"
+  "CMakeFiles/btquery.dir/btquery.cpp.o.d"
+  "btquery"
+  "btquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_queries.dir/dblp_queries.cpp.o"
+  "CMakeFiles/dblp_queries.dir/dblp_queries.cpp.o.d"
+  "dblp_queries"
+  "dblp_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/navigational.cc" "src/CMakeFiles/blossomtree.dir/baseline/navigational.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/baseline/navigational.cc.o.d"
+  "/root/repo/src/datagen/d1_recursive.cc" "src/CMakeFiles/blossomtree.dir/datagen/d1_recursive.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/datagen/d1_recursive.cc.o.d"
+  "/root/repo/src/datagen/d2_address.cc" "src/CMakeFiles/blossomtree.dir/datagen/d2_address.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/datagen/d2_address.cc.o.d"
+  "/root/repo/src/datagen/d3_catalog.cc" "src/CMakeFiles/blossomtree.dir/datagen/d3_catalog.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/datagen/d3_catalog.cc.o.d"
+  "/root/repo/src/datagen/d4_treebank.cc" "src/CMakeFiles/blossomtree.dir/datagen/d4_treebank.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/datagen/d4_treebank.cc.o.d"
+  "/root/repo/src/datagen/d5_dblp.cc" "src/CMakeFiles/blossomtree.dir/datagen/d5_dblp.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/datagen/d5_dblp.cc.o.d"
+  "/root/repo/src/datagen/datagen.cc" "src/CMakeFiles/blossomtree.dir/datagen/datagen.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/datagen/datagen.cc.o.d"
+  "/root/repo/src/engine/binder.cc" "src/CMakeFiles/blossomtree.dir/engine/binder.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/engine/binder.cc.o.d"
+  "/root/repo/src/engine/construct.cc" "src/CMakeFiles/blossomtree.dir/engine/construct.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/engine/construct.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/blossomtree.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/path_eval.cc" "src/CMakeFiles/blossomtree.dir/engine/path_eval.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/engine/path_eval.cc.o.d"
+  "/root/repo/src/engine/where_eval.cc" "src/CMakeFiles/blossomtree.dir/engine/where_eval.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/engine/where_eval.cc.o.d"
+  "/root/repo/src/exec/joins.cc" "src/CMakeFiles/blossomtree.dir/exec/joins.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/exec/joins.cc.o.d"
+  "/root/repo/src/exec/merged_scan.cc" "src/CMakeFiles/blossomtree.dir/exec/merged_scan.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/exec/merged_scan.cc.o.d"
+  "/root/repo/src/exec/nok_scan.cc" "src/CMakeFiles/blossomtree.dir/exec/nok_scan.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/exec/nok_scan.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/blossomtree.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/structural_join.cc" "src/CMakeFiles/blossomtree.dir/exec/structural_join.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/exec/structural_join.cc.o.d"
+  "/root/repo/src/exec/twig_semijoin.cc" "src/CMakeFiles/blossomtree.dir/exec/twig_semijoin.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/exec/twig_semijoin.cc.o.d"
+  "/root/repo/src/exec/twigstack.cc" "src/CMakeFiles/blossomtree.dir/exec/twigstack.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/exec/twigstack.cc.o.d"
+  "/root/repo/src/exec/value_ops.cc" "src/CMakeFiles/blossomtree.dir/exec/value_ops.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/exec/value_ops.cc.o.d"
+  "/root/repo/src/flwor/parser.cc" "src/CMakeFiles/blossomtree.dir/flwor/parser.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/flwor/parser.cc.o.d"
+  "/root/repo/src/nestedlist/nested_list.cc" "src/CMakeFiles/blossomtree.dir/nestedlist/nested_list.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/nestedlist/nested_list.cc.o.d"
+  "/root/repo/src/nestedlist/ops.cc" "src/CMakeFiles/blossomtree.dir/nestedlist/ops.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/nestedlist/ops.cc.o.d"
+  "/root/repo/src/opt/cost_model.cc" "src/CMakeFiles/blossomtree.dir/opt/cost_model.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/opt/cost_model.cc.o.d"
+  "/root/repo/src/opt/planner.cc" "src/CMakeFiles/blossomtree.dir/opt/planner.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/opt/planner.cc.o.d"
+  "/root/repo/src/pattern/blossom_tree.cc" "src/CMakeFiles/blossomtree.dir/pattern/blossom_tree.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/pattern/blossom_tree.cc.o.d"
+  "/root/repo/src/pattern/builder.cc" "src/CMakeFiles/blossomtree.dir/pattern/builder.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/pattern/builder.cc.o.d"
+  "/root/repo/src/pattern/decompose.cc" "src/CMakeFiles/blossomtree.dir/pattern/decompose.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/pattern/decompose.cc.o.d"
+  "/root/repo/src/pattern/dewey.cc" "src/CMakeFiles/blossomtree.dir/pattern/dewey.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/pattern/dewey.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/CMakeFiles/blossomtree.dir/storage/page_store.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/storage/page_store.cc.o.d"
+  "/root/repo/src/storage/succinct.cc" "src/CMakeFiles/blossomtree.dir/storage/succinct.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/storage/succinct.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/blossomtree.dir/util/status.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/blossomtree.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/util/strings.cc.o.d"
+  "/root/repo/src/workload/queries.cc" "src/CMakeFiles/blossomtree.dir/workload/queries.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/workload/queries.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/blossomtree.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/blossomtree.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/blossomtree.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xpath/ast.cc" "src/CMakeFiles/blossomtree.dir/xpath/ast.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/xpath/ast.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "src/CMakeFiles/blossomtree.dir/xpath/parser.cc.o" "gcc" "src/CMakeFiles/blossomtree.dir/xpath/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine/binder_test.cc" "tests/CMakeFiles/engine_test.dir/engine/binder_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/binder_test.cc.o.d"
+  "/root/repo/tests/engine/construct_test.cc" "tests/CMakeFiles/engine_test.dir/engine/construct_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/construct_test.cc.o.d"
+  "/root/repo/tests/engine/engine_test.cc" "tests/CMakeFiles/engine_test.dir/engine/engine_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/engine_test.cc.o.d"
+  "/root/repo/tests/engine/path_eval_test.cc" "tests/CMakeFiles/engine_test.dir/engine/path_eval_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/path_eval_test.cc.o.d"
+  "/root/repo/tests/engine/reverse_axes_test.cc" "tests/CMakeFiles/engine_test.dir/engine/reverse_axes_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/reverse_axes_test.cc.o.d"
+  "/root/repo/tests/engine/where_eval_test.cc" "tests/CMakeFiles/engine_test.dir/engine/where_eval_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine/where_eval_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/blossomtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/engine/binder_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/binder_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/construct_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/construct_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/engine_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/engine_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/path_eval_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/path_eval_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/reverse_axes_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/reverse_axes_test.cc.o.d"
+  "CMakeFiles/engine_test.dir/engine/where_eval_test.cc.o"
+  "CMakeFiles/engine_test.dir/engine/where_eval_test.cc.o.d"
+  "engine_test"
+  "engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exec/joins_test.cc" "tests/CMakeFiles/exec_test.dir/exec/joins_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/joins_test.cc.o.d"
+  "/root/repo/tests/exec/merged_scan_test.cc" "tests/CMakeFiles/exec_test.dir/exec/merged_scan_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/merged_scan_test.cc.o.d"
+  "/root/repo/tests/exec/nok_scan_test.cc" "tests/CMakeFiles/exec_test.dir/exec/nok_scan_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/nok_scan_test.cc.o.d"
+  "/root/repo/tests/exec/structural_join_test.cc" "tests/CMakeFiles/exec_test.dir/exec/structural_join_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/structural_join_test.cc.o.d"
+  "/root/repo/tests/exec/twig_semijoin_test.cc" "tests/CMakeFiles/exec_test.dir/exec/twig_semijoin_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/twig_semijoin_test.cc.o.d"
+  "/root/repo/tests/exec/twigstack_test.cc" "tests/CMakeFiles/exec_test.dir/exec/twigstack_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/twigstack_test.cc.o.d"
+  "/root/repo/tests/exec/value_ops_test.cc" "tests/CMakeFiles/exec_test.dir/exec/value_ops_test.cc.o" "gcc" "tests/CMakeFiles/exec_test.dir/exec/value_ops_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/blossomtree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

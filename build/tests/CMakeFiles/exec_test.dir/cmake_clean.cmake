@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_test.dir/exec/joins_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/joins_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/merged_scan_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/merged_scan_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/nok_scan_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/nok_scan_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/structural_join_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/structural_join_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/twig_semijoin_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/twig_semijoin_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/twigstack_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/twigstack_test.cc.o.d"
+  "CMakeFiles/exec_test.dir/exec/value_ops_test.cc.o"
+  "CMakeFiles/exec_test.dir/exec/value_ops_test.cc.o.d"
+  "exec_test"
+  "exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

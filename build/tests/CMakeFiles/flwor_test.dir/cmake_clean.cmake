@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flwor_test.dir/flwor/parser_test.cc.o"
+  "CMakeFiles/flwor_test.dir/flwor/parser_test.cc.o.d"
+  "flwor_test"
+  "flwor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flwor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestedlist_test.dir/nestedlist/nested_list_test.cc.o"
+  "CMakeFiles/nestedlist_test.dir/nestedlist/nested_list_test.cc.o.d"
+  "nestedlist_test"
+  "nestedlist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestedlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

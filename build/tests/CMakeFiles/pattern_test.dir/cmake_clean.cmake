@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_test.dir/pattern/builder_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/builder_test.cc.o.d"
+  "CMakeFiles/pattern_test.dir/pattern/decompose_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/decompose_test.cc.o.d"
+  "CMakeFiles/pattern_test.dir/pattern/dewey_test.cc.o"
+  "CMakeFiles/pattern_test.dir/pattern/dewey_test.cc.o.d"
+  "pattern_test"
+  "pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

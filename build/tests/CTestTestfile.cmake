@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;bt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(xml_test "/root/repo/build/tests/xml_test")
+set_tests_properties(xml_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;bt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;bt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(xpath_test "/root/repo/build/tests/xpath_test")
+set_tests_properties(xpath_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;bt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(datagen_test "/root/repo/build/tests/datagen_test")
+set_tests_properties(datagen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;bt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(flwor_test "/root/repo/build/tests/flwor_test")
+set_tests_properties(flwor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;bt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pattern_test "/root/repo/build/tests/pattern_test")
+set_tests_properties(pattern_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;bt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nestedlist_test "/root/repo/build/tests/nestedlist_test")
+set_tests_properties(nestedlist_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;bt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(exec_test "/root/repo/build/tests/exec_test")
+set_tests_properties(exec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;bt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(engine_test "/root/repo/build/tests/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;23;bt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(opt_test "/root/repo/build/tests/opt_test")
+set_tests_properties(opt_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;26;bt_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;27;bt_add_test;/root/repo/tests/CMakeLists.txt;0;")
