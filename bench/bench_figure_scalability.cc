@@ -1,9 +1,12 @@
 // Figure-style scalability series: running time vs document size for the
 // four systems on a fixed branching query per data set (the paper's §2.1
 // scalability claim for the join-based class and the scan-bound behaviour
-// of the pipelined plan).
+// of the pipelined plan), plus a thread-count sweep of the partitioned
+// parallel NoK scan (--threads=) with byte-identical-result verification.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "baseline/navigational.h"
 #include "bench_util.h"
@@ -12,14 +15,106 @@
 #include "exec/twigstack.h"
 #include "opt/planner.h"
 #include "pattern/builder.h"
+#include "util/thread_pool.h"
 #include "workload/queries.h"
 #include "xpath/parser.h"
 
 using namespace blossomtree;
 using bench::BenchFlags;
 using bench::ParseFlags;
+using bench::TimeAverage;
 using bench::TimeCell;
 using bench::TimeSeconds;
+
+namespace {
+
+struct ThreadPoint {
+  std::string dataset;
+  unsigned threads;
+  double seconds;
+  double speedup;
+  bool identical;
+};
+
+std::string Serialize(const std::vector<xml::NodeId>& nodes) {
+  std::string s;
+  for (xml::NodeId n : nodes) {
+    s += std::to_string(n);
+    s += ',';
+  }
+  return s;
+}
+
+/// Sweeps the per-query thread counts for one dataset's Q6 and appends the
+/// measured points; every run's result set is compared byte-for-byte
+/// against the serial engine's.
+void SweepThreads(datagen::Dataset dataset, const BenchFlags& flags,
+                  const std::vector<unsigned>& counts,
+                  std::vector<ThreadPoint>* out) {
+  const auto queries = workload::QueriesFor(dataset);
+  auto path = xpath::ParsePath(queries[5].xpath);
+  if (!path.ok()) return;
+  auto tree = pattern::BuildFromPath(*path);
+  if (!tree.ok()) return;
+  datagen::GenOptions o;
+  o.scale = flags.scale;
+  o.seed = flags.seed;
+  auto doc = datagen::GenerateDataset(dataset, o);
+
+  std::string serial_bytes;
+  double serial_s = 0;
+  std::printf("%-4s %9zu nodes | %7s %9s %8s %s\n",
+              datagen::DatasetName(dataset), doc->NumNodes(), "threads",
+              "time s", "speedup", "identical");
+  for (unsigned t : counts) {
+    std::unique_ptr<util::ThreadPool> pool;
+    opt::PlanOptions po;  // kAuto: PL or BNLJ per the document's recursion.
+    if (t > 1) {
+      pool = std::make_unique<util::ThreadPool>(t);
+      po.pool = pool.get();
+    }
+    std::string bytes;
+    double s = TimeAverage(
+        [&] {
+          auto r = opt::EvaluatePathQuery(doc.get(), &*tree, po);
+          bytes = r.ok() ? Serialize(*r) : "<error>";
+        },
+        flags.runs, flags.dnf_seconds);
+    if (t == 1) {
+      serial_bytes = bytes;
+      serial_s = s;
+    }
+    bool identical = bytes == serial_bytes;
+    double speedup = (s > 0 && serial_s > 0) ? serial_s / s : 0;
+    std::printf("%-22s | %7u %9s %7.2fx %s\n", "", t, TimeCell(s).c_str(),
+                speedup, identical ? "yes" : "NO — MISMATCH");
+    out->push_back({datagen::DatasetName(dataset), t, s, speedup,
+                    identical});
+  }
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<ThreadPoint>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"figure_scalability_threads\",\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ThreadPoint& p = points[i];
+    std::fprintf(f,
+                 "    {\"dataset\": \"%s\", \"threads\": %u, "
+                 "\"seconds\": %.6f, \"speedup\": %.3f, "
+                 "\"identical\": %s}%s\n",
+                 p.dataset.c_str(), p.threads, p.seconds, p.speedup,
+                 p.identical ? "true" : "false",
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   BenchFlags flags = ParseFlags(argc, argv, /*default_scale=*/1.0);
@@ -72,6 +167,36 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected: every system scales near-linearly in document size; the\n"
       "constant factors order as SJ < TS < XH < PL (index-driven to\n"
-      "scan-driven) at this query's selectivity.\n");
-  return 0;
+      "scan-driven) at this query's selectivity.\n\n");
+
+  // -- Intra-query parallelism sweep (partitioned NoK scan) -----------------
+  std::vector<unsigned> counts = flags.threads;
+  if (counts.empty()) {
+    counts = {1, 2, 4, 8};
+  } else if (counts.front() != 1) {
+    counts.insert(counts.begin(), 1);  // Serial baseline for the speedups.
+  }
+  std::printf(
+      "Parallel NoK scan sweep (Q6, hardware concurrency = %zu):\n\n",
+      util::ThreadPool::DefaultThreads());
+  std::vector<ThreadPoint> points;
+  SweepThreads(datagen::Dataset::kD4Treebank, flags, counts, &points);
+  SweepThreads(datagen::Dataset::kD5Dblp, flags, counts, &points);
+
+  std::string json =
+      flags.json_path.empty() ? "bench_scalability_threads.json"
+                              : flags.json_path;
+  if (WriteJson(json, points)) {
+    std::printf("\nSpeedup curve written to %s\n", json.c_str());
+  } else {
+    std::fprintf(stderr, "\ncould not write %s\n", json.c_str());
+  }
+
+  bool all_identical = true;
+  for (const ThreadPoint& p : points) all_identical &= p.identical;
+  std::printf(
+      "Expected: near-linear speedup until the partition count or the core\n"
+      "count saturates; results byte-identical at every thread count (%s).\n",
+      all_identical ? "verified" : "VIOLATED");
+  return all_identical ? 0 : 1;
 }

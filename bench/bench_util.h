@@ -7,6 +7,7 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <vector>
 
 namespace blossomtree {
 namespace bench {
@@ -17,6 +18,11 @@ struct BenchFlags {
   uint64_t seed = 42;      ///< Generator seed.
   int runs = 3;            ///< Timed repetitions; the paper averages 3.
   double dnf_seconds = 5;  ///< Per-run cap; slower runs print DNF.
+  /// Thread counts to sweep (--threads=1,2,4). Benches that support
+  /// intra-query parallelism time each count; 1 is always measured as the
+  /// baseline. Empty = the bench's default sweep.
+  std::vector<unsigned> threads;
+  std::string json_path;   ///< --json=PATH: machine-readable results.
 };
 
 inline BenchFlags ParseFlags(int argc, char** argv,
@@ -33,9 +39,20 @@ inline BenchFlags ParseFlags(int argc, char** argv,
       flags.runs = std::atoi(arg + 7);
     } else if (std::strncmp(arg, "--dnf-seconds=", 14) == 0) {
       flags.dnf_seconds = std::atof(arg + 14);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      for (const char* p = arg + 10; *p != '\0';) {
+        char* end = nullptr;
+        unsigned long t = std::strtoul(p, &end, 10);
+        if (end == p) break;
+        if (t > 0) flags.threads.push_back(static_cast<unsigned>(t));
+        p = *end == ',' ? end + 1 : end;
+      }
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      flags.json_path = arg + 7;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
-          "flags: --scale=F --seed=N --runs=N --dnf-seconds=F\n");
+          "flags: --scale=F --seed=N --runs=N --dnf-seconds=F "
+          "--threads=N[,N...] --json=PATH\n");
       std::exit(0);
     }
   }

@@ -10,6 +10,8 @@
 #include "opt/planner.h"
 #include "pattern/builder.h"
 #include "pattern/decompose.h"
+#include "storage/page_store.h"
+#include "util/thread_pool.h"
 #include "xml/parser.h"
 #include "xpath/parser.h"
 
@@ -38,6 +40,26 @@ void Explore(const char* label, const char* xml, const char* query) {
   auto plan = opt::PlanQuery(doc.get(), &*tree);
   if (!plan.ok()) return;
   std::printf("auto plan:\n%s", plan->Explain().c_str());
+
+  // Chosen parallelism: the engine defaults to one worker per hardware
+  // thread; the document splits at top-level subtree boundaries.
+  size_t threads = util::ThreadPool::DefaultThreads();
+  auto parts = storage::PartitionSubtrees(*doc, threads);
+  std::printf("parallelism: %zu thread(s), %zu partition(s)",
+              threads, parts.size());
+  for (const storage::NodeRange& r : parts) {
+    std::printf(" [%u,%u]", r.begin, r.end);
+  }
+  std::printf("\n");
+  if (threads > 1) {
+    util::ThreadPool pool(threads);
+    opt::PlanOptions po;
+    po.pool = &pool;
+    auto pplan = opt::PlanQuery(doc.get(), &*tree, po);
+    if (pplan.ok()) {
+      std::printf("parallel plan:\n%s", pplan->Explain().c_str());
+    }
+  }
 
   auto result = opt::EvaluatePathQuery(doc.get(), &*tree);
   if (result.ok()) {

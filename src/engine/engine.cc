@@ -14,7 +14,16 @@ namespace engine {
 
 BlossomTreeEngine::BlossomTreeEngine(const xml::Document* doc,
                                      EngineOptions options)
-    : doc_(doc), options_(std::move(options)) {}
+    : doc_(doc), options_(std::move(options)) {
+  unsigned threads = options_.num_threads == 0
+                         ? static_cast<unsigned>(
+                               util::ThreadPool::DefaultThreads())
+                         : options_.num_threads;
+  if (threads > 1 && options_.plan.pool == nullptr) {
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+    options_.plan.pool = pool_.get();
+  }
+}
 
 Result<std::string> BlossomTreeEngine::EvaluateQuery(std::string_view query) {
   BT_ASSIGN_OR_RETURN(std::unique_ptr<flwor::Expr> expr,

@@ -10,6 +10,7 @@
 #include "flwor/ast.h"
 #include "opt/planner.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace blossomtree {
 namespace engine {
@@ -17,6 +18,11 @@ namespace engine {
 /// \brief Options for the BlossomTree engine.
 struct EngineOptions {
   opt::PlanOptions plan;
+  /// Intra-query parallelism: worker threads for partitioned NoK scans and
+  /// structural joins. 0 = hardware concurrency; 1 = the exact serial code
+  /// path (no thread pool is created — the configuration bitwise-comparison
+  /// tests pin against). Results are byte-identical at every setting.
+  unsigned num_threads = 0;
 };
 
 /// \brief End-to-end query evaluation via BlossomTree pattern matching:
@@ -42,6 +48,11 @@ class BlossomTreeEngine {
   /// \brief EXPLAIN text of the most recent FLWOR/path plan.
   const std::string& LastExplain() const { return last_explain_; }
 
+  /// \brief The resolved degree of intra-query parallelism (1 = serial).
+  unsigned EffectiveThreads() const {
+    return pool_ != nullptr ? static_cast<unsigned>(pool_->NumThreads()) : 1;
+  }
+
  private:
   Status EvalExpr(const flwor::Expr& expr, const Env& env,
                   ResultBuilder* out);
@@ -53,6 +64,9 @@ class BlossomTreeEngine {
 
   const xml::Document* doc_;
   EngineOptions options_;
+  /// Owned worker pool when num_threads resolves above 1; options_.plan.pool
+  /// borrows it for the lifetime of the engine.
+  std::unique_ptr<util::ThreadPool> pool_;
   std::string last_explain_;
 };
 

@@ -220,18 +220,65 @@ bool NokMatcher::MatchVertex(uint32_t local_index, xml::NodeId x,
 
 NokScanOperator::NokScanOperator(const xml::Document* doc,
                                  const pattern::BlossomTree* tree,
-                                 const pattern::NokTree* nok)
+                                 const pattern::NokTree* nok,
+                                 util::ThreadPool* pool)
     : doc_(doc),
+      tree_(tree),
+      nok_(nok),
       matcher_(doc, tree, nok),
       virtual_root_(tree->vertex(nok->root).IsVirtualRoot()),
       range_end_(doc->NumNodes() == 0
                      ? 0
-                     : static_cast<xml::NodeId>(doc->NumNodes() - 1)) {}
+                     : static_cast<xml::NodeId>(doc->NumNodes() - 1)),
+      pool_(pool) {}
 
 void NokScanOperator::SetRange(xml::NodeId begin, xml::NodeId end) {
   range_begin_ = begin;
   range_end_ = end;
   cursor_ = begin;
+  parallel_done_ = false;
+  parallel_buf_.clear();
+  parallel_pos_ = 0;
+}
+
+bool NokScanOperator::ParallelEligible() const {
+  return pool_ != nullptr && pool_->NumThreads() > 1 && !virtual_root_ &&
+         range_begin_ == 0 && doc_->NumNodes() > 1 &&
+         static_cast<size_t>(range_end_) + 1 >= doc_->NumNodes();
+}
+
+void NokScanOperator::RunParallelScan() {
+  std::vector<storage::NodeRange> parts =
+      storage::PartitionSubtrees(*doc_, pool_->NumThreads());
+  partitions_used_ = parts.size();
+  std::vector<std::vector<nestedlist::NestedList>> results(parts.size());
+  std::vector<uint64_t> scanned(parts.size(), 0);
+  std::vector<uint64_t> work(parts.size(), 0);
+  pool_->ParallelFor(parts.size(), [&](size_t i) {
+    // A private matcher per partition: constraint checks are read-only on
+    // the shared document, and counters stay thread-local.
+    NokMatcher m(doc_, tree_, nok_);
+    nestedlist::NestedList nl;
+    for (xml::NodeId x = parts[i].begin; x <= parts[i].end; ++x) {
+      ++scanned[i];
+      if (!m.RootTest(x)) continue;
+      if (m.MatchAt(x, &nl)) {
+        results[i].push_back(std::move(nl));
+        nl = nestedlist::NestedList();
+      }
+    }
+    work[i] = m.MatchWork();
+  });
+  parallel_buf_.clear();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    nodes_scanned_ += scanned[i];
+    parallel_work_ += work[i];
+    parallel_buf_.insert(parallel_buf_.end(),
+                         std::make_move_iterator(results[i].begin()),
+                         std::make_move_iterator(results[i].end()));
+  }
+  parallel_pos_ = 0;
+  parallel_done_ = true;
 }
 
 bool NokScanOperator::GetNext(nestedlist::NestedList* out) {
@@ -240,6 +287,12 @@ bool NokScanOperator::GetNext(nestedlist::NestedList* out) {
     virtual_done_ = true;
     ++nodes_scanned_;
     return matcher_.MatchAt(kVirtualRootNode, out);
+  }
+  if (ParallelEligible()) {
+    if (!parallel_done_) RunParallelScan();
+    if (parallel_pos_ >= parallel_buf_.size()) return false;
+    *out = std::move(parallel_buf_[parallel_pos_++]);
+    return true;
   }
   while (cursor_ <= range_end_ &&
          static_cast<size_t>(cursor_) < doc_->NumNodes()) {
@@ -254,6 +307,11 @@ bool NokScanOperator::GetNext(nestedlist::NestedList* out) {
 void NokScanOperator::Rewind() {
   cursor_ = range_begin_;
   virtual_done_ = false;
+  // Parallel buffers hand entries out by move, so a rewound parallel scan
+  // recomputes — mirroring the serial driver, which also rescans.
+  parallel_done_ = false;
+  parallel_buf_.clear();
+  parallel_pos_ = 0;
 }
 
 }  // namespace exec

@@ -7,6 +7,8 @@
 #include "exec/operator.h"
 #include "nestedlist/nested_list.h"
 #include "pattern/decompose.h"
+#include "storage/page_store.h"
+#include "util/thread_pool.h"
 #include "xml/document.h"
 
 namespace blossomtree {
@@ -69,10 +71,23 @@ class NokMatcher {
 /// \brief Sequential-scan driver (paper §3.3's "sequential scan of the XML
 /// tree against the blossom tree"): tries the NoK at every node in document
 /// order and emits one NestedList per match, as a Volcano-style iterator.
+///
+/// With a thread pool the full-document scan runs in *parallel mode*: the
+/// document is split at top-level subtree boundaries
+/// (storage::PartitionSubtrees), one private NokMatcher matches each
+/// partition's node range, and the per-partition match lists are
+/// concatenated in partition order. Partition ranges ascend in NodeId (=
+/// Dewey/document order), and every match is local to its partition, so the
+/// concatenation is bitwise-identical to the serial scan's output stream
+/// (Theorem 1; DESIGN.md §7). Range-restricted scans (the BNLJ inner side)
+/// always use the serial path.
 class NokScanOperator : public NestedListOperator {
  public:
+  /// \param pool optional worker pool; nullptr (or a restricted range)
+  ///        selects the exact serial scan.
   NokScanOperator(const xml::Document* doc, const pattern::BlossomTree* tree,
-                  const pattern::NokTree* nok);
+                  const pattern::NokTree* nok,
+                  util::ThreadPool* pool = nullptr);
 
   const std::vector<pattern::SlotId>& top_slots() const override {
     return matcher_.top_slots();
@@ -93,12 +108,26 @@ class NokScanOperator : public NestedListOperator {
   void Rewind() override;
 
   /// \brief Nodes the driver has scanned (the I/O proxy: one sequential
-  /// pass costs NumNodes).
+  /// pass costs NumNodes). Parallel partitions contribute their counts.
   uint64_t NodesScanned() const { return nodes_scanned_; }
-  uint64_t MatchWork() const { return matcher_.MatchWork(); }
+  uint64_t MatchWork() const { return matcher_.MatchWork() + parallel_work_; }
+
+  /// \brief Partitions used by the last parallel scan (0 = serial path).
+  size_t PartitionsUsed() const { return partitions_used_; }
 
  private:
+  /// True when the pending scan may run partitioned: a pool is attached and
+  /// the range covers the whole document (the BNLJ's restricted inner
+  /// re-scans stay serial — their ranges are single subtrees).
+  bool ParallelEligible() const;
+
+  /// Materializes all matches of the full-document scan via one matcher per
+  /// partition, concatenated in partition (= document) order.
+  void RunParallelScan();
+
   const xml::Document* doc_;
+  const pattern::BlossomTree* tree_;
+  const pattern::NokTree* nok_;
   NokMatcher matcher_;
   bool virtual_root_;
   bool virtual_done_ = false;
@@ -106,6 +135,13 @@ class NokScanOperator : public NestedListOperator {
   xml::NodeId range_begin_ = 0;
   xml::NodeId range_end_;
   uint64_t nodes_scanned_ = 0;
+
+  util::ThreadPool* pool_;
+  bool parallel_done_ = false;
+  std::vector<nestedlist::NestedList> parallel_buf_;
+  size_t parallel_pos_ = 0;
+  uint64_t parallel_work_ = 0;
+  size_t partitions_used_ = 0;
 };
 
 }  // namespace exec

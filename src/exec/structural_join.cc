@@ -7,21 +7,25 @@ namespace exec {
 
 namespace {
 
-/// Core merge: both inputs sorted by NodeId (document order). For each
-/// descendant, every stack entry is an ancestor (stack holds the nested
-/// chain of ancestors covering the current position).
+/// Core merge over index sub-ranges of the two sorted input lists. For each
+/// descendant, every stack entry is an ancestor (the stack holds the nested
+/// chain of ancestors covering the current position), pushed outermost
+/// first.
 template <typename Emit>
-void Merge(const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-           const std::vector<xml::NodeId>& descendants, Emit&& emit) {
+void MergeRange(const xml::Document& doc,
+                const std::vector<xml::NodeId>& ancestors, size_t abegin,
+                size_t aend, const std::vector<xml::NodeId>& descendants,
+                size_t dbegin, size_t dend, Emit&& emit) {
   std::vector<xml::NodeId> stack;
-  size_t ai = 0;
-  for (xml::NodeId d : descendants) {
+  size_t ai = abegin;
+  for (size_t di = dbegin; di < dend; ++di) {
+    xml::NodeId d = descendants[di];
     // Pop ancestors whose subtree ended before d.
     while (!stack.empty() && doc.SubtreeEnd(stack.back()) < d) {
       stack.pop_back();
     }
     // Push ancestors that start before d; keep only those still covering d.
-    while (ai < ancestors.size() && ancestors[ai] < d) {
+    while (ai < aend && ancestors[ai] < d) {
       while (!stack.empty() &&
              doc.SubtreeEnd(stack.back()) < ancestors[ai]) {
         stack.pop_back();
@@ -37,47 +41,182 @@ void Merge(const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
   }
 }
 
+/// One independent slice of the join: ancestors [anc_begin, anc_end) whose
+/// subtrees are disjoint from every other chunk's, plus the descendant index
+/// range falling inside their combined span.
+struct ForestChunk {
+  size_t anc_begin;
+  size_t anc_end;
+  size_t desc_begin;
+  size_t desc_end;
+};
+
+/// Partitions the outer sibling list: the sorted ancestor list is cut
+/// wherever an ancestor starts past the subtree end of everything before it
+/// (a top-level sibling of the ancestor forest), and the resulting spans
+/// are greedily grouped into at most `max_chunks` chunks balanced by input
+/// size. Each descendant's covering ancestors then live in exactly one
+/// chunk, making the chunks independently joinable.
+std::vector<ForestChunk> ChunkOuterForest(
+    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
+    const std::vector<xml::NodeId>& descendants, size_t max_chunks) {
+  std::vector<ForestChunk> chunks;
+  if (ancestors.empty()) return chunks;
+  if (max_chunks <= 1) {
+    chunks.push_back({0, ancestors.size(), 0, descendants.size()});
+    return chunks;
+  }
+  // Forest roots: indices opening a new top-level sibling span.
+  std::vector<size_t> roots;
+  xml::NodeId max_end = 0;
+  for (size_t i = 0; i < ancestors.size(); ++i) {
+    if (i == 0 || ancestors[i] > max_end) roots.push_back(i);
+    max_end = std::max(max_end, doc.SubtreeEnd(ancestors[i]));
+  }
+  size_t total = ancestors.size() + descendants.size();
+  size_t target = (total + max_chunks - 1) / max_chunks;
+  size_t abegin = 0;
+  size_t dpos = 0;
+  auto close_chunk = [&](size_t aend) {
+    // Descendants covered by this chunk: inside [anc[abegin], span end].
+    xml::NodeId span_end = 0;
+    for (size_t i = abegin; i < aend; ++i) {
+      span_end = std::max(span_end, doc.SubtreeEnd(ancestors[i]));
+    }
+    size_t dbegin = static_cast<size_t>(
+        std::lower_bound(descendants.begin() + dpos, descendants.end(),
+                         ancestors[abegin]) -
+        descendants.begin());
+    size_t dend = static_cast<size_t>(
+        std::upper_bound(descendants.begin() + dbegin, descendants.end(),
+                         span_end) -
+        descendants.begin());
+    chunks.push_back({abegin, aend, dbegin, dend});
+    abegin = aend;
+    dpos = dend;
+  };
+  for (size_t r = 1; r < roots.size(); ++r) {
+    size_t weight = (roots[r] - abegin) +
+                    descendants.size() / std::max<size_t>(roots.size(), 1);
+    if (weight >= target && chunks.size() + 1 < max_chunks) {
+      close_chunk(roots[r]);
+    }
+  }
+  close_chunk(ancestors.size());
+  return chunks;
+}
+
+/// Runs `make_emit(chunk_index)`-driven merges over the forest chunks —
+/// in parallel on `pool` when available, serially otherwise. `make_emit`
+/// must return an emit callable writing into chunk-private storage; it is
+/// invoked for every chunk on the calling thread *before* any merge runs,
+/// so it may safely size shared per-chunk containers.
+template <typename MakeEmit>
+void ForestJoin(const xml::Document& doc,
+                const std::vector<xml::NodeId>& ancestors,
+                const std::vector<xml::NodeId>& descendants,
+                util::ThreadPool* pool, size_t* num_chunks,
+                MakeEmit&& make_emit) {
+  size_t want = pool != nullptr ? pool->NumThreads() : 1;
+  std::vector<ForestChunk> chunks =
+      ChunkOuterForest(doc, ancestors, descendants, want);
+  *num_chunks = chunks.size();
+  using EmitT = decltype(make_emit(size_t{0}));
+  std::vector<EmitT> emits;
+  emits.reserve(chunks.size());
+  for (size_t i = 0; i < chunks.size(); ++i) emits.push_back(make_emit(i));
+  auto run = [&](size_t i) {
+    const ForestChunk& c = chunks[i];
+    MergeRange(doc, ancestors, c.anc_begin, c.anc_end, descendants,
+               c.desc_begin, c.desc_end, emits[i]);
+  };
+  if (pool != nullptr && chunks.size() > 1) {
+    pool->ParallelFor(chunks.size(), run);
+  } else {
+    for (size_t i = 0; i < chunks.size(); ++i) run(i);
+  }
+}
+
+/// Concatenates chunk-private outputs in chunk order.
+template <typename T>
+std::vector<T> Concat(std::vector<std::vector<T>> parts) {
+  if (parts.size() == 1) return std::move(parts[0]);
+  std::vector<T> out;
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (auto& p : parts) {
+    out.insert(out.end(), std::make_move_iterator(p.begin()),
+               std::make_move_iterator(p.end()));
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<AncDescPair> StackStructuralJoin(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants) {
-  std::vector<AncDescPair> out;
-  Merge(doc, ancestors, descendants,
-        [&](xml::NodeId a, xml::NodeId d) { out.push_back({a, d}); });
-  return out;
+    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool) {
+  size_t n = 0;
+  std::vector<std::vector<AncDescPair>> parts;
+  ForestJoin(doc, ancestors, descendants, pool, &n, [&](size_t i) {
+    if (parts.empty()) parts.resize(n);
+    return [&parts, i](xml::NodeId a, xml::NodeId d) {
+      parts[i].push_back({a, d});
+    };
+  });
+  return Concat(std::move(parts));
 }
 
 std::vector<AncDescPair> StackStructuralJoinParentChild(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants) {
-  std::vector<AncDescPair> out;
-  Merge(doc, ancestors, descendants, [&](xml::NodeId a, xml::NodeId d) {
-    if (doc.Level(d) == doc.Level(a) + 1) out.push_back({a, d});
+    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool) {
+  size_t n = 0;
+  std::vector<std::vector<AncDescPair>> parts;
+  ForestJoin(doc, ancestors, descendants, pool, &n, [&](size_t i) {
+    if (parts.empty()) parts.resize(n);
+    return [&parts, i, &doc](xml::NodeId a, xml::NodeId d) {
+      if (doc.Level(d) == doc.Level(a) + 1) parts[i].push_back({a, d});
+    };
   });
-  return out;
+  return Concat(std::move(parts));
 }
 
 std::vector<xml::NodeId> DescendantsWithAncestor(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants) {
-  std::vector<xml::NodeId> out;
-  xml::NodeId last = xml::kNullNode;
-  Merge(doc, ancestors, descendants, [&](xml::NodeId, xml::NodeId d) {
-    if (d != last) {
-      out.push_back(d);
-      last = d;
+    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool) {
+  size_t n = 0;
+  std::vector<std::vector<xml::NodeId>> parts;
+  // The `last` dedup is chunk-local; a descendant's pairs all emit in one
+  // chunk, so no duplicate survives the concatenation.
+  std::vector<xml::NodeId> last;
+  ForestJoin(doc, ancestors, descendants, pool, &n, [&](size_t i) {
+    if (parts.empty()) {
+      parts.resize(n);
+      last.assign(n, xml::kNullNode);
     }
+    return [&parts, &last, i](xml::NodeId, xml::NodeId d) {
+      if (d != last[i]) {
+        parts[i].push_back(d);
+        last[i] = d;
+      }
+    };
   });
-  return out;
+  return Concat(std::move(parts));
 }
 
 std::vector<xml::NodeId> AncestorsWithDescendant(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants) {
-  std::vector<xml::NodeId> out;
-  Merge(doc, ancestors, descendants,
-        [&](xml::NodeId a, xml::NodeId) { out.push_back(a); });
+    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool) {
+  size_t n = 0;
+  std::vector<std::vector<xml::NodeId>> parts;
+  ForestJoin(doc, ancestors, descendants, pool, &n, [&](size_t i) {
+    if (parts.empty()) parts.resize(n);
+    return [&parts, i](xml::NodeId a, xml::NodeId) {
+      parts[i].push_back(a);
+    };
+  });
+  std::vector<xml::NodeId> out = Concat(std::move(parts));
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
@@ -85,25 +224,37 @@ std::vector<xml::NodeId> AncestorsWithDescendant(
 
 std::vector<xml::NodeId> ChildrenWithParent(
     const xml::Document& doc, const std::vector<xml::NodeId>& parents,
-    const std::vector<xml::NodeId>& children) {
-  std::vector<xml::NodeId> out;
-  xml::NodeId last = xml::kNullNode;
-  Merge(doc, parents, children, [&](xml::NodeId a, xml::NodeId d) {
-    if (doc.Level(d) == doc.Level(a) + 1 && d != last) {
-      out.push_back(d);
-      last = d;
+    const std::vector<xml::NodeId>& children, util::ThreadPool* pool) {
+  size_t n = 0;
+  std::vector<std::vector<xml::NodeId>> parts;
+  std::vector<xml::NodeId> last;
+  ForestJoin(doc, parents, children, pool, &n, [&](size_t i) {
+    if (parts.empty()) {
+      parts.resize(n);
+      last.assign(n, xml::kNullNode);
     }
+    return [&parts, &last, i, &doc](xml::NodeId a, xml::NodeId d) {
+      if (doc.Level(d) == doc.Level(a) + 1 && d != last[i]) {
+        parts[i].push_back(d);
+        last[i] = d;
+      }
+    };
   });
-  return out;
+  return Concat(std::move(parts));
 }
 
 std::vector<xml::NodeId> ParentsWithChild(
     const xml::Document& doc, const std::vector<xml::NodeId>& parents,
-    const std::vector<xml::NodeId>& children) {
-  std::vector<xml::NodeId> out;
-  Merge(doc, parents, children, [&](xml::NodeId a, xml::NodeId d) {
-    if (doc.Level(d) == doc.Level(a) + 1) out.push_back(a);
+    const std::vector<xml::NodeId>& children, util::ThreadPool* pool) {
+  size_t n = 0;
+  std::vector<std::vector<xml::NodeId>> parts;
+  ForestJoin(doc, parents, children, pool, &n, [&](size_t i) {
+    if (parts.empty()) parts.resize(n);
+    return [&parts, i, &doc](xml::NodeId a, xml::NodeId d) {
+      if (doc.Level(d) == doc.Level(a) + 1) parts[i].push_back(a);
+    };
   });
+  std::vector<xml::NodeId> out = Concat(std::move(parts));
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/thread_pool.h"
 #include "xml/document.h"
 
 namespace blossomtree {
@@ -15,37 +16,54 @@ struct AncDescPair {
   xml::NodeId descendant;
 };
 
+/// All join forms below accept an optional thread pool. With a pool, the
+/// join partitions the *outer (ancestor) sibling list*: the sorted ancestor
+/// list decomposes into a forest of top-level sibling spans (cut wherever an
+/// ancestor starts past every earlier ancestor's subtree), consecutive spans
+/// are grouped into balanced chunks, each chunk joins its span's descendant
+/// slice independently, and outputs concatenate in chunk order. Chunk spans
+/// are disjoint and ascending, and a descendant's full ancestor stack lives
+/// in exactly one chunk, so the output is bitwise-identical to the serial
+/// merge (same document order, same stack order). pool == nullptr runs the
+/// exact serial single-pass merge.
+
 /// \brief Stack-based structural merge join (Al-Khalifa et al., the paper's
 /// reference [2]): joins two document-ordered element lists on the
 /// ancestor-descendant relationship in one pass, using a stack of nested
 /// ancestors. O(|anc| + |desc| + |output|).
 std::vector<AncDescPair> StackStructuralJoin(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants);
+    const std::vector<xml::NodeId>& descendants,
+    util::ThreadPool* pool = nullptr);
 
 /// \brief Parent-child variant: keeps only pairs with level(desc) ==
 /// level(anc) + 1.
 std::vector<AncDescPair> StackStructuralJoinParentChild(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants);
+    const std::vector<xml::NodeId>& descendants,
+    util::ThreadPool* pool = nullptr);
 
 /// \brief Semi-join forms used by existential predicates: the descendants
 /// that have some ancestor in `ancestors` (document order preserved), and
 /// the ancestors that contain some descendant.
 std::vector<xml::NodeId> DescendantsWithAncestor(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants);
+    const std::vector<xml::NodeId>& descendants,
+    util::ThreadPool* pool = nullptr);
 std::vector<xml::NodeId> AncestorsWithDescendant(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants);
+    const std::vector<xml::NodeId>& descendants,
+    util::ThreadPool* pool = nullptr);
 
 /// \brief Parent-child semi-join variants (level-filtered).
 std::vector<xml::NodeId> ChildrenWithParent(
     const xml::Document& doc, const std::vector<xml::NodeId>& parents,
-    const std::vector<xml::NodeId>& children);
+    const std::vector<xml::NodeId>& children,
+    util::ThreadPool* pool = nullptr);
 std::vector<xml::NodeId> ParentsWithChild(
     const xml::Document& doc, const std::vector<xml::NodeId>& parents,
-    const std::vector<xml::NodeId>& children);
+    const std::vector<xml::NodeId>& children,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace exec
 }  // namespace blossomtree

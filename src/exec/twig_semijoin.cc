@@ -9,8 +9,9 @@ namespace exec {
 using pattern::VertexId;
 
 TwigSemijoin::TwigSemijoin(const xml::Document* doc,
-                           const pattern::BlossomTree* tree)
-    : doc_(doc), tree_(tree) {}
+                           const pattern::BlossomTree* tree,
+                           util::ThreadPool* pool)
+    : doc_(doc), tree_(tree), pool_(pool) {}
 
 Status TwigSemijoin::Validate(VertexId v) const {
   const pattern::Vertex& vx = tree_->vertex(v);
@@ -74,9 +75,9 @@ Status TwigSemijoin::BottomUp(VertexId v) {
     ++stats_.semijoins;
     candidates_[v] =
         cx.axis == xpath::Axis::kChild
-            ? ParentsWithChild(*doc_, candidates_[v], candidates_[c])
-            : AncestorsWithDescendant(*doc_, candidates_[v],
-                                      candidates_[c]);
+            ? ParentsWithChild(*doc_, candidates_[v], candidates_[c], pool_)
+            : AncestorsWithDescendant(*doc_, candidates_[v], candidates_[c],
+                                      pool_);
   }
   return Status::OK();
 }
@@ -87,9 +88,10 @@ void TwigSemijoin::TopDown(VertexId v) {
     ++stats_.semijoins;
     candidates_[c] =
         cx.axis == xpath::Axis::kChild
-            ? ChildrenWithParent(*doc_, candidates_[v], candidates_[c])
-            : DescendantsWithAncestor(*doc_, candidates_[v],
-                                      candidates_[c]);
+            ? ChildrenWithParent(*doc_, candidates_[v], candidates_[c],
+                                 pool_)
+            : DescendantsWithAncestor(*doc_, candidates_[v], candidates_[c],
+                                      pool_);
     TopDown(c);
   }
 }

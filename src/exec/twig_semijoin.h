@@ -5,6 +5,7 @@
 
 #include "pattern/blossom_tree.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "xml/document.h"
 
 namespace blossomtree {
@@ -31,7 +32,11 @@ struct TwigSemijoinStats {
 /// constraints, no positions); returns kUnsupported otherwise.
 class TwigSemijoin {
  public:
-  TwigSemijoin(const xml::Document* doc, const pattern::BlossomTree* tree);
+  /// \param pool optional worker pool: each per-edge semijoin then runs
+  ///        partitioned over the outer sibling forest (see
+  ///        structural_join.h); nullptr keeps the exact serial merges.
+  TwigSemijoin(const xml::Document* doc, const pattern::BlossomTree* tree,
+               util::ThreadPool* pool = nullptr);
 
   /// \brief Runs the semijoin program; fills `result` with the distinct
   /// document-ordered matches of `result_vertex`.
@@ -48,6 +53,7 @@ class TwigSemijoin {
 
   const xml::Document* doc_;
   const pattern::BlossomTree* tree_;
+  util::ThreadPool* pool_;
   std::vector<std::vector<xml::NodeId>> candidates_;  ///< Per VertexId.
   TwigSemijoinStats stats_;
 };

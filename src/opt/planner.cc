@@ -42,7 +42,8 @@ class TreePlanner {
               const Decomposition* decomp, JoinStrategy strategy,
               exec::MergedNokScan* merged,
               const std::vector<int>* merged_index, PatternTreePlan* plan,
-              bool* used_pipelined, bool* used_bnlj)
+              bool* used_pipelined, bool* used_bnlj,
+              util::ThreadPool* pool)
       : doc_(doc),
         tree_(tree),
         decomp_(decomp),
@@ -51,7 +52,8 @@ class TreePlanner {
         merged_index_(merged_index),
         plan_(plan),
         used_pipelined_(used_pipelined),
-        used_bnlj_(used_bnlj) {}
+        used_bnlj_(used_bnlj),
+        pool_(pool) {}
 
   /// True when matches of `v`'s tag can never nest — the precondition for
   /// the pipelined join's merge discipline (Theorem 2 holds per tag: a
@@ -87,10 +89,15 @@ class TreePlanner {
       plan_->explain += "MergedNokView(" + NokLabel(nok_index) + ")\n";
     } else {
       auto scan = std::make_unique<NokScanOperator>(
-          doc_, tree_, &decomp_->noks[nok_index]);
+          doc_, tree_, &decomp_->noks[nok_index], pool_);
       plan_->scans.push_back(scan.get());
       Indent(depth);
-      plan_->explain += "NokScan(" + NokLabel(nok_index) + ")\n";
+      plan_->explain += "NokScan(" + NokLabel(nok_index) + ")";
+      if (pool_ != nullptr && pool_->NumThreads() > 1) {
+        plan_->explain +=
+            " [parallel x" + std::to_string(pool_->NumThreads()) + "]";
+      }
+      plan_->explain += "\n";
       op = std::move(scan);
     }
     for (const Connection& c : decomp_->connections) {
@@ -153,6 +160,7 @@ class TreePlanner {
   PatternTreePlan* plan_;
   bool* used_pipelined_;
   bool* used_bnlj_;
+  util::ThreadPool* pool_;
 };
 
 }  // namespace
@@ -235,7 +243,7 @@ Result<QueryPlan> PlanQuery(const xml::Document* doc,
     PatternTreePlan tp;
     TreePlanner builder(doc, tree, &plan.decomposition, strategy,
                         merged.get(), &merged_index, &tp, &used_pipelined,
-                        &used_bnlj);
+                        &used_bnlj, options.pool);
     BT_ASSIGN_OR_RETURN(tp.root, builder.Build(base, 1));
     tp.tops = tp.root->top_slots();
     plan.trees.push_back(std::move(tp));

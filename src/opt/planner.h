@@ -10,6 +10,7 @@
 #include "exec/operator.h"
 #include "pattern/decompose.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace blossomtree {
 namespace opt {
@@ -32,6 +33,10 @@ struct PlanOptions {
   /// (§4.2's merged-NoK optimization). Only applies with kPipelined /
   /// non-recursive kAuto plans (the BNLJ's inner must re-scan on demand).
   bool merge_nok_scans = false;
+  /// Worker pool for intra-query parallelism (borrowed, not owned):
+  /// full-document NoK scans run partitioned across it. nullptr = serial
+  /// plan, bitwise-identical results either way.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// \brief A compiled plan for one pattern tree of a BlossomTree.

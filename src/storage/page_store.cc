@@ -3,6 +3,69 @@
 namespace blossomtree {
 namespace storage {
 
+namespace {
+
+/// Greedy balanced grouping of consecutive top-level subtrees
+/// [cuts[i], cuts[i+1]) into at most `max_partitions` contiguous ranges.
+/// `cuts` holds the NodeId where each top-level subtree starts (the first
+/// entry is the document root itself, which precedes its first child), and
+/// `total` is the number of nodes in the document.
+std::vector<NodeRange> GroupCuts(const std::vector<xml::NodeId>& cuts,
+                                 size_t total, size_t max_partitions) {
+  std::vector<NodeRange> out;
+  if (total == 0) return out;
+  xml::NodeId last = static_cast<xml::NodeId>(total - 1);
+  if (max_partitions <= 1 || cuts.size() <= 1) {
+    out.push_back({0, last});
+    return out;
+  }
+  size_t target = (total + max_partitions - 1) / max_partitions;
+  xml::NodeId begin = 0;
+  for (size_t i = 1; i < cuts.size(); ++i) {
+    // cuts[i] starts a new top-level subtree: a legal cut point.
+    size_t acc = cuts[i] - begin;
+    if (acc >= target && out.size() + 1 < max_partitions) {
+      out.push_back({begin, static_cast<xml::NodeId>(cuts[i] - 1)});
+      begin = cuts[i];
+    }
+  }
+  out.push_back({begin, last});
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeRange> PartitionSubtrees(const xml::Document& doc,
+                                         size_t max_partitions) {
+  std::vector<xml::NodeId> cuts;
+  if (!doc.empty()) {
+    cuts.push_back(doc.Root());
+    for (xml::NodeId c = doc.FirstChild(doc.Root()); c != xml::kNullNode;
+         c = doc.NextSibling(c)) {
+      cuts.push_back(c);
+    }
+  }
+  return GroupCuts(cuts, doc.NumNodes(), max_partitions);
+}
+
+std::vector<NodeRange> PageStore::Partition(size_t max_partitions) const {
+  std::vector<xml::NodeId> cuts;
+  if (!records_.empty()) {
+    cuts.push_back(0);
+    // Children of the root are the level-1 records; each one's subtree_end
+    // jumps to the next.
+    xml::NodeId c = records_[0].subtree_end > 0 ? 1 : xml::kNullNode;
+    while (c != xml::kNullNode) {
+      cuts.push_back(c);
+      xml::NodeId next = records_[c].subtree_end + 1;
+      c = (next < records_.size() && records_[next].level == 1)
+              ? next
+              : xml::kNullNode;
+    }
+  }
+  return GroupCuts(cuts, records_.size(), max_partitions);
+}
+
 PageStore::PageStore(const xml::Document& doc, size_t page_bytes) {
   nodes_per_page_ = page_bytes / sizeof(NodeRecord);
   if (nodes_per_page_ == 0) nodes_per_page_ = 1;

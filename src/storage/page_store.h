@@ -22,6 +22,32 @@ struct NodeRecord {
   uint32_t text_ref;       ///< Index into the text table, or UINT32_MAX.
 };
 
+/// \brief A contiguous, inclusive range [begin, end] of NodeIds — one
+/// partition of a document for intra-query parallel scanning.
+struct NodeRange {
+  xml::NodeId begin;
+  xml::NodeId end;
+
+  size_t size() const { return static_cast<size_t>(end) - begin + 1; }
+  bool operator==(const NodeRange& o) const {
+    return begin == o.begin && end == o.end;
+  }
+};
+
+/// \brief Splits a document into at most `max_partitions` contiguous node
+/// ranges, cutting only at *top-level subtree boundaries* — the subtrees
+/// rooted at the children of the document root — balanced by node count.
+///
+/// Every match of a NoK rooted inside a partition lies entirely within one
+/// top-level subtree, so per-partition matching is independent, and the
+/// partitions' ascending NodeId ranges mean concatenating per-partition
+/// results in partition order yields exact document order (Theorem 1's
+/// Dewey-order argument; see DESIGN.md §7). The root node itself falls in
+/// the first partition. Returns an empty vector for an empty document and a
+/// single full-document range when no useful cut exists.
+std::vector<NodeRange> PartitionSubtrees(const xml::Document& doc,
+                                         size_t max_partitions);
+
 /// \brief A document-order, page-partitioned node store with access counting.
 ///
 /// Models the paper's secondary-storage scans: every page touched is counted,
@@ -73,6 +99,11 @@ class PageStore {
     page_reads_ = 0;
     current_page_ = static_cast<size_t>(-1);
   }
+
+  /// \brief Partitions the stored document into at most `max_partitions`
+  /// contiguous node ranges cut at top-level subtree boundaries (see
+  /// PartitionSubtrees below), using the store's own records.
+  std::vector<NodeRange> Partition(size_t max_partitions) const;
 
  private:
   std::vector<NodeRecord> records_;

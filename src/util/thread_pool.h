@@ -1,0 +1,87 @@
+#ifndef BLOSSOMTREE_UTIL_THREAD_POOL_H_
+#define BLOSSOMTREE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace blossomtree {
+namespace util {
+
+/// \brief A fixed-size thread pool for intra-query parallelism.
+///
+/// Deliberately work-stealing-free: tasks run in FIFO submission order on a
+/// fixed set of workers, so a partitioned scan's per-partition tasks start in
+/// partition order and the caller reassembles results by partition index —
+/// no scheduling decision can reorder the output (determinism first, then
+/// speed). Submitted tasks always run: destruction drains the queue before
+/// joining the workers.
+///
+/// Exceptions thrown by a task are captured in its future (Submit) or
+/// rethrown to the caller (ParallelFor); they never escape a worker thread.
+class ThreadPool {
+ public:
+  /// \brief Starts `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+
+  /// \brief Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t NumThreads() const { return workers_.size(); }
+
+  /// \brief Enqueues `fn`; the returned future completes when it has run
+  /// (rethrowing from get() if the task threw).
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// \brief Runs fn(0) .. fn(n-1) on the pool and blocks until all have
+  /// finished. The first exception thrown by any iteration is rethrown
+  /// after every iteration has completed.
+  template <typename Fn>
+  void ParallelFor(size_t n, Fn&& fn) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      futures.push_back(Submit([&fn, i] { fn(i); }));
+    }
+    std::exception_ptr first;
+    for (std::future<void>& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
+  /// \brief The default worker count: hardware concurrency, or 1 when the
+  /// runtime cannot report it.
+  static size_t DefaultThreads() {
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<size_t>(n);
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace util
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,84 @@
+// Engine-level determinism of intra-query parallelism: for every dataset
+// and every workload query, the engine must produce byte-identical results
+// at num_threads in {1, 2, 4, 8}. num_threads == 1 is the exact serial code
+// path, so this pins the parallel subsystem against the serial semantics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datagen/datagen.h"
+#include "engine/engine.h"
+#include "workload/queries.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace {
+
+TEST(ParallelDeterminismTest, WorkloadPathsIdenticalAcrossThreadCounts) {
+  for (datagen::Dataset ds : datagen::AllDatasets()) {
+    datagen::GenOptions o;
+    o.scale = 0.02;
+    o.seed = 7;
+    auto doc = datagen::GenerateDataset(ds, o);
+    for (const workload::QuerySpec& q : workload::QueriesFor(ds)) {
+      auto path = xpath::ParsePath(q.xpath);
+      ASSERT_TRUE(path.ok()) << q.xpath;
+
+      engine::EngineOptions serial;
+      serial.num_threads = 1;
+      engine::BlossomTreeEngine ref(doc.get(), serial);
+      auto expected = ref.EvaluatePath(*path);
+      ASSERT_TRUE(expected.ok()) << q.xpath;
+      EXPECT_EQ(ref.EffectiveThreads(), 1u);
+
+      for (unsigned t : {2u, 4u, 8u}) {
+        engine::EngineOptions opts;
+        opts.num_threads = t;
+        engine::BlossomTreeEngine eng(doc.get(), opts);
+        EXPECT_EQ(eng.EffectiveThreads(), t);
+        auto got = eng.EvaluatePath(*path);
+        ASSERT_TRUE(got.ok()) << q.xpath << " threads=" << t;
+        EXPECT_EQ(*got, *expected)
+            << datagen::DatasetName(ds) << " " << q.id << " threads=" << t;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, FlworQueriesIdenticalAcrossThreadCounts) {
+  datagen::GenOptions o;
+  o.scale = 0.02;
+  o.seed = 7;
+  auto doc = datagen::GenerateDataset(datagen::Dataset::kD5Dblp, o);
+  const char* queries[] = {
+      "for $a in //article return $a/title",
+      "for $a in //article where exists($a/year) return <hit>{$a/title}</hit>",
+  };
+  for (const char* q : queries) {
+    engine::EngineOptions serial;
+    serial.num_threads = 1;
+    engine::BlossomTreeEngine ref(doc.get(), serial);
+    auto expected = ref.EvaluateQuery(q);
+    ASSERT_TRUE(expected.ok()) << q << ": " << expected.status().ToString();
+    for (unsigned t : {2u, 4u, 8u}) {
+      engine::EngineOptions opts;
+      opts.num_threads = t;
+      engine::BlossomTreeEngine eng(doc.get(), opts);
+      auto got = eng.EvaluateQuery(q);
+      ASSERT_TRUE(got.ok()) << q << " threads=" << t;
+      EXPECT_EQ(*got, *expected) << q << " threads=" << t;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, DefaultThreadsResolvesHardwareConcurrency) {
+  datagen::GenOptions o;
+  o.scale = 0.01;
+  auto doc = datagen::GenerateDataset(datagen::Dataset::kD3Catalog, o);
+  engine::BlossomTreeEngine eng(doc.get());  // num_threads = 0 (auto).
+  EXPECT_GE(eng.EffectiveThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace blossomtree

@@ -1,0 +1,109 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace blossomtree {
+namespace util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.NumThreads(), 4u);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.NumThreads(), 1u);
+  auto f = pool.Submit([] {});
+  f.get();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<int> hits(257, 0);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  auto ok = pool.Submit([] {});
+  ok.get();
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(16,
+                                [&](size_t i) {
+                                  ++ran;
+                                  if (i % 2 == 0) {
+                                    throw std::runtime_error("odd one out");
+                                  }
+                                }),
+               std::runtime_error);
+  // Every iteration still ran to completion before the rethrow.
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+    }
+    // Destructor must run all 50 queued tasks before joining.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
+  // Two tasks that each wait for the other can only finish if they run on
+  // different workers simultaneously.
+  ThreadPool pool(2);
+  std::atomic<int> arrived{0};
+  auto rendezvous = [&arrived] {
+    ++arrived;
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (arrived.load() < 2 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  };
+  auto a = pool.Submit(rendezvous);
+  auto b = pool.Submit(rendezvous);
+  a.get();
+  b.get();
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace blossomtree
