@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
   const Q queries[] = {{"book-pairs (Example 1)", kPairsQuery},
                        {"chained for (b, b/title)", kSimpleQuery}};
 
+  blossomtree::bench::ProfileSink sink("ablation_flwor");
   for (size_t n : {50, 100, 200, 400, 800}) {
     size_t scaled = static_cast<size_t>(n * flags.scale);
     if (scaled < 4) scaled = 4;
@@ -107,8 +108,20 @@ int main(int argc, char** argv) {
       std::printf("%-8zu | %-28s | %10s %10s | %12llu\n", scaled, q.name,
                   TimeCell(bt_s).c_str(), TimeCell(nav_s).c_str(),
                   static_cast<unsigned long long>(nav_visits));
+      // Untimed re-run with profile collection: the engine's own
+      // per-operator breakdown for the artifact.
+      blossomtree::engine::EngineOptions eo;
+      eo.collect_profile = true;
+      blossomtree::engine::BlossomTreeEngine profiled(doc.get(), eo);
+      if (profiled.EvaluateQuery(q.text).ok()) {
+        sink.Add("{\"books\": " + std::to_string(scaled) +
+                 ", \"query\": \"" + std::string(q.name) +
+                 "\", \"profile\": " + profiled.LastProfile().ToJson() +
+                 "}");
+      }
     }
   }
+  sink.WriteAndReport();
   std::printf(
       "\nExpected: NAV re-evaluates $book2's path and the let-paths per\n"
       "iteration, so its node visits (and time) grow superlinearly with\n"

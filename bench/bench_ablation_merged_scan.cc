@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench_profile.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "opt/planner.h"
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
               "#noks", "sep. nodes", "sep. s", "mrg. nodes", "mrg. s",
               "saving");
 
+  blossomtree::bench::ProfileSink sink("ablation_merged_scan");
   for (Dataset d : {Dataset::kD2Address, Dataset::kD3Catalog,
                     Dataset::kD5Dblp}) {
     blossomtree::datagen::GenOptions o;
@@ -78,8 +80,20 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(separate_nodes), separate_s,
                   static_cast<unsigned long long>(merged_nodes), merged_s,
                   saving);
+      for (bool merged : {false, true}) {
+        PlanOptions po;
+        po.strategy = JoinStrategy::kPipelined;
+        po.merge_nok_scans = merged;
+        sink.Add(blossomtree::bench::WithContext(
+            "\"dataset\": \"" + std::string(DatasetName(d)) +
+                "\", \"id\": \"" + q.id + "\", \"merged\": " +
+                (merged ? "true" : "false"),
+            blossomtree::bench::PlanProfileJson(doc.get(), &*tree, q.xpath,
+                                                po)));
+      }
     }
   }
+  sink.WriteAndReport();
   std::printf(
       "\nExpected: merged scan costs ~one document pass regardless of the\n"
       "number of NoKs; separate scans cost ~k passes (k = #noks).\n");

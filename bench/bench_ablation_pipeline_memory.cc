@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench_profile.h"
 #include "bench_util.h"
 #include "exec/operator.h"
 #include "opt/planner.h"
@@ -87,6 +88,7 @@ int main(int argc, char** argv) {
   auto tree = blossomtree::pattern::BuildFromPath(*query);
   if (!tree.ok()) return 1;
 
+  blossomtree::bench::ProfileSink sink("ablation_pipeline_memory");
   for (int depth : {1, 2, 4, 8, 16, 32, 64}) {
     auto parsed = blossomtree::xml::ParseDocument(NestedDoc(depth, 4));
     if (!parsed.ok()) return 1;
@@ -101,7 +103,15 @@ int main(int argc, char** argv) {
                 nl_lists, pl_lists,
                 static_cast<unsigned long long>(MaxMultiplicity(*doc)), nl_s,
                 pl_s);
+    // BNLJ breakdown per nesting degree: rescans should track the degree.
+    PlanOptions po;
+    po.strategy = JoinStrategy::kBoundedNestedLoop;
+    sink.Add(blossomtree::bench::WithContext(
+        "\"nesting\": " + std::to_string(depth) + ", \"system\": \"NL\"",
+        blossomtree::bench::PlanProfileJson(doc.get(), &*tree, "//a//b",
+                                            po)));
   }
+  sink.WriteAndReport();
   std::printf(
       "\nExpected: NL lists == nesting degree (one per matched a); PL emits\n"
       "only the outermost match (losing the rest) — its required cache for\n"

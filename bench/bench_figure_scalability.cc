@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "baseline/navigational.h"
+#include "bench_profile.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "exec/twig_semijoin.h"
@@ -50,7 +51,8 @@ std::string Serialize(const std::vector<xml::NodeId>& nodes) {
 /// against the serial engine's.
 void SweepThreads(datagen::Dataset dataset, const BenchFlags& flags,
                   const std::vector<unsigned>& counts,
-                  std::vector<ThreadPoint>* out) {
+                  std::vector<ThreadPoint>* out,
+                  bench::ProfileSink* sink) {
   const auto queries = workload::QueriesFor(dataset);
   auto path = xpath::ParsePath(queries[5].xpath);
   if (!path.ok()) return;
@@ -90,6 +92,12 @@ void SweepThreads(datagen::Dataset dataset, const BenchFlags& flags,
                 speedup, identical ? "yes" : "NO — MISMATCH");
     out->push_back({datagen::DatasetName(dataset), t, s, speedup,
                     identical});
+    // Per-operator breakdown at this thread count: the deterministic
+    // counters must match the serial profile entry for entry.
+    sink->Add(bench::WithContext(
+        "\"dataset\": \"" + std::string(datagen::DatasetName(dataset)) +
+            "\", \"threads\": " + std::to_string(t),
+        bench::PlanProfileJson(doc.get(), &*tree, queries[5].xpath, po)));
   }
 }
 
@@ -180,8 +188,11 @@ int main(int argc, char** argv) {
       "Parallel NoK scan sweep (Q6, hardware concurrency = %zu):\n\n",
       util::ThreadPool::DefaultThreads());
   std::vector<ThreadPoint> points;
-  SweepThreads(datagen::Dataset::kD4Treebank, flags, counts, &points);
-  SweepThreads(datagen::Dataset::kD5Dblp, flags, counts, &points);
+  bench::ProfileSink sink("figure_scalability");
+  SweepThreads(datagen::Dataset::kD4Treebank, flags, counts, &points,
+               &sink);
+  SweepThreads(datagen::Dataset::kD5Dblp, flags, counts, &points, &sink);
+  sink.WriteAndReport();
 
   std::string json =
       flags.json_path.empty() ? "bench_scalability_threads.json"

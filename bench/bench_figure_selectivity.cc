@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "baseline/navigational.h"
+#include "bench_profile.h"
 #include "bench_util.h"
 #include "exec/twig_semijoin.h"
 #include "exec/twigstack.h"
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
   std::printf("%-4s %9s %8s | %8s %8s %8s %8s\n", "key", "results", "sel.%",
               "XH s", "TS s", "SJ s", "PL s");
 
+  bench::ProfileSink sink("figure_selectivity");
   for (int k = 0; k <= 9; ++k) {
     std::string query =
         "//item[key = \"v" + std::to_string(k) + "\"]/payload";
@@ -102,7 +104,11 @@ int main(int argc, char** argv) {
                     static_cast<double>(doc->NumElements()),
                 TimeCell(xh_s).c_str(), TimeCell(ts_s).c_str(),
                 TimeCell(sj_s).c_str(), TimeCell(pl_s).c_str());
+    sink.Add(bench::WithContext(
+        "\"key\": \"v" + std::to_string(k) + "\", \"system\": \"PL\"",
+        bench::PlanProfileJson(doc.get(), &*tree, query, po)));
   }
+  sink.WriteAndReport();
   std::printf(
       "\nExpected: PL is roughly flat (sequential-scan bound); TS/SJ track\n"
       "the candidate sizes. TwigStack's advantage appears at the selective\n"

@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include "baseline/navigational.h"
+#include "bench_profile.h"
+#include "bench_util.h"
 #include "datagen/datagen.h"
 #include "exec/structural_join.h"
 #include "exec/twigstack.h"
@@ -144,4 +146,26 @@ BENCHMARK(BM_DatasetGeneration);
 }  // namespace
 }  // namespace blossomtree
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a BENCH_micro.json artifact: the per-operator
+// breakdown of the pipelined plan the BM_PipelinedJoin/BM_Projection
+// microbenchmarks exercise.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  using namespace blossomtree;
+  auto doc = BenchDoc(datagen::Dataset::kD5Dblp, 0.05);
+  const std::string query = "//proceedings//editor";
+  auto path = xpath::ParsePath(query).MoveValue();
+  auto tree = pattern::BuildFromPath(path).MoveValue();
+  opt::PlanOptions po;
+  po.strategy = opt::JoinStrategy::kPipelined;
+  bench::ProfileSink sink("micro");
+  sink.Add(bench::WithContext(
+      "\"dataset\": \"d5\"",
+      bench::PlanProfileJson(doc.get(), &tree, query, po)));
+  sink.WriteAndReport();
+  return 0;
+}

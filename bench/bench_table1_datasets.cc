@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   std::printf("%-12s %-10s %-4s %-10s %9s %9s %8s %8s %10s\n", "category",
               "recursive?", "set", "size", "#nodes", "avg.dep.", "max dep.",
               "|tags|", "|tree|");
+  blossomtree::bench::ProfileSink sink("table1_datasets");
   for (Dataset d : AllDatasets()) {
     GenOptions o;
     o.scale = flags.scale;
@@ -61,7 +62,18 @@ int main(int argc, char** argv) {
                 Category(d), s.recursive ? "Y" : "N", s.name.c_str(),
                 Mb(s.xml_bytes).c_str(), s.num_nodes, s.avg_depth,
                 s.max_depth, s.num_tags, Mb(s.tree_bytes).c_str());
+    char stats[256];
+    std::snprintf(stats, sizeof(stats),
+                  "{\"dataset\": \"%s\", \"recursive\": %s, "
+                  "\"xml_bytes\": %zu, \"nodes\": %zu, "
+                  "\"avg_depth\": %.2f, \"max_depth\": %u, \"tags\": %zu, "
+                  "\"tree_bytes\": %zu}",
+                  s.name.c_str(), s.recursive ? "true" : "false",
+                  s.xml_bytes, s.num_nodes, s.avg_depth, s.max_depth,
+                  s.num_tags, s.tree_bytes);
+    sink.Add(stats);
   }
+  sink.WriteAndReport();
   std::printf(
       "\nPaper values (full size): d1 69MB/1.2M nodes, d2 17MB/403k,\n"
       "d3 30MB/621k, d4 82MB/2.4M, d5 133MB/3.3M; depth and |tags| columns\n"

@@ -7,8 +7,10 @@
 #include <cstdio>
 
 #include "baseline/navigational.h"
+#include "bench_profile.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
+#include "pattern/builder.h"
 #include "workload/queries.h"
 #include "xpath/parser.h"
 
@@ -25,6 +27,7 @@ using blossomtree::workload::QuerySpec;
 
 int main(int argc, char** argv) {
   BenchFlags flags = ParseFlags(argc, argv, /*default_scale=*/0.2);
+  blossomtree::bench::ProfileSink sink("table2_queries");
   std::printf("Table 2 / Appendix A: query categories (scale=%.2f)\n\n",
               flags.scale);
   for (Dataset d : AllDatasets()) {
@@ -53,8 +56,17 @@ int main(int argc, char** argv) {
       std::printf("  %-3s %-4s %-60s %9zu %8.2f\n", q.id.c_str(),
                   q.category.c_str(), q.xpath.c_str(), r->size(),
                   100.0 * r->size() / doc->NumElements());
+      auto tree = blossomtree::pattern::BuildFromPath(*path);
+      if (tree.ok()) {
+        sink.Add(blossomtree::bench::WithContext(
+            "\"dataset\": \"" + std::string(DatasetName(d)) +
+                "\", \"id\": \"" + q.id + "\"",
+            blossomtree::bench::PlanProfileJson(doc.get(), &*tree,
+                                                q.xpath)));
+      }
     }
     std::printf("\n");
   }
+  sink.WriteAndReport();
   return 0;
 }

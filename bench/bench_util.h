@@ -88,6 +88,52 @@ inline std::string TimeCell(double seconds) {
   return buf;
 }
 
+/// Accumulates per-query operator profiles as pre-serialized JSON objects
+/// (typically engine::QueryProfile::ToJson() wrapped with dataset/system
+/// context by the caller) and writes them as BENCH_<bench>.json. Keeping
+/// the entries opaque here avoids an engine dependency in bench_util.h.
+class ProfileSink {
+ public:
+  explicit ProfileSink(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Adds one complete JSON object (e.g. `{"dataset": "d1", ...}`).
+  void Add(std::string json_object) {
+    if (!json_object.empty()) entries_.push_back(std::move(json_object));
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+  /// Writes `{"bench": ..., "profiles": [...]}`; returns the path written,
+  /// or an empty string on failure/no entries.
+  std::string Write() const {
+    if (entries_.empty()) return {};
+    std::string path = "BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return {};
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"profiles\": [\n",
+                 bench_.c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", entries_[i].c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return path;
+  }
+
+  /// Write() plus a one-line notice on stdout.
+  void WriteAndReport() const {
+    std::string path = Write();
+    if (!path.empty()) {
+      std::printf("\nPer-operator profiles written to %s\n", path.c_str());
+    }
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::string> entries_;
+};
+
 }  // namespace bench
 }  // namespace blossomtree
 

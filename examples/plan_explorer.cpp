@@ -7,11 +7,15 @@
 
 #include <cstdio>
 
+#include "datagen/datagen.h"
+#include "exec/operator.h"
+#include "opt/cost_model.h"
 #include "opt/planner.h"
 #include "pattern/builder.h"
 #include "pattern/decompose.h"
 #include "storage/page_store.h"
 #include "util/thread_pool.h"
+#include "workload/queries.h"
 #include "xml/parser.h"
 #include "xpath/parser.h"
 
@@ -66,6 +70,22 @@ void Explore(const char* label, const char* xml, const char* query) {
     std::printf("results: %zu node(s)\n", result->size());
   }
 
+  // EXPLAIN ANALYZE: execute once more with cardinality estimates on and
+  // show estimated vs actual rows per operator (DESIGN.md §8).
+  opt::PlanOptions eo;
+  eo.estimate_cardinalities = true;
+  auto aplan = opt::PlanQuery(doc.get(), &*tree, eo);
+  if (aplan.ok()) {
+    for (auto& tp : aplan->trees) exec::Drain(tp.root.get());
+    aplan->FinishAll();
+    std::printf("EXPLAIN ANALYZE:\n%s", aplan->ExplainAnalyze().c_str());
+    opt::CalibrationReport cal = opt::CheckCalibration(*aplan);
+    if (cal.num_flagged > 0) {
+      std::printf("calibration (>10x deviations):\n%s",
+                  cal.ToString().c_str());
+    }
+  }
+
   if (!doc->IsRecursive()) {
     opt::PlanOptions merged;
     merged.strategy = opt::JoinStrategy::kPipelined;
@@ -79,6 +99,32 @@ void Explore(const char* label, const char* xml, const char* query) {
     }
   }
   std::printf("\n");
+}
+
+/// EXPLAIN ANALYZE for the full workload: every query of every generated
+/// data set at a small scale, est-vs-actual per operator.
+void ExplainWorkload() {
+  std::printf("=== workload EXPLAIN ANALYZE (scale 0.02) ===\n\n");
+  for (datagen::Dataset d : datagen::AllDatasets()) {
+    datagen::GenOptions o;
+    o.scale = 0.02;
+    auto doc = datagen::GenerateDataset(d, o);
+    for (const workload::QuerySpec& q : workload::QueriesFor(d)) {
+      auto path = xpath::ParsePath(q.xpath);
+      if (!path.ok()) continue;
+      auto tree = pattern::BuildFromPath(*path);
+      if (!tree.ok()) continue;
+      opt::PlanOptions po;
+      po.estimate_cardinalities = true;
+      auto plan = opt::PlanQuery(doc.get(), &*tree, po);
+      if (!plan.ok()) continue;
+      for (auto& tp : plan->trees) exec::Drain(tp.root.get());
+      plan->FinishAll();
+      std::printf("%s %s: %s\n%s\n", datagen::DatasetName(d),
+                  q.id.c_str(), q.xpath.c_str(),
+                  plan->ExplainAnalyze().c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -100,5 +146,7 @@ int main() {
           "</section></section>"
           "</doc>",
           query);
+
+  ExplainWorkload();
   return 0;
 }

@@ -65,7 +65,15 @@ Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvaluatePath(
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  CollectProfile(&plan, path.ToString());
   return out;
+}
+
+void BlossomTreeEngine::CollectProfile(opt::QueryPlan* plan,
+                                       const std::string& label) {
+  if (!options_.collect_profile) return;
+  last_profile_ = BuildQueryProfile(plan, label, EffectiveThreads());
+  last_explain_analyze_ = plan->ExplainAnalyze();
 }
 
 Status BlossomTreeEngine::EvalExpr(const flwor::Expr& expr, const Env& env,
@@ -143,6 +151,7 @@ Result<std::vector<Env>> BlossomTreeEngine::FlworTuples(
     std::vector<nestedlist::NestedList> lists = exec::Drain(tp.root.get());
     per_tree.push_back(EnumerateBindings(tree, tp.tops, lists, bindings));
   }
+  CollectProfile(&plan, "flwor");
   // Crossing edges (<<, value joins, deep-equal) are evaluated by the
   // naive nested loop over the per-tree tuple sets (paper §4.3), as the
   // where-clause filter below.

@@ -7,6 +7,7 @@
 
 #include "engine/construct.h"
 #include "engine/path_eval.h"
+#include "engine/query_profile.h"
 #include "flwor/ast.h"
 #include "opt/planner.h"
 #include "util/status.h"
@@ -23,6 +24,10 @@ struct EngineOptions {
   /// path (no thread pool is created — the configuration bitwise-comparison
   /// tests pin against). Results are byte-identical at every setting.
   unsigned num_threads = 0;
+  /// Collect a per-operator QueryProfile (and EXPLAIN ANALYZE text) for
+  /// every planned query. Profiling runs every plan to completion after the
+  /// result is drained, so enabling it changes timings but never results.
+  bool collect_profile = false;
 };
 
 /// \brief End-to-end query evaluation via BlossomTree pattern matching:
@@ -48,6 +53,17 @@ class BlossomTreeEngine {
   /// \brief EXPLAIN text of the most recent FLWOR/path plan.
   const std::string& LastExplain() const { return last_explain_; }
 
+  /// \brief EXPLAIN ANALYZE text of the most recent plan (empty unless
+  /// EngineOptions::collect_profile): the plan tree annotated with each
+  /// operator's estimated and actual cardinalities and counters.
+  const std::string& LastExplainAnalyze() const {
+    return last_explain_analyze_;
+  }
+
+  /// \brief Per-operator profile of the most recent plan (empty unless
+  /// EngineOptions::collect_profile).
+  const QueryProfile& LastProfile() const { return last_profile_; }
+
   /// \brief The resolved degree of intra-query parallelism (1 = serial).
   unsigned EffectiveThreads() const {
     return pool_ != nullptr ? static_cast<unsigned>(pool_->NumThreads()) : 1;
@@ -61,6 +77,9 @@ class BlossomTreeEngine {
   Result<std::vector<Env>> FlworTuples(const flwor::Flwor& flwor);
   Status EmitTuples(const flwor::Flwor& flwor, std::vector<Env> tuples,
                     ResultBuilder* out);
+  /// Finishes the executed plan and snapshots last_profile_ /
+  /// last_explain_analyze_ (no-op unless collect_profile).
+  void CollectProfile(opt::QueryPlan* plan, const std::string& label);
 
   const xml::Document* doc_;
   EngineOptions options_;
@@ -68,6 +87,8 @@ class BlossomTreeEngine {
   /// borrows it for the lifetime of the engine.
   std::unique_ptr<util::ThreadPool> pool_;
   std::string last_explain_;
+  std::string last_explain_analyze_;
+  QueryProfile last_profile_;
 };
 
 /// \brief FLWOR tuple enumeration by naive per-iteration path evaluation —

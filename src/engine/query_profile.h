@@ -1,0 +1,56 @@
+#ifndef BLOSSOMTREE_ENGINE_QUERY_PROFILE_H_
+#define BLOSSOMTREE_ENGINE_QUERY_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/exec_stats.h"
+#include "opt/planner.h"
+
+namespace blossomtree {
+namespace engine {
+
+/// \brief One operator's slice of a query profile.
+struct OperatorProfile {
+  std::string label;           ///< Planner label, e.g. "NokScan(a,b)".
+  int depth = 0;               ///< Depth in the operator tree (0 = root).
+  double estimated_rows = -1;  ///< Planner estimate; < 0 when not planned
+                               ///< with estimate_cardinalities.
+  exec::ExecStats stats;
+};
+
+/// \brief Per-operator execution profile of one query (DESIGN.md §8).
+///
+/// Counters come from run-to-completion totals (QueryPlan::FinishAll), so
+/// ToText() — which renders only the deterministic counters — is identical
+/// at every thread count; ToJson() additionally carries wall times.
+struct QueryProfile {
+  std::string query;     ///< The query text (or a bench label).
+  std::string strategy;  ///< Join strategy of the executed plan.
+  unsigned threads = 1;  ///< Resolved intra-query parallelism.
+  uint64_t total_wall_nanos = 0;  ///< Wall time of the plan roots.
+  std::vector<OperatorProfile> operators;
+
+  void AddOperator(std::string label, int depth, const exec::ExecStats& s,
+                   double estimated_rows = -1);
+
+  /// \brief JSON object: {"query":..., "strategy":..., "threads":...,
+  /// "total_wall_ms":..., "operators":[{...}, ...]}.
+  std::string ToJson() const;
+
+  /// \brief Deterministic text form (labels + Counters(), no wall times)
+  /// — the cross-thread bitwise-identity surface.
+  std::string ToText() const;
+};
+
+/// \brief Collects the profile of an executed plan: finishes every operator
+/// tree (run-to-completion normalization), then walks the trees recording
+/// labels, estimates, and counters; a merged shared scan contributes one
+/// extra "MergedNokScan" entry. `query` labels the profile.
+QueryProfile BuildQueryProfile(opt::QueryPlan* plan, std::string query,
+                               unsigned threads);
+
+}  // namespace engine
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_ENGINE_QUERY_PROFILE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/value_ops.h"
 #include "nestedlist/ops.h"
 
 namespace blossomtree {
@@ -45,6 +46,7 @@ bool PipelinedDescJoin::FetchInner() {
 }
 
 bool PipelinedDescJoin::GetNext(NestedList* out) {
+  ScopedTimer timer(&wall_nanos_);
   NestedList m;
   while (outer_->GetNext(&m)) {
     nestedlist::ForEachEntryMutable(
@@ -58,6 +60,7 @@ bool PipelinedDescJoin::GetNext(NestedList* out) {
           while (true) {
             while (inner_buf_.empty() && !inner_done_) FetchInner();
             if (inner_buf_.empty()) break;
+            ++merge_comparisons_;
             xml::NodeId n = inner_buf_.front().node;
             if (n <= start) {
               inner_buf_.pop_front();
@@ -76,11 +79,25 @@ bool PipelinedDescJoin::GetNext(NestedList* out) {
     }
     if (valid) {
       *out = std::move(m);
+      ++matches_emitted_;
+      cells_emitted_ += CountCells(*out);
       return true;
     }
     m = NestedList();
   }
   return false;
+}
+
+ExecStats PipelinedDescJoin::Stats() const {
+  ExecStats s;
+  s.wall_nanos = wall_nanos_;
+  s.comparisons = merge_comparisons_;
+  s.matches = matches_emitted_;
+  s.nl_cells = cells_emitted_;
+  // The §4.2 memory requirement: peak inner entries buffered awaiting their
+  // containing outer entry, costed at the fixed per-entry footprint.
+  s.peak_buffer_bytes = peak_buffered_ * sizeof(Entry);
+  return s;
 }
 
 void PipelinedDescJoin::Rewind() {
@@ -107,6 +124,7 @@ BoundedNestedLoopJoin::BoundedNestedLoopJoin(
 }
 
 bool BoundedNestedLoopJoin::GetNext(NestedList* out) {
+  ScopedTimer timer(&wall_nanos_);
   NestedList m;
   while (outer_->GetNext(&m)) {
     nestedlist::ForEachEntryMutable(
@@ -141,11 +159,22 @@ bool BoundedNestedLoopJoin::GetNext(NestedList* out) {
     }
     if (valid) {
       *out = std::move(m);
+      ++matches_emitted_;
+      cells_emitted_ += CountCells(*out);
       return true;
     }
     m = NestedList();
   }
   return false;
+}
+
+ExecStats BoundedNestedLoopJoin::Stats() const {
+  ExecStats s;
+  s.wall_nanos = wall_nanos_;
+  s.matches = matches_emitted_;
+  s.nl_cells = cells_emitted_;
+  s.rescans = inner_rescans_;
+  return s;
 }
 
 void BoundedNestedLoopJoin::Rewind() { outer_->Rewind(); }
@@ -161,6 +190,7 @@ NestedLoopJoin::NestedLoopJoin(
       pred_(std::move(pred)) {}
 
 bool NestedLoopJoin::GetNext(NestedList* out) {
+  ScopedTimer timer(&wall_nanos_);
   if (!right_materialized_) {
     right_mat_ = Drain(right_.get());
     right_materialized_ = true;
@@ -173,13 +203,31 @@ bool NestedLoopJoin::GetNext(NestedList* out) {
     }
     while (right_pos_ < right_mat_.size()) {
       const NestedList& r = right_mat_[right_pos_++];
-      if (pred_(cur_left_, r)) {
+      // Value comparisons inside the predicate (general compares,
+      // deep-equal prefilters) run on this thread: attribute the
+      // thread-local delta here (DESIGN.md §8).
+      uint64_t cmp_before = ValueComparisonCount();
+      ++pred_calls_;
+      bool hit = pred_(cur_left_, r);
+      value_cmps_ += ValueComparisonCount() - cmp_before;
+      if (hit) {
         *out = nestedlist::Combine(cur_left_, r, owns_left_);
+        ++matches_emitted_;
+        cells_emitted_ += CountCells(*out);
         return true;
       }
     }
     left_valid_ = false;
   }
+}
+
+ExecStats NestedLoopJoin::Stats() const {
+  ExecStats s;
+  s.wall_nanos = wall_nanos_;
+  s.comparisons = pred_calls_ + value_cmps_;
+  s.matches = matches_emitted_;
+  s.nl_cells = cells_emitted_;
+  return s;
 }
 
 void NestedLoopJoin::Rewind() {
@@ -197,6 +245,7 @@ FrameOperator::FrameOperator(const pattern::BlossomTree* tree,
       input_(std::move(input)) {}
 
 bool FrameOperator::GetNext(NestedList* out) {
+  ScopedTimer timer(&wall_nanos_);
   NestedList in;
   if (!input_->GetNext(&in)) return false;
   out->tops.clear();
@@ -210,7 +259,17 @@ bool FrameOperator::GetNext(NestedList* out) {
       out->tops.push_back(std::move(g));
     }
   }
+  ++matches_emitted_;
+  cells_emitted_ += CountCells(*out);
   return true;
+}
+
+ExecStats FrameOperator::Stats() const {
+  ExecStats s;
+  s.wall_nanos = wall_nanos_;
+  s.matches = matches_emitted_;
+  s.nl_cells = cells_emitted_;
+  return s;
 }
 
 void FrameOperator::Rewind() { input_->Rewind(); }

@@ -44,6 +44,16 @@ class PipelinedDescJoin : public NestedListOperator {
   /// requirement metric: grows with document recursion).
   size_t PeakBuffered() const { return peak_buffered_; }
 
+  const char* Name() const override { return "PipelinedDescJoin"; }
+  ExecStats Stats() const override;
+  size_t NumChildren() const override { return 2; }
+  const NestedListOperator* Child(size_t i) const override {
+    return i == 0 ? outer_.get() : inner_.get();
+  }
+  NestedListOperator* MutableChild(size_t i) override {
+    return i == 0 ? outer_.get() : inner_.get();
+  }
+
  private:
   bool FetchInner();
 
@@ -59,6 +69,11 @@ class PipelinedDescJoin : public NestedListOperator {
   std::deque<nestedlist::Entry> inner_buf_;
   bool inner_done_ = false;
   size_t peak_buffered_ = 0;
+
+  uint64_t matches_emitted_ = 0;
+  uint64_t cells_emitted_ = 0;
+  uint64_t merge_comparisons_ = 0;
+  uint64_t wall_nanos_ = 0;
 };
 
 /// \brief Bounded nested-loop //-join (paper §4.3): for every outer entry,
@@ -90,6 +105,18 @@ class BoundedNestedLoopJoin : public NestedListOperator {
   /// \brief Number of inner re-scans performed (one per outer entry).
   uint64_t InnerRescans() const { return inner_rescans_; }
 
+  const char* Name() const override {
+    return bounded_ ? "BoundedNestedLoopJoin" : "NaiveNestedLoopJoin";
+  }
+  ExecStats Stats() const override;
+  size_t NumChildren() const override { return 2; }
+  const NestedListOperator* Child(size_t i) const override {
+    return i == 0 ? outer_.get() : inner_.get();
+  }
+  NestedListOperator* MutableChild(size_t i) override {
+    return i == 0 ? outer_.get() : inner_.get();
+  }
+
  private:
   const xml::Document* doc_;
   const pattern::BlossomTree* tree_;
@@ -101,6 +128,9 @@ class BoundedNestedLoopJoin : public NestedListOperator {
   pattern::EdgeMode mode_;
   bool bounded_;
   uint64_t inner_rescans_ = 0;
+  uint64_t matches_emitted_ = 0;
+  uint64_t cells_emitted_ = 0;
+  uint64_t wall_nanos_ = 0;
 };
 
 /// \brief Naive nested-loop join (paper §4.3) for the predicates that are
@@ -128,6 +158,16 @@ class NestedLoopJoin : public NestedListOperator {
   bool GetNext(nestedlist::NestedList* out) override;
   void Rewind() override;
 
+  const char* Name() const override { return "NestedLoopJoin"; }
+  ExecStats Stats() const override;
+  size_t NumChildren() const override { return 2; }
+  const NestedListOperator* Child(size_t i) const override {
+    return i == 0 ? left_.get() : right_.get();
+  }
+  NestedListOperator* MutableChild(size_t i) override {
+    return i == 0 ? left_.get() : right_.get();
+  }
+
  private:
   std::vector<pattern::SlotId> tops_;
   std::unique_ptr<NestedListOperator> left_;
@@ -142,6 +182,12 @@ class NestedLoopJoin : public NestedListOperator {
   std::vector<nestedlist::NestedList> right_mat_;
   bool right_materialized_ = false;
   size_t right_pos_ = 0;
+
+  uint64_t pred_calls_ = 0;
+  uint64_t value_cmps_ = 0;
+  uint64_t matches_emitted_ = 0;
+  uint64_t cells_emitted_ = 0;
+  uint64_t wall_nanos_ = 0;
 };
 
 /// \brief Re-frames a NoK-local stream into a larger slot context: emitted
@@ -160,11 +206,22 @@ class FrameOperator : public NestedListOperator {
   bool GetNext(nestedlist::NestedList* out) override;
   void Rewind() override;
 
+  const char* Name() const override { return "Frame"; }
+  ExecStats Stats() const override;
+  size_t NumChildren() const override { return 1; }
+  const NestedListOperator* Child(size_t) const override {
+    return input_.get();
+  }
+  NestedListOperator* MutableChild(size_t) override { return input_.get(); }
+
  private:
   const pattern::BlossomTree* tree_;
   std::vector<pattern::SlotId> frame_tops_;
   size_t position_;
   std::unique_ptr<NestedListOperator> input_;
+  uint64_t matches_emitted_ = 0;
+  uint64_t cells_emitted_ = 0;
+  uint64_t wall_nanos_ = 0;
 };
 
 }  // namespace exec

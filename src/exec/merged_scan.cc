@@ -1,5 +1,7 @@
 #include "exec/merged_scan.h"
 
+#include "exec/value_ops.h"
+
 namespace blossomtree {
 namespace exec {
 
@@ -18,6 +20,8 @@ MergedNokScan::MergedNokScan(const xml::Document* doc,
 void MergedNokScan::Run() {
   if (ran_) return;
   ran_ = true;
+  ScopedTimer timer(&wall_nanos_);
+  uint64_t cmp_before = ValueComparisonCount();
   // Virtual-root NoKs fire once, before the node scan.
   for (size_t i = 0; i < matchers_.size(); ++i) {
     if (!virtual_root_[i]) continue;
@@ -56,6 +60,19 @@ void MergedNokScan::Run() {
     for (size_t i : by_tag[doc_->Tag(x)]) probe(i, x);
     for (size_t i : wildcard) probe(i, x);
   }
+  value_cmps_ += ValueComparisonCount() - cmp_before;
+}
+
+ExecStats MergedNokScan::ScanStats() const {
+  ExecStats s;
+  s.wall_nanos = wall_nanos_;
+  s.nodes_scanned = nodes_scanned_;
+  s.comparisons = MatchWork() + value_cmps_;
+  for (const auto& lists : results_) {
+    s.matches += lists.size();
+    for (const auto& nl : lists) s.nl_cells += CountCells(nl);
+  }
+  return s;
 }
 
 uint64_t MergedNokScan::MatchWork() const {

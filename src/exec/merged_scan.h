@@ -22,16 +22,36 @@ class MaterializedOperator : public NestedListOperator {
     return tops_;
   }
   bool GetNext(nestedlist::NestedList* out) override {
+    ScopedTimer timer(&wall_nanos_);
     if (pos_ >= lists_.size()) return false;
     *out = lists_[pos_++];
+    ++matches_emitted_;
+    cells_emitted_ += CountCells(*out);
     return true;
   }
   void Rewind() override { pos_ = 0; }
+
+  const char* Name() const override { return "Materialized"; }
+  ExecStats Stats() const override {
+    ExecStats s = base_stats_;
+    s.wall_nanos += wall_nanos_;
+    s.matches += matches_emitted_;
+    s.nl_cells += cells_emitted_;
+    return s;
+  }
+
+  /// \brief Pre-paid stats of the producer that materialized this stream
+  /// (e.g. a merged scan's per-NoK attribution), folded into Stats().
+  void set_base_stats(const ExecStats& s) { base_stats_ = s; }
 
  private:
   std::vector<pattern::SlotId> tops_;
   std::vector<nestedlist::NestedList> lists_;
   size_t pos_ = 0;
+  ExecStats base_stats_;
+  uint64_t matches_emitted_ = 0;
+  uint64_t cells_emitted_ = 0;
+  uint64_t wall_nanos_ = 0;
 };
 
 /// \brief Merged NoK evaluation (paper §4.2 "merging NoK operators"): runs
@@ -61,6 +81,10 @@ class MergedNokScan {
   /// \brief Stream view over NoK i's matches (valid after Run()).
   std::unique_ptr<MaterializedOperator> MakeOperator(size_t i);
 
+  /// \brief Counters of the one shared pass (DESIGN.md §8): the scan cost
+  /// is reported once here, not multiplied into the per-NoK views.
+  ExecStats ScanStats() const;
+
  private:
   const xml::Document* doc_;
   std::vector<std::unique_ptr<NokMatcher>> matchers_;
@@ -68,6 +92,8 @@ class MergedNokScan {
   std::vector<std::string> root_tag_;
   std::vector<std::vector<nestedlist::NestedList>> results_;
   uint64_t nodes_scanned_ = 0;
+  uint64_t value_cmps_ = 0;
+  uint64_t wall_nanos_ = 0;
   bool ran_ = false;
 };
 

@@ -254,9 +254,13 @@ void NokScanOperator::RunParallelScan() {
   std::vector<std::vector<nestedlist::NestedList>> results(parts.size());
   std::vector<uint64_t> scanned(parts.size(), 0);
   std::vector<uint64_t> work(parts.size(), 0);
+  std::vector<uint64_t> vcmp(parts.size(), 0);
   pool_->ParallelFor(parts.size(), [&](size_t i) {
     // A private matcher per partition: constraint checks are read-only on
-    // the shared document, and counters stay thread-local.
+    // the shared document, and counters stay thread-local. One partition
+    // runs entirely on one worker, so the thread-local value-comparison
+    // delta below is exactly this partition's comparisons.
+    uint64_t cmp_before = ValueComparisonCount();
     NokMatcher m(doc_, tree_, nok_);
     nestedlist::NestedList nl;
     for (xml::NodeId x = parts[i].begin; x <= parts[i].end; ++x) {
@@ -268,11 +272,15 @@ void NokScanOperator::RunParallelScan() {
       }
     }
     work[i] = m.MatchWork();
+    vcmp[i] = ValueComparisonCount() - cmp_before;
   });
   parallel_buf_.clear();
+  // Deterministic merge point (DESIGN.md §8): per-partition counters fold
+  // in partition order, matching the result concatenation.
   for (size_t i = 0; i < parts.size(); ++i) {
     nodes_scanned_ += scanned[i];
     parallel_work_ += work[i];
+    value_cmps_ += vcmp[i];
     parallel_buf_.insert(parallel_buf_.end(),
                          std::make_move_iterator(results[i].begin()),
                          std::make_move_iterator(results[i].end()));
@@ -282,26 +290,52 @@ void NokScanOperator::RunParallelScan() {
 }
 
 bool NokScanOperator::GetNext(nestedlist::NestedList* out) {
+  ScopedTimer timer(&wall_nanos_);
   if (virtual_root_) {
     if (virtual_done_) return false;
     virtual_done_ = true;
     ++nodes_scanned_;
-    return matcher_.MatchAt(kVirtualRootNode, out);
+    uint64_t cmp_before = ValueComparisonCount();
+    bool matched = matcher_.MatchAt(kVirtualRootNode, out);
+    value_cmps_ += ValueComparisonCount() - cmp_before;
+    if (matched) {
+      ++matches_emitted_;
+      cells_emitted_ += CountCells(*out);
+    }
+    return matched;
   }
   if (ParallelEligible()) {
     if (!parallel_done_) RunParallelScan();
     if (parallel_pos_ >= parallel_buf_.size()) return false;
     *out = std::move(parallel_buf_[parallel_pos_++]);
+    ++matches_emitted_;
+    cells_emitted_ += CountCells(*out);
     return true;
   }
   while (cursor_ <= range_end_ &&
          static_cast<size_t>(cursor_) < doc_->NumNodes()) {
     xml::NodeId x = cursor_++;
     ++nodes_scanned_;
-    if (!matcher_.RootTest(x)) continue;
-    if (matcher_.MatchAt(x, out)) return true;
+    uint64_t cmp_before = ValueComparisonCount();
+    bool matched = matcher_.RootTest(x) && matcher_.MatchAt(x, out);
+    value_cmps_ += ValueComparisonCount() - cmp_before;
+    if (matched) {
+      ++matches_emitted_;
+      cells_emitted_ += CountCells(*out);
+      return true;
+    }
   }
   return false;
+}
+
+ExecStats NokScanOperator::Stats() const {
+  ExecStats s;
+  s.wall_nanos = wall_nanos_;
+  s.nodes_scanned = nodes_scanned_;
+  s.comparisons = MatchWork() + value_cmps_;
+  s.matches = matches_emitted_;
+  s.nl_cells = cells_emitted_;
+  return s;
 }
 
 void NokScanOperator::Rewind() {

@@ -115,6 +115,14 @@ class NokScanOperator : public NestedListOperator {
   /// \brief Partitions used by the last parallel scan (0 = serial path).
   size_t PartitionsUsed() const { return partitions_used_; }
 
+  const char* Name() const override { return "NokScan"; }
+
+  /// \brief Counters (DESIGN.md §8): serial scans accumulate as the stream
+  /// is consumed; parallel scans merge per-partition thread-local counts in
+  /// partition order at materialization, and count matches/cells on
+  /// handout. After Finish() both paths report identical totals.
+  ExecStats Stats() const override;
+
  private:
   /// True when the pending scan may run partitioned: a pool is attached and
   /// the range covers the whole document (the BNLJ's restricted inner
@@ -135,6 +143,10 @@ class NokScanOperator : public NestedListOperator {
   xml::NodeId range_begin_ = 0;
   xml::NodeId range_end_;
   uint64_t nodes_scanned_ = 0;
+  uint64_t matches_emitted_ = 0;
+  uint64_t cells_emitted_ = 0;
+  uint64_t value_cmps_ = 0;
+  uint64_t wall_nanos_ = 0;
 
   util::ThreadPool* pool_;
   bool parallel_done_ = false;

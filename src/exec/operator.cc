@@ -1,5 +1,7 @@
 #include "exec/operator.h"
 
+#include <cstdio>
+
 namespace blossomtree {
 namespace exec {
 
@@ -9,6 +11,26 @@ std::vector<nestedlist::NestedList> Drain(NestedListOperator* op) {
   while (op->GetNext(&nl)) {
     out.push_back(std::move(nl));
     nl = nestedlist::NestedList();
+  }
+  return out;
+}
+
+std::string ExplainAnalyzeTree(const NestedListOperator& op, int depth) {
+  std::string out(static_cast<size_t>(depth) * 2, ' ');
+  out += op.Label();
+  double est = op.estimated_rows();
+  if (est >= 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", est);
+    out += "  (est rows=";
+    out += buf;
+    out += ")";
+  }
+  out += "  (actual: ";
+  out += op.Stats().Summary();
+  out += ")\n";
+  for (size_t i = 0; i < op.NumChildren(); ++i) {
+    out += ExplainAnalyzeTree(*op.Child(i), depth + 1);
   }
   return out;
 }

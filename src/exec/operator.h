@@ -1,8 +1,10 @@
 #ifndef BLOSSOMTREE_EXEC_OPERATOR_H_
 #define BLOSSOMTREE_EXEC_OPERATOR_H_
 
+#include <string>
 #include <vector>
 
+#include "exec/exec_stats.h"
 #include "nestedlist/nested_list.h"
 #include "pattern/blossom_tree.h"
 #include "xml/document.h"
@@ -12,6 +14,11 @@ namespace exec {
 
 /// \brief Volcano-style iterator over NestedLists (paper §4.2: operators
 /// expose GetNext; pipelined joins compose them without materialization).
+///
+/// Every operator additionally exposes the observability surface of
+/// DESIGN.md §8: a name/label, ExecStats counters, and child links so the
+/// EXPLAIN ANALYZE renderer and QueryProfile export can walk the executed
+/// plan tree.
 class NestedListOperator {
  public:
   virtual ~NestedListOperator() = default;
@@ -33,10 +40,62 @@ class NestedListOperator {
     (void)begin;
     (void)end;
   }
+
+  // -- Observability (DESIGN.md §8) -----------------------------------------
+
+  /// \brief Operator-class name ("NokScan", "PipelinedDescJoin", ...).
+  virtual const char* Name() const { return "Operator"; }
+
+  /// \brief Execution counters accumulated so far. Profile collectors call
+  /// Finish() first so lazily-consumed streams report run-to-completion
+  /// totals (identical across thread counts).
+  virtual ExecStats Stats() const { return ExecStats{}; }
+
+  /// \brief Runs this operator's stream to completion without emitting to a
+  /// consumer, then finishes its children. EXPLAIN ANALYZE semantics: after
+  /// Finish(), counters cover the whole input, whether the stream was
+  /// consumed lazily (serial scans) or materialized eagerly (parallel
+  /// scans) — the normalization the cross-thread determinism tests rely on.
+  virtual void Finish() {
+    nestedlist::NestedList nl;
+    while (GetNext(&nl)) nl = nestedlist::NestedList();
+    for (size_t i = 0; i < NumChildren(); ++i) MutableChild(i)->Finish();
+  }
+
+  /// \brief Plan-tree links for renderers (0 children by default).
+  virtual size_t NumChildren() const { return 0; }
+  virtual const NestedListOperator* Child(size_t i) const {
+    (void)i;
+    return nullptr;
+  }
+  virtual NestedListOperator* MutableChild(size_t i) {
+    (void)i;
+    return nullptr;
+  }
+
+  /// \brief Display label set by the planner ("NokScan(section,figure)");
+  /// falls back to Name() when unset.
+  std::string Label() const { return label_.empty() ? Name() : label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  /// \brief Planner cardinality estimate for estimated-vs-actual EXPLAIN;
+  /// negative when the plan was built without a cost model.
+  double estimated_rows() const { return estimated_rows_; }
+  void set_estimated_rows(double rows) { estimated_rows_ = rows; }
+
+ private:
+  std::string label_;
+  double estimated_rows_ = -1.0;
 };
 
 /// \brief Drains an operator into a materialized sequence.
 std::vector<nestedlist::NestedList> Drain(NestedListOperator* op);
+
+/// \brief Renders the operator tree rooted at `op` as indented EXPLAIN
+/// ANALYZE lines: one "Label (est=...) (actual: counters)" line per
+/// operator, children indented two spaces deeper. Call op->Finish() first
+/// for run-to-completion counters.
+std::string ExplainAnalyzeTree(const NestedListOperator& op, int depth = 0);
 
 }  // namespace exec
 }  // namespace blossomtree

@@ -137,6 +137,19 @@ void ForestJoin(const xml::Document& doc,
   }
 }
 
+/// Folds one invocation's counters into `stats` (nullptr-safe): input list
+/// sizes, chunk count, and the per-chunk emit counts summed in chunk order
+/// — call before Concat moves the parts away.
+template <typename T>
+void RecordJoinStats(StructuralJoinStats* stats, size_t anc, size_t desc,
+                     size_t chunks,
+                     const std::vector<std::vector<T>>& parts) {
+  if (stats == nullptr) return;
+  stats->entries_consumed += anc + desc;
+  stats->chunks += chunks;
+  for (const auto& p : parts) stats->pairs_emitted += p.size();
+}
+
 /// Concatenates chunk-private outputs in chunk order.
 template <typename T>
 std::vector<T> Concat(std::vector<std::vector<T>> parts) {
@@ -156,7 +169,8 @@ std::vector<T> Concat(std::vector<std::vector<T>> parts) {
 
 std::vector<AncDescPair> StackStructuralJoin(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool) {
+    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool,
+    StructuralJoinStats* stats) {
   size_t n = 0;
   std::vector<std::vector<AncDescPair>> parts;
   ForestJoin(doc, ancestors, descendants, pool, &n, [&](size_t i) {
@@ -165,12 +179,14 @@ std::vector<AncDescPair> StackStructuralJoin(
       parts[i].push_back({a, d});
     };
   });
+  RecordJoinStats(stats, ancestors.size(), descendants.size(), n, parts);
   return Concat(std::move(parts));
 }
 
 std::vector<AncDescPair> StackStructuralJoinParentChild(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool) {
+    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool,
+    StructuralJoinStats* stats) {
   size_t n = 0;
   std::vector<std::vector<AncDescPair>> parts;
   ForestJoin(doc, ancestors, descendants, pool, &n, [&](size_t i) {
@@ -179,12 +195,14 @@ std::vector<AncDescPair> StackStructuralJoinParentChild(
       if (doc.Level(d) == doc.Level(a) + 1) parts[i].push_back({a, d});
     };
   });
+  RecordJoinStats(stats, ancestors.size(), descendants.size(), n, parts);
   return Concat(std::move(parts));
 }
 
 std::vector<xml::NodeId> DescendantsWithAncestor(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool) {
+    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool,
+    StructuralJoinStats* stats) {
   size_t n = 0;
   std::vector<std::vector<xml::NodeId>> parts;
   // The `last` dedup is chunk-local; a descendant's pairs all emit in one
@@ -202,12 +220,14 @@ std::vector<xml::NodeId> DescendantsWithAncestor(
       }
     };
   });
+  RecordJoinStats(stats, ancestors.size(), descendants.size(), n, parts);
   return Concat(std::move(parts));
 }
 
 std::vector<xml::NodeId> AncestorsWithDescendant(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool) {
+    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool,
+    StructuralJoinStats* stats) {
   size_t n = 0;
   std::vector<std::vector<xml::NodeId>> parts;
   ForestJoin(doc, ancestors, descendants, pool, &n, [&](size_t i) {
@@ -216,6 +236,7 @@ std::vector<xml::NodeId> AncestorsWithDescendant(
       parts[i].push_back(a);
     };
   });
+  RecordJoinStats(stats, ancestors.size(), descendants.size(), n, parts);
   std::vector<xml::NodeId> out = Concat(std::move(parts));
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -224,7 +245,8 @@ std::vector<xml::NodeId> AncestorsWithDescendant(
 
 std::vector<xml::NodeId> ChildrenWithParent(
     const xml::Document& doc, const std::vector<xml::NodeId>& parents,
-    const std::vector<xml::NodeId>& children, util::ThreadPool* pool) {
+    const std::vector<xml::NodeId>& children, util::ThreadPool* pool,
+    StructuralJoinStats* stats) {
   size_t n = 0;
   std::vector<std::vector<xml::NodeId>> parts;
   std::vector<xml::NodeId> last;
@@ -240,12 +262,14 @@ std::vector<xml::NodeId> ChildrenWithParent(
       }
     };
   });
+  RecordJoinStats(stats, parents.size(), children.size(), n, parts);
   return Concat(std::move(parts));
 }
 
 std::vector<xml::NodeId> ParentsWithChild(
     const xml::Document& doc, const std::vector<xml::NodeId>& parents,
-    const std::vector<xml::NodeId>& children, util::ThreadPool* pool) {
+    const std::vector<xml::NodeId>& children, util::ThreadPool* pool,
+    StructuralJoinStats* stats) {
   size_t n = 0;
   std::vector<std::vector<xml::NodeId>> parts;
   ForestJoin(doc, parents, children, pool, &n, [&](size_t i) {
@@ -254,6 +278,7 @@ std::vector<xml::NodeId> ParentsWithChild(
       if (doc.Level(d) == doc.Level(a) + 1) parts[i].push_back(a);
     };
   });
+  RecordJoinStats(stats, parents.size(), children.size(), n, parts);
   std::vector<xml::NodeId> out = Concat(std::move(parts));
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

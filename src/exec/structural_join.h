@@ -16,6 +16,25 @@ struct AncDescPair {
   xml::NodeId descendant;
 };
 
+/// \brief Counters for one or more structural-join invocations (DESIGN.md
+/// §8). `entries_consumed` is defined as the sizes of the two *input* lists
+/// — not merge iterations, which would differ between the serial pass and
+/// chunked mode (chunks skip descendants outside their ancestor span).
+/// `pairs_emitted` counts per chunk and sums in chunk order, before any
+/// global dedup. Both are therefore identical at every thread count;
+/// `chunks` is scheduling-dependent and excluded from determinism checks.
+struct StructuralJoinStats {
+  uint64_t entries_consumed = 0;
+  uint64_t pairs_emitted = 0;
+  uint64_t chunks = 0;
+
+  void MergeFrom(const StructuralJoinStats& o) {
+    entries_consumed += o.entries_consumed;
+    pairs_emitted += o.pairs_emitted;
+    chunks += o.chunks;
+  }
+};
+
 /// All join forms below accept an optional thread pool. With a pool, the
 /// join partitions the *outer (ancestor) sibling list*: the sorted ancestor
 /// list decomposes into a forest of top-level sibling spans (cut wherever an
@@ -34,14 +53,16 @@ struct AncDescPair {
 std::vector<AncDescPair> StackStructuralJoin(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
     const std::vector<xml::NodeId>& descendants,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr,
+    StructuralJoinStats* stats = nullptr);
 
 /// \brief Parent-child variant: keeps only pairs with level(desc) ==
 /// level(anc) + 1.
 std::vector<AncDescPair> StackStructuralJoinParentChild(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
     const std::vector<xml::NodeId>& descendants,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr,
+    StructuralJoinStats* stats = nullptr);
 
 /// \brief Semi-join forms used by existential predicates: the descendants
 /// that have some ancestor in `ancestors` (document order preserved), and
@@ -49,21 +70,25 @@ std::vector<AncDescPair> StackStructuralJoinParentChild(
 std::vector<xml::NodeId> DescendantsWithAncestor(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
     const std::vector<xml::NodeId>& descendants,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr,
+    StructuralJoinStats* stats = nullptr);
 std::vector<xml::NodeId> AncestorsWithDescendant(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
     const std::vector<xml::NodeId>& descendants,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr,
+    StructuralJoinStats* stats = nullptr);
 
 /// \brief Parent-child semi-join variants (level-filtered).
 std::vector<xml::NodeId> ChildrenWithParent(
     const xml::Document& doc, const std::vector<xml::NodeId>& parents,
     const std::vector<xml::NodeId>& children,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr,
+    StructuralJoinStats* stats = nullptr);
 std::vector<xml::NodeId> ParentsWithChild(
     const xml::Document& doc, const std::vector<xml::NodeId>& parents,
     const std::vector<xml::NodeId>& children,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr,
+    StructuralJoinStats* stats = nullptr);
 
 }  // namespace exec
 }  // namespace blossomtree

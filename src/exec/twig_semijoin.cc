@@ -8,6 +8,15 @@ namespace exec {
 
 using pattern::VertexId;
 
+ExecStats ToExecStats(const TwigSemijoinStats& s) {
+  ExecStats out;
+  out.wall_nanos = s.wall_nanos;
+  out.index_entries = s.candidates_loaded;
+  out.comparisons = s.join.entries_consumed + s.value_cmps;
+  out.matches = s.join.pairs_emitted;
+  return out;
+}
+
 TwigSemijoin::TwigSemijoin(const xml::Document* doc,
                            const pattern::BlossomTree* tree,
                            util::ThreadPool* pool)
@@ -75,9 +84,10 @@ Status TwigSemijoin::BottomUp(VertexId v) {
     ++stats_.semijoins;
     candidates_[v] =
         cx.axis == xpath::Axis::kChild
-            ? ParentsWithChild(*doc_, candidates_[v], candidates_[c], pool_)
+            ? ParentsWithChild(*doc_, candidates_[v], candidates_[c], pool_,
+                               &stats_.join)
             : AncestorsWithDescendant(*doc_, candidates_[v], candidates_[c],
-                                      pool_);
+                                      pool_, &stats_.join);
   }
   return Status::OK();
 }
@@ -89,15 +99,19 @@ void TwigSemijoin::TopDown(VertexId v) {
     candidates_[c] =
         cx.axis == xpath::Axis::kChild
             ? ChildrenWithParent(*doc_, candidates_[v], candidates_[c],
-                                 pool_)
+                                 pool_, &stats_.join)
             : DescendantsWithAncestor(*doc_, candidates_[v], candidates_[c],
-                                      pool_);
+                                      pool_, &stats_.join);
     TopDown(c);
   }
 }
 
 Status TwigSemijoin::Run(VertexId result_vertex,
                          std::vector<xml::NodeId>* result) {
+  ScopedTimer timer(&stats_.wall_nanos);
+  // Candidate value filters run on this thread (the per-edge joins do no
+  // value comparisons), so one delta around the whole run attributes them.
+  uint64_t cmp_before = ValueComparisonCount();
   if (tree_->roots().size() != 1) {
     return Status::Unsupported("semijoin requires a single pattern tree");
   }
@@ -120,6 +134,7 @@ Status TwigSemijoin::Run(VertexId result_vertex,
   BT_RETURN_NOT_OK(BottomUp(qroot));
   TopDown(qroot);
   *result = candidates_[result_vertex];
+  stats_.value_cmps += ValueComparisonCount() - cmp_before;
   return Status::OK();
 }
 

@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "exec/exec_stats.h"
+#include "exec/structural_join.h"
 #include "pattern/blossom_tree.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -15,7 +17,15 @@ namespace exec {
 struct TwigSemijoinStats {
   uint64_t candidates_loaded = 0;  ///< Index entries read.
   uint64_t semijoins = 0;          ///< Binary structural semijoins executed.
+  StructuralJoinStats join;        ///< Totals over all per-edge semijoins.
+  uint64_t value_cmps = 0;         ///< Value predicate comparisons.
+  uint64_t wall_nanos = 0;         ///< Wall time of Run().
 };
+
+/// \brief Maps semijoin counters onto the common ExecStats layout
+/// (DESIGN.md §8): index entries = candidate loads, comparisons = semijoin
+/// merge inputs + value predicates, matches = semijoin emits.
+ExecStats ToExecStats(const TwigSemijoinStats& s);
 
 /// \brief The classic join-based twig evaluation (paper §2.1's second
 /// class, references [20]/[2]): every pattern edge becomes a binary

@@ -315,8 +315,21 @@ void TwigStack::MergePhase(VertexId result_vertex,
   result->erase(std::unique(result->begin(), result->end()), result->end());
 }
 
+ExecStats ToExecStats(const TwigStackStats& s) {
+  ExecStats out;
+  out.wall_nanos = s.wall_nanos;
+  out.index_entries = s.stream_elements;
+  out.comparisons = s.path_solutions + s.value_cmps;
+  out.matches = s.merged_matches;
+  return out;
+}
+
 Status TwigStack::Run(VertexId result_vertex,
                       std::vector<xml::NodeId>* result) {
+  ScopedTimer timer(&stats_.wall_nanos);
+  // Stream value filters run serially on this thread: one delta attributes
+  // them (DESIGN.md §8).
+  uint64_t cmp_before = ValueComparisonCount();
   BT_RETURN_NOT_OK(BuildQueryTree());
   BuildStreams();
 
@@ -348,6 +361,7 @@ Status TwigStack::Run(VertexId result_vertex,
   }
 
   MergePhase(result_vertex, result);
+  stats_.value_cmps += ValueComparisonCount() - cmp_before;
   return Status::OK();
 }
 

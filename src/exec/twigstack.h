@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/exec_stats.h"
 #include "pattern/blossom_tree.h"
 #include "util/status.h"
 #include "xml/document.h"
@@ -16,7 +17,14 @@ struct TwigStackStats {
   uint64_t stream_elements = 0;   ///< Index entries consumed.
   uint64_t path_solutions = 0;    ///< Root-to-leaf solutions emitted.
   uint64_t merged_matches = 0;    ///< Partial-relation rows after merging.
+  uint64_t value_cmps = 0;        ///< Value predicate comparisons.
+  uint64_t wall_nanos = 0;        ///< Wall time of Run().
 };
+
+/// \brief Maps TwigStack counters onto the common ExecStats layout
+/// (DESIGN.md §8): index entries = stream elements, comparisons = path
+/// solutions expanded + value predicates, matches = merged result rows.
+ExecStats ToExecStats(const TwigStackStats& s);
 
 /// \brief Holistic twig join (Bruno/Koudas/Srivastava, the paper's
 /// reference [7]): evaluates a single-pattern-tree BlossomTree over the

@@ -5,8 +5,15 @@
 namespace blossomtree {
 namespace exec {
 
+namespace {
+thread_local uint64_t value_comparisons = 0;
+}  // namespace
+
+uint64_t ValueComparisonCount() { return value_comparisons; }
+
 bool CompareValues(std::string_view left, xpath::CompareOp op,
                    std::string_view right) {
+  ++value_comparisons;
   double ln = 0;
   double rn = 0;
   if (ParseDouble(left, &ln) && ParseDouble(right, &rn)) {

@@ -1,6 +1,7 @@
 #ifndef BLOSSOMTREE_EXEC_VALUE_OPS_H_
 #define BLOSSOMTREE_EXEC_VALUE_OPS_H_
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -9,6 +10,14 @@
 
 namespace blossomtree {
 namespace exec {
+
+/// \brief Monotone per-thread count of CompareValues invocations. Operators
+/// attribute comparisons to themselves by taking a before/after delta
+/// around the work they drive on the current thread; parallel scans take
+/// the delta inside each partition task (one partition runs entirely on one
+/// worker), then merge the per-partition deltas in partition order — the
+/// deterministic accumulation rule of DESIGN.md §8.
+uint64_t ValueComparisonCount();
 
 /// \brief Compares two atomized values with XPath semantics: numeric
 /// comparison when both parse as numbers, string comparison otherwise.

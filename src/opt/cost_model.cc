@@ -224,5 +224,36 @@ PlanAdvice AdvisePlan(const xml::Document& doc,
   return advice;
 }
 
+std::string CalibrationReport::ToString() const {
+  std::string out;
+  for (const CalibrationEntry& e : entries) {
+    out += e.label + ": est=" + std::to_string(e.estimated_rows) +
+           " actual=" + std::to_string(e.actual_rows) +
+           " ratio=" + std::to_string(e.ratio) +
+           (e.flagged ? " FLAGGED" : "") + "\n";
+  }
+  out += std::to_string(num_flagged) + "/" +
+         std::to_string(entries.size()) + " operators flagged\n";
+  return out;
+}
+
+CalibrationReport CheckCalibration(const QueryPlan& plan, double tolerance) {
+  CalibrationReport report;
+  ForEachOperator(plan, [&](const exec::NestedListOperator& op, int) {
+    double est = op.estimated_rows();
+    if (est < 0) return;  // Planned without estimate_cardinalities.
+    CalibrationEntry e;
+    e.label = op.Label();
+    e.estimated_rows = est;
+    e.actual_rows = op.Stats().matches;
+    double act = static_cast<double>(e.actual_rows);
+    e.ratio = (std::max(est, act) + 1.0) / (std::min(est, act) + 1.0);
+    e.flagged = e.ratio > tolerance;
+    if (e.flagged) ++report.num_flagged;
+    report.entries.push_back(std::move(e));
+  });
+  return report;
+}
+
 }  // namespace opt
 }  // namespace blossomtree

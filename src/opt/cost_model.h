@@ -2,7 +2,9 @@
 #define BLOSSOMTREE_OPT_COST_MODEL_H_
 
 #include <string>
+#include <vector>
 
+#include "opt/planner.h"
 #include "pattern/blossom_tree.h"
 #include "pattern/decompose.h"
 #include "xml/document.h"
@@ -82,6 +84,33 @@ const char* EngineToString(PlanAdvice::Engine engine);
 /// pipelined join requires non-nesting joined tags.
 PlanAdvice AdvisePlan(const xml::Document& doc,
                       const pattern::BlossomTree& tree);
+
+/// \brief One operator's estimate-vs-actual cardinality comparison.
+struct CalibrationEntry {
+  std::string label;
+  double estimated_rows = 0;
+  uint64_t actual_rows = 0;
+  /// Smoothed deviation factor: (max(est, act) + 1) / (min(est, act) + 1),
+  /// so zero-row operators do not divide by zero.
+  double ratio = 1.0;
+  bool flagged = false;  ///< ratio exceeded the tolerance.
+};
+
+/// \brief Estimate-vs-actual report over a whole executed plan.
+struct CalibrationReport {
+  std::vector<CalibrationEntry> entries;
+  size_t num_flagged = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Compares every annotated operator's estimated cardinality with
+/// its observed Stats().matches, flagging deviations beyond `tolerance`×
+/// (the cost-model regression check). The plan must have been built with
+/// PlanOptions::estimate_cardinalities and executed (FinishAll()) first;
+/// operators without an estimate are skipped.
+CalibrationReport CheckCalibration(const QueryPlan& plan,
+                                   double tolerance = 10.0);
 
 }  // namespace opt
 }  // namespace blossomtree

@@ -1,9 +1,11 @@
 #include "opt/planner.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "exec/joins.h"
 #include "nestedlist/ops.h"
+#include "opt/cost_model.h"
 
 namespace blossomtree {
 namespace opt {
@@ -35,6 +37,36 @@ bool IsTrivialRootNok(const pattern::BlossomTree& tree,
   return nok.vertices.size() == 1 && tree.vertex(nok.root).IsVirtualRoot();
 }
 
+/// NoK-local cardinality estimate: EstimateVertexMatches restricted to the
+/// NoK's own vertices — a bare scan does not enforce the //-connected
+/// subtrees hanging off the NoK, so those children must not filter here.
+double EstimateNokMatches(const CostModel& model,
+                          const pattern::BlossomTree& tree,
+                          const pattern::NokTree& nok, double num_elements,
+                          pattern::VertexId v) {
+  std::unordered_set<pattern::VertexId> members(nok.vertices.begin(),
+                                                nok.vertices.end());
+  std::function<double(pattern::VertexId)> est =
+      [&](pattern::VertexId u) -> double {
+    const pattern::Vertex& ux = tree.vertex(u);
+    double base = ux.IsVirtualRoot() ? 1.0 : model.TagCount(ux.tag);
+    if (base == 0) return 0;
+    double selectivity = 1.0;
+    if (ux.value) selectivity *= 0.1;
+    if (ux.position > 0) selectivity *= 0.5;
+    double n = std::max(1.0, num_elements);
+    for (pattern::VertexId c : ux.children) {
+      if (members.count(c) == 0) continue;  // Cut //-edge: joined later.
+      const pattern::Vertex& cx = tree.vertex(c);
+      if (cx.mode == pattern::EdgeMode::kLet) continue;
+      double scope = ux.IsVirtualRoot() ? n : model.AvgSubtreeSize(ux.tag);
+      selectivity *= std::min(1.0, est(c) * scope / n);
+    }
+    return base * selectivity;
+  };
+  return est(v);
+}
+
 /// Recursive plan builder for the NoK-join tree under `nok_index`.
 class TreePlanner {
  public:
@@ -43,7 +75,7 @@ class TreePlanner {
               exec::MergedNokScan* merged,
               const std::vector<int>* merged_index, PatternTreePlan* plan,
               bool* used_pipelined, bool* used_bnlj,
-              util::ThreadPool* pool)
+              util::ThreadPool* pool, const CostModel* cost)
       : doc_(doc),
         tree_(tree),
         decomp_(decomp),
@@ -53,7 +85,8 @@ class TreePlanner {
         plan_(plan),
         used_pipelined_(used_pipelined),
         used_bnlj_(used_bnlj),
-        pool_(pool) {}
+        pool_(pool),
+        cost_(cost) {}
 
   /// True when matches of `v`'s tag can never nest — the precondition for
   /// the pipelined join's merge discipline (Theorem 2 holds per tag: a
@@ -82,15 +115,24 @@ class TreePlanner {
   Result<std::unique_ptr<NestedListOperator>> Build(uint32_t nok_index,
                                                     int depth) {
     std::unique_ptr<NestedListOperator> op;
+    double est = -1.0;
+    if (cost_ != nullptr) {
+      est = EstimateNokMatches(
+          *cost_, *tree_, decomp_->noks[nok_index],
+          static_cast<double>(doc_->NumElements()),
+          decomp_->noks[nok_index].root);
+    }
     if (merged_ != nullptr) {
       op = merged_->MakeOperator(
           static_cast<size_t>((*merged_index_)[nok_index]));
+      op->set_label("MergedNokView(" + NokLabel(nok_index) + ")");
       Indent(depth);
       plan_->explain += "MergedNokView(" + NokLabel(nok_index) + ")\n";
     } else {
       auto scan = std::make_unique<NokScanOperator>(
           doc_, tree_, &decomp_->noks[nok_index], pool_);
       plan_->scans.push_back(scan.get());
+      scan->set_label("NokScan(" + NokLabel(nok_index) + ")");
       Indent(depth);
       plan_->explain += "NokScan(" + NokLabel(nok_index) + ")";
       if (pool_ != nullptr && pool_->NumThreads() > 1) {
@@ -100,6 +142,7 @@ class TreePlanner {
       plan_->explain += "\n";
       op = std::move(scan);
     }
+    if (cost_ != nullptr) op->set_estimated_rows(est);
     for (const Connection& c : decomp_->connections) {
       if (decomp_->NokOf(c.from) != nok_index) continue;
       pattern::SlotId from_slot = tree_->SlotOfVertex(c.from);
@@ -125,6 +168,9 @@ class TreePlanner {
                                                            : ", f)\n");
       BT_ASSIGN_OR_RETURN(auto inner,
                           Build(decomp_->NokOf(c.to), depth + 1));
+      std::string join_label = std::string(join_name) + "(" +
+                               tree_->vertex(c.from).tag + " // " +
+                               tree_->vertex(c.to).tag + ")";
       if (join == JoinStrategy::kPipelined) {
         op = std::make_unique<exec::PipelinedDescJoin>(
             doc_, tree_, std::move(op), std::move(inner), from_slot, c.mode);
@@ -132,6 +178,23 @@ class TreePlanner {
         op = std::make_unique<exec::BoundedNestedLoopJoin>(
             doc_, tree_, std::move(op), std::move(inner), from_slot, c.mode,
             /*bounded=*/join != JoinStrategy::kNaiveNestedLoop);
+      }
+      op->set_label(std::move(join_label));
+      if (cost_ != nullptr) {
+        // A mandatory //-edge keeps the outer entries whose subtree holds
+        // an inner match (containment assumption, as in the cost model);
+        // optional edges never filter.
+        if (c.mode != pattern::EdgeMode::kLet) {
+          double n = std::max(
+              1.0, static_cast<double>(doc_->NumElements()));
+          double inner_est = cost_->EstimateVertexMatches(*tree_, c.to);
+          double scope =
+              tree_->vertex(c.from).IsVirtualRoot()
+                  ? n
+                  : cost_->AvgSubtreeSize(tree_->vertex(c.from).tag);
+          est *= std::min(1.0, inner_est * scope / n);
+        }
+        op->set_estimated_rows(est);
       }
     }
     return op;
@@ -161,6 +224,7 @@ class TreePlanner {
   bool* used_pipelined_;
   bool* used_bnlj_;
   util::ThreadPool* pool_;
+  const CostModel* cost_;
 };
 
 }  // namespace
@@ -174,6 +238,44 @@ std::string QueryPlan::Explain() const {
     out += trees[i].explain;
   }
   return out;
+}
+
+void QueryPlan::FinishAll() {
+  for (PatternTreePlan& tp : trees) {
+    if (tp.root != nullptr) tp.root->Finish();
+  }
+}
+
+std::string QueryPlan::ExplainAnalyze() const {
+  std::string out = "strategy: ";
+  out += JoinStrategyToString(chosen);
+  out += "\n";
+  if (merged_scan != nullptr) {
+    out += "merged scan: " + merged_scan->ScanStats().Summary() + "\n";
+  }
+  for (size_t i = 0; i < trees.size(); ++i) {
+    out += "pattern tree " + std::to_string(i) + ":\n";
+    if (trees[i].root != nullptr) {
+      out += exec::ExplainAnalyzeTree(*trees[i].root, 1);
+    }
+  }
+  return out;
+}
+
+void ForEachOperator(
+    const QueryPlan& plan,
+    const std::function<void(const exec::NestedListOperator&, int depth)>&
+        fn) {
+  std::function<void(const exec::NestedListOperator&, int)> walk =
+      [&](const exec::NestedListOperator& op, int depth) {
+        fn(op, depth);
+        for (size_t i = 0; i < op.NumChildren(); ++i) {
+          if (op.Child(i) != nullptr) walk(*op.Child(i), depth + 1);
+        }
+      };
+  for (const PatternTreePlan& tp : plan.trees) {
+    if (tp.root != nullptr) walk(*tp.root, 0);
+  }
 }
 
 Result<QueryPlan> PlanQuery(const xml::Document* doc,
@@ -239,11 +341,15 @@ Result<QueryPlan> PlanQuery(const xml::Document* doc,
 
   bool used_pipelined = false;
   bool used_bnlj = false;
+  std::unique_ptr<CostModel> cost;
+  if (options.estimate_cardinalities) {
+    cost = std::make_unique<CostModel>(doc);
+  }
   for (uint32_t base : bases) {
     PatternTreePlan tp;
     TreePlanner builder(doc, tree, &plan.decomposition, strategy,
                         merged.get(), &merged_index, &tp, &used_pipelined,
-                        &used_bnlj, options.pool);
+                        &used_bnlj, options.pool, cost.get());
     BT_ASSIGN_OR_RETURN(tp.root, builder.Build(base, 1));
     tp.tops = tp.root->top_slots();
     plan.trees.push_back(std::move(tp));

@@ -1,6 +1,7 @@
 #ifndef BLOSSOMTREE_OPT_PLANNER_H_
 #define BLOSSOMTREE_OPT_PLANNER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +38,11 @@ struct PlanOptions {
   /// full-document NoK scans run partitioned across it. nullptr = serial
   /// plan, bitwise-identical results either way.
   util::ThreadPool* pool = nullptr;
+  /// Annotate every operator with a CostModel cardinality estimate (for
+  /// EXPLAIN ANALYZE's est-vs-actual and the calibration check). Off by
+  /// default: building the model forces tag-index construction, which would
+  /// perturb benchmark timings.
+  bool estimate_cardinalities = false;
 };
 
 /// \brief A compiled plan for one pattern tree of a BlossomTree.
@@ -69,7 +75,27 @@ struct QueryPlan {
   std::unique_ptr<exec::MergedNokScan> merged_scan;
 
   std::string Explain() const;
+
+  /// \brief Runs every operator tree to completion (children included).
+  /// Call before reading counters: it normalizes lazy serial pipelines and
+  /// eagerly-materializing parallel scans to the same run-to-completion
+  /// totals (DESIGN.md §8), so profiles are identical at every thread
+  /// count. Idempotent on drained plans; invalidates further GetNext use.
+  void FinishAll();
+
+  /// \brief EXPLAIN ANALYZE rendering: the Explain() tree re-annotated with
+  /// each operator's estimated cardinality (when planned with
+  /// estimate_cardinalities) and actual counters. Call after FinishAll()
+  /// for complete totals.
+  std::string ExplainAnalyze() const;
 };
+
+/// \brief Depth-first pre-order walk over every operator of every pattern
+/// tree in the plan.
+void ForEachOperator(
+    const QueryPlan& plan,
+    const std::function<void(const exec::NestedListOperator&, int depth)>&
+        fn);
 
 /// \brief The rule-based optimizer (paper §5: "the optimizer needs to have
 /// the knowledge of how recursive the input XML document is"):

@@ -164,13 +164,19 @@ void BlossomTree::AppendVertexString(VertexId v, int indent,
     out->append("\"]");
   }
   if (vx.position > 0) {
-    out->append("[" + std::to_string(vx.position) + "]");
+    out->push_back('[');
+    out->append(std::to_string(vx.position));
+    out->push_back(']');
   }
   if (!vx.variable.empty()) {
-    out->append(" ($" + vx.variable + ")");
+    out->append(" ($");
+    out->append(vx.variable);
+    out->push_back(')');
   }
   if (vx.returning && finalized_ && vertex_slot_[v] != kNoSlot) {
-    out->append(" <" + slots_[vertex_slot_[v]].dewey.ToString() + ">");
+    out->append(" <");
+    out->append(slots_[vertex_slot_[v]].dewey.ToString());
+    out->push_back('>');
   }
   out->push_back('\n');
   for (VertexId c : vx.children) {

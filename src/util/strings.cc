@@ -1,6 +1,7 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <climits>
 #include <cstdlib>
 
 namespace blossomtree {
@@ -83,8 +84,11 @@ long long ParseNonNegativeInt(std::string_view s) {
   long long v = 0;
   for (char c : s) {
     if (c < '0' || c > '9') return -1;
-    v = v * 10 + (c - '0');
-    if (v < 0) return -1;  // overflow
+    int d = c - '0';
+    // Guard before multiplying: signed overflow is UB, so the old
+    // post-hoc `v < 0` check was itself undefined.
+    if (v > (LLONG_MAX - d) / 10) return -1;
+    v = v * 10 + d;
   }
   return v;
 }
@@ -92,6 +96,19 @@ long long ParseNonNegativeInt(std::string_view s) {
 bool ParseDouble(std::string_view s, double* out) {
   s = Trim(s);
   if (s.empty()) return false;
+  // XPath numeric literals are plain decimal/scientific forms. strtod also
+  // accepts "inf", "nan", and hex floats ("0x1p3"), which must compare as
+  // strings instead — reject any character outside the decimal grammar,
+  // and require at least one digit ("e" or "." alone parse as 0 otherwise).
+  bool has_digit = false;
+  for (char c : s) {
+    if (c >= '0' && c <= '9') {
+      has_digit = true;
+    } else if (c != '+' && c != '-' && c != '.' && c != 'e' && c != 'E') {
+      return false;
+    }
+  }
+  if (!has_digit) return false;
   std::string buf(s);
   char* end = nullptr;
   double v = std::strtod(buf.c_str(), &end);

@@ -46,7 +46,9 @@ inline bool GetLengthPrefixed(std::string_view data, size_t* pos,
                               std::string_view* out) {
   uint64_t len = 0;
   if (!GetVarint(data, pos, &len)) return false;
-  if (*pos + len > data.size()) return false;
+  // Compare against the remaining bytes: `*pos + len` would wrap for a
+  // hostile len near UINT64_MAX and admit an out-of-range view.
+  if (len > data.size() - *pos) return false;
   *out = data.substr(*pos, len);
   *pos += len;
   return true;

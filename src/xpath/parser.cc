@@ -48,7 +48,7 @@ class PathParser {
     }
     if (Peek() == '*') {
       ++pos_;
-      *out = "*";
+      out->assign(1, '*');
       return Status::OK();
     }
     size_t start = pos_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "baseline/navigational.h"
 #include "flwor/parser.h"
 #include "xml/parser.h"
@@ -162,6 +164,47 @@ TEST(EngineTest, PathQueryThroughEngine) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->size(), 1u);
   EXPECT_FALSE(engine.LastExplain().empty());
+}
+
+TEST(EngineTest, CollectProfileExposesExplainAnalyzeAndJson) {
+  auto doc = Parse("<r><a><b/></a><a/><a><b/><b/></a></r>");
+  EngineOptions opts;
+  opts.collect_profile = true;
+  BlossomTreeEngine engine(doc.get(), opts);
+  // Off until the first query.
+  EXPECT_TRUE(engine.LastExplainAnalyze().empty());
+
+  auto p = xpath::ParsePath("//a[//b]");
+  ASSERT_TRUE(p.ok());
+  auto r = engine.EvaluatePath(*p);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(engine.LastExplainAnalyze().find("actual:"), std::string::npos);
+  const QueryProfile& prof = engine.LastProfile();
+  EXPECT_FALSE(prof.operators.empty());
+  uint64_t rows = 0;
+  for (const OperatorProfile& op : prof.operators) rows += op.stats.matches;
+  EXPECT_GT(rows, 0u);
+  // JSON export parses structurally: balanced braces, expected keys.
+  std::string json = prof.ToJson();
+  EXPECT_NE(json.find("\"operators\":"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+
+  // FLWOR queries refresh the profile too.
+  auto q = engine.EvaluateQuery("for $a in //a return <o>{ $a }</o>");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(engine.LastProfile().query, "flwor");
+}
+
+TEST(EngineTest, ProfileOffByDefault) {
+  auto doc = Parse("<r><a/></r>");
+  BlossomTreeEngine engine(doc.get());
+  auto p = xpath::ParsePath("//a");
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(engine.EvaluatePath(*p).ok());
+  EXPECT_TRUE(engine.LastExplainAnalyze().empty());
+  EXPECT_TRUE(engine.LastProfile().operators.empty());
 }
 
 TEST(EngineTest, ConstructorWithAttributesAndText) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "datagen/datagen.h"
 #include "pattern/builder.h"
 #include "xml/parser.h"
@@ -111,6 +114,63 @@ TEST(CostModelTest, AdviceFieldsPopulated) {
   EXPECT_GT(advice.twigstack.Total(), 0.0);
   EXPECT_FALSE(advice.rationale.empty());
   EXPECT_TRUE(advice.pipelined_safe);
+}
+
+TEST(CostModelTest, CalibrationNoEstimatesYieldsEmptyReport) {
+  auto doc = Parse("<r><a><b/></a><a/></r>");
+  pattern::BlossomTree t = Tree("//a/b");
+  auto plan = PlanQuery(doc.get(), &t);  // estimate_cardinalities off
+  ASSERT_TRUE(plan.ok());
+  plan->FinishAll();
+  CalibrationReport report = CheckCalibration(*plan);
+  EXPECT_TRUE(report.entries.empty());
+  EXPECT_EQ(report.num_flagged, 0u);
+}
+
+TEST(CostModelTest, CalibrationExactForBareTagScan) {
+  // //b estimate = TagCount(b), actual = 3 → ratio 1, nothing flagged.
+  auto doc = Parse("<r><b/><a><b/></a><b/><c/></r>");
+  pattern::BlossomTree t = Tree("//b");
+  PlanOptions opts;
+  opts.estimate_cardinalities = true;
+  auto plan = PlanQuery(doc.get(), &t, opts);
+  ASSERT_TRUE(plan.ok());
+  plan->FinishAll();
+  CalibrationReport report = CheckCalibration(*plan);
+  ASSERT_FALSE(report.entries.empty());
+  EXPECT_EQ(report.num_flagged, 0u) << report.ToString();
+  for (const CalibrationEntry& e : report.entries) {
+    EXPECT_DOUBLE_EQ(e.ratio, 1.0) << e.label;
+    EXPECT_FALSE(e.flagged);
+  }
+}
+
+TEST(CostModelTest, CalibrationFlagsLargeDeviations) {
+  // Every <b> carries the value, so the kValueSelectivity=0.1 estimate is
+  // ~10x under the actual count. A tight tolerance must flag it.
+  std::string xml = "<r>";
+  for (int i = 0; i < 40; ++i) xml += "<b>x</b>";
+  xml += "</r>";
+  auto doc = Parse(xml);
+  pattern::BlossomTree t = Tree("//b[.=\"x\"]");
+  PlanOptions opts;
+  opts.estimate_cardinalities = true;
+  auto plan = PlanQuery(doc.get(), &t, opts);
+  ASSERT_TRUE(plan.ok());
+  plan->FinishAll();
+  CalibrationReport tight = CheckCalibration(*plan, 2.0);
+  EXPECT_GT(tight.num_flagged, 0u) << tight.ToString();
+  EXPECT_NE(tight.ToString().find("FLAGGED"), std::string::npos);
+  // Ratio semantics: symmetric, smoothed by +1 on both sides.
+  const CalibrationEntry* scan = nullptr;
+  for (const CalibrationEntry& e : tight.entries) {
+    if (e.flagged) scan = &e;
+  }
+  ASSERT_NE(scan, nullptr);
+  double act = static_cast<double>(scan->actual_rows);
+  double expect = (std::max(scan->estimated_rows, act) + 1) /
+                  (std::min(scan->estimated_rows, act) + 1);
+  EXPECT_DOUBLE_EQ(scan->ratio, expect);
 }
 
 TEST(CostModelTest, EngineNames) {

@@ -1,5 +1,7 @@
 #include "util/strings.h"
 
+#include <climits>
+
 #include <gtest/gtest.h>
 
 namespace blossomtree {
@@ -64,14 +66,45 @@ TEST(StringsTest, ParseNonNegativeInt) {
   EXPECT_EQ(ParseNonNegativeInt(""), -1);
 }
 
+TEST(StringsTest, ParseNonNegativeIntOverflowBoundary) {
+  // LLONG_MAX itself parses; one past it must fail without the signed
+  // overflow the old post-multiply check relied on (UB under UBSan).
+  EXPECT_EQ(ParseNonNegativeInt("9223372036854775807"), LLONG_MAX);
+  EXPECT_EQ(ParseNonNegativeInt("9223372036854775808"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("9223372036854775817"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("18446744073709551615"), -1);
+  EXPECT_EQ(ParseNonNegativeInt("99999999999999999999999999"), -1);
+  // Leading zeros cannot trip the guard early.
+  EXPECT_EQ(ParseNonNegativeInt("0009223372036854775807"), LLONG_MAX);
+}
+
 TEST(StringsTest, ParseDouble) {
   double v = 0;
   EXPECT_TRUE(ParseDouble("3.5", &v));
   EXPECT_DOUBLE_EQ(v, 3.5);
   EXPECT_TRUE(ParseDouble(" -2 ", &v));
   EXPECT_DOUBLE_EQ(v, -2.0);
+  EXPECT_TRUE(ParseDouble("1e3", &v));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
   EXPECT_FALSE(ParseDouble("12x", &v));
   EXPECT_FALSE(ParseDouble("", &v));
+}
+
+TEST(StringsTest, ParseDoubleRejectsNonDecimalForms) {
+  // strtod accepts all of these; XPath untyped comparison must treat them
+  // as strings, so ParseDouble rejects them.
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("inf", &v));
+  EXPECT_FALSE(ParseDouble("-inf", &v));
+  EXPECT_FALSE(ParseDouble("Infinity", &v));
+  EXPECT_FALSE(ParseDouble("nan", &v));
+  EXPECT_FALSE(ParseDouble("NaN", &v));
+  EXPECT_FALSE(ParseDouble("0x10", &v));
+  EXPECT_FALSE(ParseDouble("0x1p3", &v));
+  // Sign/exponent characters alone are not numbers either.
+  EXPECT_FALSE(ParseDouble("e", &v));
+  EXPECT_FALSE(ParseDouble(".", &v));
+  EXPECT_FALSE(ParseDouble("+-", &v));
 }
 
 }  // namespace

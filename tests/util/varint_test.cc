@@ -97,5 +97,64 @@ TEST(VarintTest, LengthPrefixedTruncatedFails) {
       GetLengthPrefixed(std::string_view(buf).substr(0, 3), &pos, &s));
 }
 
+TEST(VarintTest, LengthPrefixedHugeLengthFails) {
+  // A hostile length near UINT64_MAX used to wrap `*pos + len` back into
+  // range and hand out an out-of-bounds view.
+  std::string buf;
+  PutVarint(&buf, 0xFFFFFFFFFFFFFFFFULL);
+  buf += "payload";
+  size_t pos = 0;
+  std::string_view s;
+  EXPECT_FALSE(GetLengthPrefixed(buf, &pos, &s));
+}
+
+TEST(VarintTest, LengthPrefixedWrapAroundLengthsFail) {
+  // Every length that would wrap `pos + len` past zero must fail, not just
+  // UINT64_MAX itself.
+  for (uint64_t len :
+       {0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFFFFFFFFFEULL,
+        0xFFFFFFFFFFFFFFFFULL - 16, 0x8000000000000000ULL}) {
+    std::string buf;
+    PutVarint(&buf, len);
+    buf += "abcdefgh";
+    size_t pos = 0;
+    std::string_view s;
+    EXPECT_FALSE(GetLengthPrefixed(buf, &pos, &s)) << len;
+  }
+}
+
+TEST(VarintTest, LengthPrefixedLengthJustPastEndFails) {
+  // Length one byte past the available payload: off-by-one boundary.
+  std::string buf;
+  PutVarint(&buf, 6);
+  buf += "hello";  // Only 5 bytes follow.
+  size_t pos = 0;
+  std::string_view s;
+  EXPECT_FALSE(GetLengthPrefixed(buf, &pos, &s));
+  // Exactly the available payload still decodes.
+  buf.clear();
+  PutVarint(&buf, 5);
+  buf += "hello";
+  pos = 0;
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &s));
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, LengthPrefixedAtEndOfBuffer) {
+  // Varint decodes, then *pos == data.size(): `data.size() - *pos` is 0,
+  // so any nonzero length must fail and a zero length must succeed.
+  std::string buf;
+  PutVarint(&buf, 1);
+  size_t pos = 0;
+  std::string_view s;
+  EXPECT_FALSE(GetLengthPrefixed(buf, &pos, &s));
+  buf.clear();
+  PutVarint(&buf, 0);
+  pos = 0;
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &s));
+  EXPECT_EQ(s, "");
+}
+
 }  // namespace
 }  // namespace blossomtree
