@@ -1,0 +1,20 @@
+// libFuzzer harness for the FLWOR parser: queries must parse into an Expr or
+// fail with a clean Status. ParseLimits bounds both recursion depth (the
+// parser is recursive-descent) and input size so the harness never dies on
+// resource exhaustion instead of real bugs.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "flwor/parser.h"
+#include "util/resource_guard.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  blossomtree::util::ParseLimits limits;
+  limits.max_depth = 256;
+  limits.max_input_bytes = 1 << 20;
+  auto expr = blossomtree::flwor::ParseQuery(input, limits);
+  (void)expr;
+  return 0;
+}

@@ -1,0 +1,19 @@
+// libFuzzer harness for the XPath parser: every input must produce either a
+// PathExpr (whose ToString round-trip is then exercised) or a clean error.
+// The depth limit keeps deeply nested predicates from exhausting the stack —
+// exactly the guard the crash-regression corpus pins.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "xpath/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  auto path = blossomtree::xpath::ParsePath(input, /*max_depth=*/256);
+  if (path.ok()) {
+    volatile size_t n = path.value().ToString().size();
+    (void)n;
+  }
+  return 0;
+}

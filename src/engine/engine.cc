@@ -14,7 +14,8 @@ namespace engine {
 
 BlossomTreeEngine::BlossomTreeEngine(const xml::Document* doc,
                                      EngineOptions options)
-    : doc_(doc), options_(std::move(options)) {
+    : doc_(doc), options_(std::move(options)), guard_(options_.limits) {
+  options_.plan.guard = &guard_;
   unsigned threads = options_.num_threads == 0
                          ? static_cast<unsigned>(
                                util::ThreadPool::DefaultThreads())
@@ -27,18 +28,28 @@ BlossomTreeEngine::BlossomTreeEngine(const xml::Document* doc,
 
 Result<std::string> BlossomTreeEngine::EvaluateQuery(std::string_view query) {
   BT_ASSIGN_OR_RETURN(std::unique_ptr<flwor::Expr> expr,
-                      flwor::ParseQuery(query));
+                      flwor::ParseQuery(query, options_.limits.ToParseLimits()));
   return EvaluateToXml(*expr);
 }
 
 Result<std::string> BlossomTreeEngine::EvaluateToXml(
     const flwor::Expr& expr) {
+  guard_.Arm();  // The deadline clock starts here, not at construction.
   ResultBuilder out(doc_);
   BT_RETURN_NOT_OK(EvalExpr(expr, Env{}, &out));
+  if (guard_.Tripped()) return guard_.status();
   return out.ToXml();
 }
 
 Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvaluatePath(
+    const xpath::PathExpr& path) {
+  guard_.Arm();
+  BT_ASSIGN_OR_RETURN(std::vector<xml::NodeId> out, EvalPathPlan(path));
+  if (guard_.Tripped()) return guard_.status();
+  return out;
+}
+
+Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvalPathPlan(
     const xpath::PathExpr& path) {
   auto built = pattern::BuildFromPath(path);
   if (!built.ok()) {
@@ -63,8 +74,12 @@ Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvaluatePath(
     auto part = nestedlist::Project(tree, plan.trees[0].tops, nl, result);
     out.insert(out.end(), part.begin(), part.end());
   }
+  // Tripped operators end their streams early; refuse to pass the partial
+  // result off as complete.
+  if (guard_.Tripped()) return guard_.status();
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (!guard_.ChargeRows(out.size())) return guard_.status();
   CollectProfile(&plan, path.ToString());
   return out;
 }
@@ -83,8 +98,10 @@ Status BlossomTreeEngine::EvalExpr(const flwor::Expr& expr, const Env& env,
       std::vector<xml::NodeId> nodes;
       if (env.empty() &&
           expr.path.start == xpath::PathExpr::StartKind::kRoot) {
-        // Free-standing absolute path: use the BlossomTree plan.
-        BT_ASSIGN_OR_RETURN(nodes, EvaluatePath(expr.path));
+        // Free-standing absolute path: use the BlossomTree plan. The guard
+        // is already armed by the top-level entry point — EvaluatePath
+        // would restart the deadline mid-query.
+        BT_ASSIGN_OR_RETURN(nodes, EvalPathPlan(expr.path));
       } else {
         // Variable-/context-rooted paths are evaluated from the bindings.
         PathEvaluator ev(doc_);
@@ -123,7 +140,7 @@ Status BlossomTreeEngine::EvalFlwor(const flwor::Flwor& flwor, const Env& env,
       // Bindings outside the BlossomTree subset (e.g. reverse axes):
       // degrade to per-iteration evaluation.
       PathEvaluator ev(doc_);
-      BT_ASSIGN_OR_RETURN(tuples, NaiveFlworTuples(flwor, env, &ev));
+      BT_ASSIGN_OR_RETURN(tuples, NaiveFlworTuples(flwor, env, &ev, &guard_));
     } else {
       BT_RETURN_NOT_OK(r.status());
       tuples = r.MoveValue();
@@ -132,7 +149,7 @@ Status BlossomTreeEngine::EvalFlwor(const flwor::Flwor& flwor, const Env& env,
     // Nested FLWOR with free variables from the enclosing scope: fall back
     // to per-iteration evaluation under the outer bindings.
     PathEvaluator ev(doc_);
-    BT_ASSIGN_OR_RETURN(tuples, NaiveFlworTuples(flwor, env, &ev));
+    BT_ASSIGN_OR_RETURN(tuples, NaiveFlworTuples(flwor, env, &ev, &guard_));
   }
   return EmitTuples(flwor, std::move(tuples), out);
 }
@@ -149,6 +166,7 @@ Result<std::vector<Env>> BlossomTreeEngine::FlworTuples(
   std::vector<std::vector<Env>> per_tree;
   for (opt::PatternTreePlan& tp : plan.trees) {
     std::vector<nestedlist::NestedList> lists = exec::Drain(tp.root.get());
+    if (guard_.Tripped()) return guard_.status();
     per_tree.push_back(EnumerateBindings(tree, tp.tops, lists, bindings));
   }
   CollectProfile(&plan, "flwor");
@@ -156,10 +174,15 @@ Result<std::vector<Env>> BlossomTreeEngine::FlworTuples(
   // naive nested loop over the per-tree tuple sets (paper §4.3), as the
   // where-clause filter below.
   std::vector<Env> tuples = CrossEnvs(per_tree);
+  if (!guard_.ChargeRows(tuples.size())) return guard_.status();
   if (flwor.where != nullptr) {
     PathEvaluator ev(doc_);
     std::vector<Env> kept;
+    uint64_t filtered = 0;
     for (Env& t : tuples) {
+      if ((++filtered & 0x1FF) == 0 && !guard_.Check()) {
+        return guard_.status();
+      }
       BT_ASSIGN_OR_RETURN(bool ok, EvalWhere(*flwor.where, t, *doc_, &ev));
       if (ok) kept.push_back(std::move(t));
     }
@@ -190,7 +213,9 @@ Status BlossomTreeEngine::EmitTuples(const flwor::Flwor& flwor,
     for (const auto& [key, idx] : keys) ordered.push_back(tuples[idx]);
     tuples = std::move(ordered);
   }
+  uint64_t emitted = 0;
   for (const Env& t : tuples) {
+    if ((++emitted & 0xFF) == 0 && !guard_.Check()) return guard_.status();
     BT_RETURN_NOT_OK(EvalExpr(*flwor.ret, t, out));
   }
   return Status::OK();
@@ -198,11 +223,15 @@ Status BlossomTreeEngine::EmitTuples(const flwor::Flwor& flwor,
 
 Result<std::vector<Env>> NaiveFlworTuples(const flwor::Flwor& flwor,
                                           const Env& base_env,
-                                          PathEvaluator* evaluator) {
+                                          PathEvaluator* evaluator,
+                                          util::ResourceGuard* guard) {
   std::vector<Env> tuples = {base_env};
   for (const flwor::Binding& b : flwor.bindings) {
     std::vector<Env> next;
     for (const Env& t : tuples) {
+      // Each iteration re-runs a full path evaluation, so one guard sample
+      // per iteration is already amortized.
+      if (guard != nullptr && !guard->Check()) return guard->status();
       // The path expression is re-evaluated for every iteration of the
       // enclosing loop — the inefficiency BlossomTree eliminates.
       BT_ASSIGN_OR_RETURN(std::vector<xml::NodeId> nodes,

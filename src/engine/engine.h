@@ -10,6 +10,7 @@
 #include "engine/query_profile.h"
 #include "flwor/ast.h"
 #include "opt/planner.h"
+#include "util/resource_guard.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -28,6 +29,13 @@ struct EngineOptions {
   /// every planned query. Profiling runs every plan to completion after the
   /// result is drained, so enabling it changes timings but never results.
   bool collect_profile = false;
+  /// Per-query resource limits (DESIGN.md §9): wall-clock deadline,
+  /// NestedList cell/byte budget, result-row cap, and parser depth / input
+  /// size caps. The engine arms its guard with these at the start of every
+  /// top-level evaluation; an over-limit query returns kResourceExhausted
+  /// (kCancelled for Cancel()) instead of a truncated result. Defaults are
+  /// unlimited, which preserves the exact ungoverned behavior.
+  util::QueryLimits limits;
 };
 
 /// \brief End-to-end query evaluation via BlossomTree pattern matching:
@@ -69,7 +77,20 @@ class BlossomTreeEngine {
     return pool_ != nullptr ? static_cast<unsigned>(pool_->NumThreads()) : 1;
   }
 
+  /// \brief Requests cooperative cancellation of the in-flight query (safe
+  /// from any thread). Operators observe the token at their next batch
+  /// boundary and the query returns kCancelled. The flag is cleared when
+  /// the next top-level evaluation arms the guard.
+  void Cancel() { guard_.token()->Cancel(); }
+
+  /// \brief The engine's per-query resource guard (counters, trip status).
+  const util::ResourceGuard& guard() const { return guard_; }
+
  private:
+  /// EvaluatePath minus the guard arming: used for top-level paths and for
+  /// paths nested inside an already-armed evaluation (re-arming would
+  /// restart the deadline mid-query).
+  Result<std::vector<xml::NodeId>> EvalPathPlan(const xpath::PathExpr& path);
   Status EvalExpr(const flwor::Expr& expr, const Env& env,
                   ResultBuilder* out);
   Status EvalFlwor(const flwor::Flwor& flwor, const Env& env,
@@ -83,6 +104,9 @@ class BlossomTreeEngine {
 
   const xml::Document* doc_;
   EngineOptions options_;
+  /// Engine-owned guard; options_.plan.guard borrows it so every physical
+  /// operator in every plan samples the same trip flag.
+  util::ResourceGuard guard_;
   /// Owned worker pool when num_threads resolves above 1; options_.plan.pool
   /// borrows it for the lifetime of the engine.
   std::unique_ptr<util::ThreadPool> pool_;
@@ -97,7 +121,8 @@ class BlossomTreeEngine {
 /// variables.
 Result<std::vector<Env>> NaiveFlworTuples(const flwor::Flwor& flwor,
                                           const Env& base_env,
-                                          PathEvaluator* evaluator);
+                                          PathEvaluator* evaluator,
+                                          util::ResourceGuard* guard = nullptr);
 
 }  // namespace engine
 }  // namespace blossomtree

@@ -18,13 +18,15 @@ PipelinedDescJoin::PipelinedDescJoin(const xml::Document* doc,
                                      const pattern::BlossomTree* tree,
                                      std::unique_ptr<NestedListOperator> outer,
                                      std::unique_ptr<NestedListOperator> inner,
-                                     SlotId from_slot, EdgeMode mode)
+                                     SlotId from_slot, EdgeMode mode,
+                                     util::ResourceGuard* guard)
     : doc_(doc),
       tree_(tree),
       outer_(std::move(outer)),
       inner_(std::move(inner)),
       from_slot_(from_slot),
-      mode_(mode) {
+      mode_(mode),
+      guard_(guard) {
   inner_top_ = inner_->top_slots()[0];
   child_index_ = nestedlist::ChildIndex(*tree, from_slot, inner_top_);
 }
@@ -49,6 +51,9 @@ bool PipelinedDescJoin::GetNext(NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
   NestedList m;
   while (outer_->GetNext(&m)) {
+    // Batch boundary (DESIGN.md §9): one guard check per outer tuple — the
+    // children sample their own guards inside longer stretches of work.
+    if (guard_ != nullptr && !guard_->Check()) return false;
     nestedlist::ForEachEntryMutable(
         *tree_, outer_->top_slots(), &m, from_slot_, [&](Entry* e) {
           if (e->IsPlaceholder()) return;
@@ -80,7 +85,12 @@ bool PipelinedDescJoin::GetNext(NestedList* out) {
     if (valid) {
       *out = std::move(m);
       ++matches_emitted_;
-      cells_emitted_ += CountCells(*out);
+      uint64_t cells = CountCells(*out);
+      cells_emitted_ += cells;
+      if (guard_ != nullptr &&
+          !guard_->ChargeCells(cells, cells * sizeof(Entry))) {
+        return false;
+      }
       return true;
     }
     m = NestedList();
@@ -111,14 +121,15 @@ BoundedNestedLoopJoin::BoundedNestedLoopJoin(
     const xml::Document* doc, const pattern::BlossomTree* tree,
     std::unique_ptr<NestedListOperator> outer,
     std::unique_ptr<NestedListOperator> inner, SlotId from_slot, EdgeMode mode,
-    bool bounded)
+    bool bounded, util::ResourceGuard* guard)
     : doc_(doc),
       tree_(tree),
       outer_(std::move(outer)),
       inner_(std::move(inner)),
       from_slot_(from_slot),
       mode_(mode),
-      bounded_(bounded) {
+      bounded_(bounded),
+      guard_(guard) {
   inner_top_ = inner_->top_slots()[0];
   child_index_ = nestedlist::ChildIndex(*tree, from_slot, inner_top_);
 }
@@ -127,6 +138,10 @@ bool BoundedNestedLoopJoin::GetNext(NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
   NestedList m;
   while (outer_->GetNext(&m)) {
+    // One check per outer tuple; each inner re-scan below is a governed
+    // NokScan that samples the guard itself, so even the naive variant's
+    // whole-document re-scans observe a trip within ~512 nodes.
+    if (guard_ != nullptr && !guard_->Check()) return false;
     nestedlist::ForEachEntryMutable(
         *tree_, outer_->top_slots(), &m, from_slot_, [&](Entry* e) {
           if (e->IsPlaceholder()) return;
@@ -160,7 +175,12 @@ bool BoundedNestedLoopJoin::GetNext(NestedList* out) {
     if (valid) {
       *out = std::move(m);
       ++matches_emitted_;
-      cells_emitted_ += CountCells(*out);
+      uint64_t cells = CountCells(*out);
+      cells_emitted_ += cells;
+      if (guard_ != nullptr &&
+          !guard_->ChargeCells(cells, cells * sizeof(Entry))) {
+        return false;
+      }
       return true;
     }
     m = NestedList();
@@ -182,12 +202,14 @@ void BoundedNestedLoopJoin::Rewind() { outer_->Rewind(); }
 NestedLoopJoin::NestedLoopJoin(
     std::vector<SlotId> tops, std::unique_ptr<NestedListOperator> left,
     std::unique_ptr<NestedListOperator> right, std::vector<bool> owns_left,
-    std::function<bool(const NestedList&, const NestedList&)> pred)
+    std::function<bool(const NestedList&, const NestedList&)> pred,
+    util::ResourceGuard* guard)
     : tops_(std::move(tops)),
       left_(std::move(left)),
       right_(std::move(right)),
       owns_left_(std::move(owns_left)),
-      pred_(std::move(pred)) {}
+      pred_(std::move(pred)),
+      guard_(guard) {}
 
 bool NestedLoopJoin::GetNext(NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
@@ -202,6 +224,13 @@ bool NestedLoopJoin::GetNext(NestedList* out) {
       right_pos_ = 0;
     }
     while (right_pos_ < right_mat_.size()) {
+      // This join is quadratic: sample the clock every ~1k predicate
+      // evaluations, with a cheap tripped probe in between.
+      if (guard_ != nullptr &&
+          (guard_->Tripped() ||
+           ((pred_calls_ & 0x3FF) == 0x3FF && !guard_->Check()))) {
+        return false;
+      }
       const NestedList& r = right_mat_[right_pos_++];
       // Value comparisons inside the predicate (general compares,
       // deep-equal prefilters) run on this thread: attribute the
@@ -213,7 +242,12 @@ bool NestedLoopJoin::GetNext(NestedList* out) {
       if (hit) {
         *out = nestedlist::Combine(cur_left_, r, owns_left_);
         ++matches_emitted_;
-        cells_emitted_ += CountCells(*out);
+        uint64_t cells = CountCells(*out);
+        cells_emitted_ += cells;
+        if (guard_ != nullptr &&
+            !guard_->ChargeCells(cells, cells * sizeof(Entry))) {
+          return false;
+        }
         return true;
       }
     }

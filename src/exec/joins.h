@@ -8,6 +8,7 @@
 
 #include "exec/nok_scan.h"
 #include "exec/operator.h"
+#include "util/resource_guard.h"
 
 namespace blossomtree {
 namespace exec {
@@ -24,11 +25,14 @@ class PipelinedDescJoin : public NestedListOperator {
   /// \param from_slot the outer slot the cut //-edge leaves from.
   /// \param mode f: outer entries without any inner match are pruned
   ///        (cascading); l: they are kept with an empty group.
+  /// \param guard optional per-query resource guard, checked once per outer
+  ///        tuple and charged for emitted cells (DESIGN.md §9).
   PipelinedDescJoin(const xml::Document* doc,
                     const pattern::BlossomTree* tree,
                     std::unique_ptr<NestedListOperator> outer,
                     std::unique_ptr<NestedListOperator> inner,
-                    pattern::SlotId from_slot, pattern::EdgeMode mode);
+                    pattern::SlotId from_slot, pattern::EdgeMode mode,
+                    util::ResourceGuard* guard = nullptr);
 
   const std::vector<pattern::SlotId>& top_slots() const override {
     return outer_->top_slots();
@@ -65,6 +69,7 @@ class PipelinedDescJoin : public NestedListOperator {
   pattern::SlotId inner_top_;
   size_t child_index_;
   pattern::EdgeMode mode_;
+  util::ResourceGuard* guard_;
 
   std::deque<nestedlist::Entry> inner_buf_;
   bool inner_done_ = false;
@@ -86,12 +91,16 @@ class BoundedNestedLoopJoin : public NestedListOperator {
   ///        subtree range (the paper's BNLJ); false: re-scan the whole
   ///        document per outer entry (the naive nested-loop strawman the
   ///        ablation bench compares against).
+  /// \param guard optional per-query resource guard, checked once per outer
+  ///        tuple (the inner re-scan is governed by the inner operator's
+  ///        own guard) and charged for emitted cells.
   BoundedNestedLoopJoin(const xml::Document* doc,
                         const pattern::BlossomTree* tree,
                         std::unique_ptr<NestedListOperator> outer,
                         std::unique_ptr<NestedListOperator> inner,
                         pattern::SlotId from_slot, pattern::EdgeMode mode,
-                        bool bounded = true);
+                        bool bounded = true,
+                        util::ResourceGuard* guard = nullptr);
 
   const std::vector<pattern::SlotId>& top_slots() const override {
     return outer_->top_slots();
@@ -127,6 +136,7 @@ class BoundedNestedLoopJoin : public NestedListOperator {
   size_t child_index_;
   pattern::EdgeMode mode_;
   bool bounded_;
+  util::ResourceGuard* guard_;
   uint64_t inner_rescans_ = 0;
   uint64_t matches_emitted_ = 0;
   uint64_t cells_emitted_ = 0;
@@ -144,13 +154,17 @@ class NestedLoopJoin : public NestedListOperator {
   /// \param owns_left owns_left[i] == true iff top group i comes from the
   ///        left input.
   /// \param pred predicate over a (left, right) pair.
+  /// \param guard optional per-query resource guard, sampled every ~1k
+  ///        predicate evaluations (this join is quadratic, so per-pair
+  ///        clock samples would dominate) and charged for emitted cells.
   NestedLoopJoin(
       std::vector<pattern::SlotId> tops,
       std::unique_ptr<NestedListOperator> left,
       std::unique_ptr<NestedListOperator> right, std::vector<bool> owns_left,
       std::function<bool(const nestedlist::NestedList&,
                          const nestedlist::NestedList&)>
-          pred);
+          pred,
+      util::ResourceGuard* guard = nullptr);
 
   const std::vector<pattern::SlotId>& top_slots() const override {
     return tops_;
@@ -176,6 +190,7 @@ class NestedLoopJoin : public NestedListOperator {
   std::function<bool(const nestedlist::NestedList&,
                      const nestedlist::NestedList&)>
       pred_;
+  util::ResourceGuard* guard_;
 
   bool left_valid_ = false;
   nestedlist::NestedList cur_left_;

@@ -7,10 +7,12 @@ namespace exec {
 
 MergedNokScan::MergedNokScan(const xml::Document* doc,
                              const pattern::BlossomTree* tree,
-                             std::vector<const pattern::NokTree*> noks)
-    : doc_(doc) {
+                             std::vector<const pattern::NokTree*> noks,
+                             util::ResourceGuard* guard)
+    : doc_(doc), guard_(guard) {
   for (const pattern::NokTree* nok : noks) {
     matchers_.push_back(std::make_unique<NokMatcher>(doc, tree, nok));
+    matchers_.back()->set_guard(guard);
     virtual_root_.push_back(tree->vertex(nok->root).IsVirtualRoot());
     root_tag_.push_back(tree->vertex(nok->root).tag);
   }
@@ -55,6 +57,13 @@ void MergedNokScan::Run() {
     }
   };
   for (xml::NodeId x = 0; x < doc_->NumNodes(); ++x) {
+    // Batch-boundary guard sample (DESIGN.md §9): cheap probe per node,
+    // full clock check every ~512 nodes.
+    if (guard_ != nullptr &&
+        (guard_->Tripped() ||
+         ((nodes_scanned_ & 0x1FF) == 0x1FF && !guard_->Check()))) {
+      break;
+    }
     ++nodes_scanned_;
     if (!doc_->IsElement(x)) continue;
     for (size_t i : by_tag[doc_->Tag(x)]) probe(i, x);

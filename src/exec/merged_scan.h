@@ -63,8 +63,13 @@ class MaterializedOperator : public NestedListOperator {
 /// operator views with MakeOperator(i).
 class MergedNokScan {
  public:
+  /// \param guard optional per-query resource guard; the shared pass
+  ///        samples it every ~512 nodes and stops scanning once tripped
+  ///        (the partial materialization is then discarded by the caller,
+  ///        which must check guard->status()).
   MergedNokScan(const xml::Document* doc, const pattern::BlossomTree* tree,
-                std::vector<const pattern::NokTree*> noks);
+                std::vector<const pattern::NokTree*> noks,
+                util::ResourceGuard* guard = nullptr);
 
   /// \brief Performs the single scan, materializing every NoK's matches.
   void Run();
@@ -87,6 +92,7 @@ class MergedNokScan {
 
  private:
   const xml::Document* doc_;
+  util::ResourceGuard* guard_;
   std::vector<std::unique_ptr<NokMatcher>> matchers_;
   std::vector<bool> virtual_root_;
   std::vector<std::string> root_tag_;

@@ -107,6 +107,13 @@ bool NokMatcher::MatchAt(xml::NodeId x, nestedlist::NestedList* out) {
 bool NokMatcher::MatchVertex(uint32_t local_index, xml::NodeId x,
                              std::vector<Group>* out_groups) {
   ++match_work_;
+  // Guard sample (DESIGN.md §9): a full Check (clock + token) every ~1k
+  // work units keeps deadline detection prompt even when one match recurses
+  // for a long time, at negligible cost. A tripped guard aborts the match;
+  // the driver stops the scan and the engine reports guard->status().
+  if (guard_ != nullptr && (match_work_ & 0x3FF) == 0 && !guard_->Check()) {
+    return false;
+  }
   const LocalVertex& lv = locals_[local_index];
   const pattern::Vertex& vx = tree_->vertex(lv.vertex);
   if (!ConstraintsOk(vx, x)) return false;
@@ -221,7 +228,8 @@ bool NokMatcher::MatchVertex(uint32_t local_index, xml::NodeId x,
 NokScanOperator::NokScanOperator(const xml::Document* doc,
                                  const pattern::BlossomTree* tree,
                                  const pattern::NokTree* nok,
-                                 util::ThreadPool* pool)
+                                 util::ThreadPool* pool,
+                                 util::ResourceGuard* guard)
     : doc_(doc),
       tree_(tree),
       nok_(nok),
@@ -230,7 +238,10 @@ NokScanOperator::NokScanOperator(const xml::Document* doc,
       range_end_(doc->NumNodes() == 0
                      ? 0
                      : static_cast<xml::NodeId>(doc->NumNodes() - 1)),
-      pool_(pool) {}
+      pool_(pool),
+      guard_(guard) {
+  matcher_.set_guard(guard);
+}
 
 void NokScanOperator::SetRange(xml::NodeId begin, xml::NodeId end) {
   range_begin_ = begin;
@@ -255,25 +266,37 @@ void NokScanOperator::RunParallelScan() {
   std::vector<uint64_t> scanned(parts.size(), 0);
   std::vector<uint64_t> work(parts.size(), 0);
   std::vector<uint64_t> vcmp(parts.size(), 0);
-  pool_->ParallelFor(parts.size(), [&](size_t i) {
-    // A private matcher per partition: constraint checks are read-only on
-    // the shared document, and counters stay thread-local. One partition
-    // runs entirely on one worker, so the thread-local value-comparison
-    // delta below is exactly this partition's comparisons.
-    uint64_t cmp_before = ValueComparisonCount();
-    NokMatcher m(doc_, tree_, nok_);
-    nestedlist::NestedList nl;
-    for (xml::NodeId x = parts[i].begin; x <= parts[i].end; ++x) {
-      ++scanned[i];
-      if (!m.RootTest(x)) continue;
-      if (m.MatchAt(x, &nl)) {
-        results[i].push_back(std::move(nl));
-        nl = nestedlist::NestedList();
-      }
-    }
-    work[i] = m.MatchWork();
-    vcmp[i] = ValueComparisonCount() - cmp_before;
-  });
+  pool_->ParallelFor(
+      parts.size(),
+      [&](size_t i) {
+        // A private matcher per partition: constraint checks are read-only
+        // on the shared document, and counters stay thread-local. One
+        // partition runs entirely on one worker, so the thread-local
+        // value-comparison delta below is exactly this partition's
+        // comparisons.
+        uint64_t cmp_before = ValueComparisonCount();
+        NokMatcher m(doc_, tree_, nok_);
+        m.set_guard(guard_);
+        nestedlist::NestedList nl;
+        for (xml::NodeId x = parts[i].begin; x <= parts[i].end; ++x) {
+          // Batch-boundary guard sample: a cheap tripped probe per node
+          // plus a full check every ~512 nodes.
+          if (guard_ != nullptr &&
+              (guard_->Tripped() ||
+               ((scanned[i] & 0x1FF) == 0x1FF && !guard_->Check()))) {
+            break;
+          }
+          ++scanned[i];
+          if (!m.RootTest(x)) continue;
+          if (m.MatchAt(x, &nl)) {
+            results[i].push_back(std::move(nl));
+            nl = nestedlist::NestedList();
+          }
+        }
+        work[i] = m.MatchWork();
+        vcmp[i] = ValueComparisonCount() - cmp_before;
+      },
+      guard_);
   parallel_buf_.clear();
   // Deterministic merge point (DESIGN.md §8): per-partition counters fold
   // in partition order, matching the result concatenation.
@@ -306,22 +329,43 @@ bool NokScanOperator::GetNext(nestedlist::NestedList* out) {
   }
   if (ParallelEligible()) {
     if (!parallel_done_) RunParallelScan();
+    // A trip during the parallel scan leaves a partial buffer: end the
+    // stream instead of handing out a truncated prefix as if complete.
+    if (guard_ != nullptr && guard_->Tripped()) return false;
     if (parallel_pos_ >= parallel_buf_.size()) return false;
     *out = std::move(parallel_buf_[parallel_pos_++]);
     ++matches_emitted_;
-    cells_emitted_ += CountCells(*out);
+    uint64_t cells = CountCells(*out);
+    cells_emitted_ += cells;
+    // Cell charging happens at handout (main thread, identical order at
+    // every thread count) so the budget verdict is deterministic.
+    if (guard_ != nullptr &&
+        !guard_->ChargeCells(cells, cells * sizeof(nestedlist::Entry))) {
+      return false;
+    }
     return true;
   }
   while (cursor_ <= range_end_ &&
          static_cast<size_t>(cursor_) < doc_->NumNodes()) {
+    if (guard_ != nullptr &&
+        (guard_->Tripped() ||
+         ((nodes_scanned_ & 0x1FF) == 0x1FF && !guard_->Check()))) {
+      return false;
+    }
     xml::NodeId x = cursor_++;
     ++nodes_scanned_;
     uint64_t cmp_before = ValueComparisonCount();
     bool matched = matcher_.RootTest(x) && matcher_.MatchAt(x, out);
     value_cmps_ += ValueComparisonCount() - cmp_before;
     if (matched) {
+      if (guard_ != nullptr && guard_->Tripped()) return false;
       ++matches_emitted_;
-      cells_emitted_ += CountCells(*out);
+      uint64_t cells = CountCells(*out);
+      cells_emitted_ += cells;
+      if (guard_ != nullptr &&
+          !guard_->ChargeCells(cells, cells * sizeof(nestedlist::Entry))) {
+        return false;
+      }
       return true;
     }
   }

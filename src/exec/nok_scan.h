@@ -8,6 +8,7 @@
 #include "nestedlist/nested_list.h"
 #include "pattern/decompose.h"
 #include "storage/page_store.h"
+#include "util/resource_guard.h"
 #include "util/thread_pool.h"
 #include "xml/document.h"
 
@@ -43,6 +44,12 @@ class NokMatcher {
   /// work metric for the ablation benches).
   uint64_t MatchWork() const { return match_work_; }
 
+  /// \brief Attaches a resource guard: MatchVertex samples it every ~1k
+  /// work units (DESIGN.md §9) so a deadline fires even inside one deep
+  /// recursive match. After a trip MatchAt returns false; its partial
+  /// output is garbage and callers must consult guard->status().
+  void set_guard(util::ResourceGuard* guard) { guard_ = guard; }
+
  private:
   struct LocalVertex {
     pattern::VertexId vertex;
@@ -66,6 +73,7 @@ class NokMatcher {
   std::vector<LocalVertex> locals_;  ///< locals_[0] is the NoK root.
   std::vector<pattern::SlotId> top_slots_;
   uint64_t match_work_ = 0;
+  util::ResourceGuard* guard_ = nullptr;
 };
 
 /// \brief Sequential-scan driver (paper §3.3's "sequential scan of the XML
@@ -85,9 +93,14 @@ class NokScanOperator : public NestedListOperator {
  public:
   /// \param pool optional worker pool; nullptr (or a restricted range)
   ///        selects the exact serial scan.
+  /// \param guard optional per-query resource guard, sampled at batch
+  ///        boundaries (every ~512 nodes, per partition in parallel mode)
+  ///        and charged for every emitted NestedList cell; once tripped the
+  ///        stream ends early and the caller must check guard->status().
   NokScanOperator(const xml::Document* doc, const pattern::BlossomTree* tree,
                   const pattern::NokTree* nok,
-                  util::ThreadPool* pool = nullptr);
+                  util::ThreadPool* pool = nullptr,
+                  util::ResourceGuard* guard = nullptr);
 
   const std::vector<pattern::SlotId>& top_slots() const override {
     return matcher_.top_slots();
@@ -149,6 +162,7 @@ class NokScanOperator : public NestedListOperator {
   uint64_t wall_nanos_ = 0;
 
   util::ThreadPool* pool_;
+  util::ResourceGuard* guard_;
   bool parallel_done_ = false;
   std::vector<nestedlist::NestedList> parallel_buf_;
   size_t parallel_pos_ = 0;

@@ -15,10 +15,18 @@ template <typename Emit>
 void MergeRange(const xml::Document& doc,
                 const std::vector<xml::NodeId>& ancestors, size_t abegin,
                 size_t aend, const std::vector<xml::NodeId>& descendants,
-                size_t dbegin, size_t dend, Emit&& emit) {
+                size_t dbegin, size_t dend, Emit&& emit,
+                util::ResourceGuard* guard = nullptr) {
   std::vector<xml::NodeId> stack;
   size_t ai = abegin;
   for (size_t di = dbegin; di < dend; ++di) {
+    // Batch-boundary guard sample (DESIGN.md §9), ~every 2k descendants:
+    // a tripped guard abandons the rest of this range — the caller must
+    // treat the output as garbage and consult guard->status().
+    if (guard != nullptr && ((di - dbegin) & 0x7FF) == 0x7FF &&
+        !guard->Check()) {
+      return;
+    }
     xml::NodeId d = descendants[di];
     // Pop ancestors whose subtree ended before d.
     while (!stack.empty() && doc.SubtreeEnd(stack.back()) < d) {
@@ -115,8 +123,8 @@ template <typename MakeEmit>
 void ForestJoin(const xml::Document& doc,
                 const std::vector<xml::NodeId>& ancestors,
                 const std::vector<xml::NodeId>& descendants,
-                util::ThreadPool* pool, size_t* num_chunks,
-                MakeEmit&& make_emit) {
+                util::ThreadPool* pool, util::ResourceGuard* guard,
+                size_t* num_chunks, MakeEmit&& make_emit) {
   size_t want = pool != nullptr ? pool->NumThreads() : 1;
   std::vector<ForestChunk> chunks =
       ChunkOuterForest(doc, ancestors, descendants, want);
@@ -128,12 +136,15 @@ void ForestJoin(const xml::Document& doc,
   auto run = [&](size_t i) {
     const ForestChunk& c = chunks[i];
     MergeRange(doc, ancestors, c.anc_begin, c.anc_end, descendants,
-               c.desc_begin, c.desc_end, emits[i]);
+               c.desc_begin, c.desc_end, emits[i], guard);
   };
   if (pool != nullptr && chunks.size() > 1) {
-    pool->ParallelFor(chunks.size(), run);
+    pool->ParallelFor(chunks.size(), run, guard);
   } else {
-    for (size_t i = 0; i < chunks.size(); ++i) run(i);
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      if (guard != nullptr && !guard->Check()) break;
+      run(i);
+    }
   }
 }
 
@@ -170,10 +181,10 @@ std::vector<T> Concat(std::vector<std::vector<T>> parts) {
 std::vector<AncDescPair> StackStructuralJoin(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
     const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool,
-    StructuralJoinStats* stats) {
+    StructuralJoinStats* stats, util::ResourceGuard* guard) {
   size_t n = 0;
   std::vector<std::vector<AncDescPair>> parts;
-  ForestJoin(doc, ancestors, descendants, pool, &n, [&](size_t i) {
+  ForestJoin(doc, ancestors, descendants, pool, guard, &n, [&](size_t i) {
     if (parts.empty()) parts.resize(n);
     return [&parts, i](xml::NodeId a, xml::NodeId d) {
       parts[i].push_back({a, d});
@@ -186,10 +197,10 @@ std::vector<AncDescPair> StackStructuralJoin(
 std::vector<AncDescPair> StackStructuralJoinParentChild(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
     const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool,
-    StructuralJoinStats* stats) {
+    StructuralJoinStats* stats, util::ResourceGuard* guard) {
   size_t n = 0;
   std::vector<std::vector<AncDescPair>> parts;
-  ForestJoin(doc, ancestors, descendants, pool, &n, [&](size_t i) {
+  ForestJoin(doc, ancestors, descendants, pool, guard, &n, [&](size_t i) {
     if (parts.empty()) parts.resize(n);
     return [&parts, i, &doc](xml::NodeId a, xml::NodeId d) {
       if (doc.Level(d) == doc.Level(a) + 1) parts[i].push_back({a, d});
@@ -202,13 +213,13 @@ std::vector<AncDescPair> StackStructuralJoinParentChild(
 std::vector<xml::NodeId> DescendantsWithAncestor(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
     const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool,
-    StructuralJoinStats* stats) {
+    StructuralJoinStats* stats, util::ResourceGuard* guard) {
   size_t n = 0;
   std::vector<std::vector<xml::NodeId>> parts;
   // The `last` dedup is chunk-local; a descendant's pairs all emit in one
   // chunk, so no duplicate survives the concatenation.
   std::vector<xml::NodeId> last;
-  ForestJoin(doc, ancestors, descendants, pool, &n, [&](size_t i) {
+  ForestJoin(doc, ancestors, descendants, pool, guard, &n, [&](size_t i) {
     if (parts.empty()) {
       parts.resize(n);
       last.assign(n, xml::kNullNode);
@@ -227,10 +238,10 @@ std::vector<xml::NodeId> DescendantsWithAncestor(
 std::vector<xml::NodeId> AncestorsWithDescendant(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
     const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool,
-    StructuralJoinStats* stats) {
+    StructuralJoinStats* stats, util::ResourceGuard* guard) {
   size_t n = 0;
   std::vector<std::vector<xml::NodeId>> parts;
-  ForestJoin(doc, ancestors, descendants, pool, &n, [&](size_t i) {
+  ForestJoin(doc, ancestors, descendants, pool, guard, &n, [&](size_t i) {
     if (parts.empty()) parts.resize(n);
     return [&parts, i](xml::NodeId a, xml::NodeId) {
       parts[i].push_back(a);
@@ -246,11 +257,11 @@ std::vector<xml::NodeId> AncestorsWithDescendant(
 std::vector<xml::NodeId> ChildrenWithParent(
     const xml::Document& doc, const std::vector<xml::NodeId>& parents,
     const std::vector<xml::NodeId>& children, util::ThreadPool* pool,
-    StructuralJoinStats* stats) {
+    StructuralJoinStats* stats, util::ResourceGuard* guard) {
   size_t n = 0;
   std::vector<std::vector<xml::NodeId>> parts;
   std::vector<xml::NodeId> last;
-  ForestJoin(doc, parents, children, pool, &n, [&](size_t i) {
+  ForestJoin(doc, parents, children, pool, guard, &n, [&](size_t i) {
     if (parts.empty()) {
       parts.resize(n);
       last.assign(n, xml::kNullNode);
@@ -269,10 +280,10 @@ std::vector<xml::NodeId> ChildrenWithParent(
 std::vector<xml::NodeId> ParentsWithChild(
     const xml::Document& doc, const std::vector<xml::NodeId>& parents,
     const std::vector<xml::NodeId>& children, util::ThreadPool* pool,
-    StructuralJoinStats* stats) {
+    StructuralJoinStats* stats, util::ResourceGuard* guard) {
   size_t n = 0;
   std::vector<std::vector<xml::NodeId>> parts;
-  ForestJoin(doc, parents, children, pool, &n, [&](size_t i) {
+  ForestJoin(doc, parents, children, pool, guard, &n, [&](size_t i) {
     if (parts.empty()) parts.resize(n);
     return [&parts, i, &doc](xml::NodeId a, xml::NodeId d) {
       if (doc.Level(d) == doc.Level(a) + 1) parts[i].push_back(a);

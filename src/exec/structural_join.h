@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/resource_guard.h"
 #include "util/thread_pool.h"
 #include "xml/document.h"
 
@@ -54,7 +55,8 @@ std::vector<AncDescPair> StackStructuralJoin(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
     const std::vector<xml::NodeId>& descendants,
     util::ThreadPool* pool = nullptr,
-    StructuralJoinStats* stats = nullptr);
+    StructuralJoinStats* stats = nullptr,
+    util::ResourceGuard* guard = nullptr);
 
 /// \brief Parent-child variant: keeps only pairs with level(desc) ==
 /// level(anc) + 1.
@@ -62,7 +64,8 @@ std::vector<AncDescPair> StackStructuralJoinParentChild(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
     const std::vector<xml::NodeId>& descendants,
     util::ThreadPool* pool = nullptr,
-    StructuralJoinStats* stats = nullptr);
+    StructuralJoinStats* stats = nullptr,
+    util::ResourceGuard* guard = nullptr);
 
 /// \brief Semi-join forms used by existential predicates: the descendants
 /// that have some ancestor in `ancestors` (document order preserved), and
@@ -71,24 +74,28 @@ std::vector<xml::NodeId> DescendantsWithAncestor(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
     const std::vector<xml::NodeId>& descendants,
     util::ThreadPool* pool = nullptr,
-    StructuralJoinStats* stats = nullptr);
+    StructuralJoinStats* stats = nullptr,
+    util::ResourceGuard* guard = nullptr);
 std::vector<xml::NodeId> AncestorsWithDescendant(
     const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
     const std::vector<xml::NodeId>& descendants,
     util::ThreadPool* pool = nullptr,
-    StructuralJoinStats* stats = nullptr);
+    StructuralJoinStats* stats = nullptr,
+    util::ResourceGuard* guard = nullptr);
 
 /// \brief Parent-child semi-join variants (level-filtered).
 std::vector<xml::NodeId> ChildrenWithParent(
     const xml::Document& doc, const std::vector<xml::NodeId>& parents,
     const std::vector<xml::NodeId>& children,
     util::ThreadPool* pool = nullptr,
-    StructuralJoinStats* stats = nullptr);
+    StructuralJoinStats* stats = nullptr,
+    util::ResourceGuard* guard = nullptr);
 std::vector<xml::NodeId> ParentsWithChild(
     const xml::Document& doc, const std::vector<xml::NodeId>& parents,
     const std::vector<xml::NodeId>& children,
     util::ThreadPool* pool = nullptr,
-    StructuralJoinStats* stats = nullptr);
+    StructuralJoinStats* stats = nullptr,
+    util::ResourceGuard* guard = nullptr);
 
 }  // namespace exec
 }  // namespace blossomtree

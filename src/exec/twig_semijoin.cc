@@ -19,8 +19,15 @@ ExecStats ToExecStats(const TwigSemijoinStats& s) {
 
 TwigSemijoin::TwigSemijoin(const xml::Document* doc,
                            const pattern::BlossomTree* tree,
-                           util::ThreadPool* pool)
-    : doc_(doc), tree_(tree), pool_(pool) {}
+                           util::ThreadPool* pool,
+                           util::ResourceGuard* guard)
+    : doc_(doc), tree_(tree), pool_(pool), guard_(guard) {}
+
+Status TwigSemijoin::GuardOk() const {
+  if (guard_ == nullptr) return Status::OK();
+  if (guard_->Check()) return Status::OK();
+  return guard_->status();
+}
 
 Status TwigSemijoin::Validate(VertexId v) const {
   const pattern::Vertex& vx = tree_->vertex(v);
@@ -76,32 +83,38 @@ std::vector<xml::NodeId> TwigSemijoin::Candidates(VertexId v) {
 }
 
 Status TwigSemijoin::BottomUp(VertexId v) {
+  // Batch boundary (DESIGN.md §9): one guard check per candidate load /
+  // per-edge semijoin; the joins themselves sample the guard inside long
+  // merges.
+  BT_RETURN_NOT_OK(GuardOk());
   candidates_[v] = Candidates(v);
   for (VertexId c : tree_->vertex(v).children) {
     BT_RETURN_NOT_OK(BottomUp(c));
     const pattern::Vertex& cx = tree_->vertex(c);
     if (cx.mode == pattern::EdgeMode::kLet) continue;  // Optional edge.
+    BT_RETURN_NOT_OK(GuardOk());
     ++stats_.semijoins;
     candidates_[v] =
         cx.axis == xpath::Axis::kChild
             ? ParentsWithChild(*doc_, candidates_[v], candidates_[c], pool_,
-                               &stats_.join)
+                               &stats_.join, guard_)
             : AncestorsWithDescendant(*doc_, candidates_[v], candidates_[c],
-                                      pool_, &stats_.join);
+                                      pool_, &stats_.join, guard_);
   }
   return Status::OK();
 }
 
 void TwigSemijoin::TopDown(VertexId v) {
   for (VertexId c : tree_->vertex(v).children) {
+    if (guard_ != nullptr && !guard_->Check()) return;
     const pattern::Vertex& cx = tree_->vertex(c);
     ++stats_.semijoins;
     candidates_[c] =
         cx.axis == xpath::Axis::kChild
             ? ChildrenWithParent(*doc_, candidates_[v], candidates_[c],
-                                 pool_, &stats_.join)
+                                 pool_, &stats_.join, guard_)
             : DescendantsWithAncestor(*doc_, candidates_[v], candidates_[c],
-                                      pool_, &stats_.join);
+                                      pool_, &stats_.join, guard_);
     TopDown(c);
   }
 }
@@ -133,8 +146,11 @@ Status TwigSemijoin::Run(VertexId result_vertex,
   // elimination).
   BT_RETURN_NOT_OK(BottomUp(qroot));
   TopDown(qroot);
-  *result = candidates_[result_vertex];
   stats_.value_cmps += ValueComparisonCount() - cmp_before;
+  // A trip anywhere above leaves partial candidate lists: surface the
+  // guard's status instead of a truncated result.
+  if (guard_ != nullptr && guard_->Tripped()) return guard_->status();
+  *result = candidates_[result_vertex];
   return Status::OK();
 }
 

@@ -45,8 +45,12 @@ class TwigSemijoin {
   /// \param pool optional worker pool: each per-edge semijoin then runs
   ///        partitioned over the outer sibling forest (see
   ///        structural_join.h); nullptr keeps the exact serial merges.
+  /// \param guard optional per-query resource guard, checked between
+  ///        candidate loads and per-edge semijoins; a tripped guard makes
+  ///        Run return guard->status() (kResourceExhausted / kCancelled).
   TwigSemijoin(const xml::Document* doc, const pattern::BlossomTree* tree,
-               util::ThreadPool* pool = nullptr);
+               util::ThreadPool* pool = nullptr,
+               util::ResourceGuard* guard = nullptr);
 
   /// \brief Runs the semijoin program; fills `result` with the distinct
   /// document-ordered matches of `result_vertex`.
@@ -56,6 +60,8 @@ class TwigSemijoin {
   const TwigSemijoinStats& stats() const { return stats_; }
 
  private:
+  /// OK while the attached guard (if any) permits further work.
+  Status GuardOk() const;
   Status Validate(pattern::VertexId v) const;
   std::vector<xml::NodeId> Candidates(pattern::VertexId v);
   Status BottomUp(pattern::VertexId v);
@@ -64,6 +70,7 @@ class TwigSemijoin {
   const xml::Document* doc_;
   const pattern::BlossomTree* tree_;
   util::ThreadPool* pool_;
+  util::ResourceGuard* guard_;
   std::vector<std::vector<xml::NodeId>> candidates_;  ///< Per VertexId.
   TwigSemijoinStats stats_;
 };

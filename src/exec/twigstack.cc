@@ -16,8 +16,9 @@ constexpr xml::NodeId kInf = std::numeric_limits<xml::NodeId>::max();
 }  // namespace
 
 TwigStack::TwigStack(const xml::Document* doc,
-                     const pattern::BlossomTree* tree)
-    : doc_(doc), tree_(tree) {}
+                     const pattern::BlossomTree* tree,
+                     util::ResourceGuard* guard)
+    : doc_(doc), tree_(tree), guard_(guard) {}
 
 Status TwigStack::BuildQueryTree() {
   if (tree_->roots().size() != 1) {
@@ -334,6 +335,13 @@ Status TwigStack::Run(VertexId result_vertex,
   BuildStreams();
 
   while (true) {
+    // Batch-boundary guard sample (DESIGN.md §9): full check every ~512
+    // consumed stream elements, cheap probe otherwise.
+    if (guard_ != nullptr &&
+        (guard_->Tripped() ||
+         ((stats_.stream_elements & 0x1FF) == 0x1FF && !guard_->Check()))) {
+      return guard_->status();
+    }
     int qi = GetNextNode(0);
     QNode& q = qnodes_[qi];
     if (HeadEnded(q)) break;

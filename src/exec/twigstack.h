@@ -6,6 +6,7 @@
 
 #include "exec/exec_stats.h"
 #include "pattern/blossom_tree.h"
+#include "util/resource_guard.h"
 #include "util/status.h"
 #include "xml/document.h"
 
@@ -41,7 +42,11 @@ ExecStats ToExecStats(const TwigStackStats& s);
 /// positional predicates, following-sibling).
 class TwigStack {
  public:
-  TwigStack(const xml::Document* doc, const pattern::BlossomTree* tree);
+  /// \param guard optional per-query resource guard, sampled every ~512
+  ///        consumed stream elements in the main loop; a tripped guard
+  ///        makes Run return guard->status().
+  TwigStack(const xml::Document* doc, const pattern::BlossomTree* tree,
+            util::ResourceGuard* guard = nullptr);
 
   /// \brief Runs the join; fills `result` with the distinct document-order
   /// matches of `result_vertex`.
@@ -74,6 +79,7 @@ class TwigStack {
 
   const xml::Document* doc_;
   const pattern::BlossomTree* tree_;
+  util::ResourceGuard* guard_;
   std::vector<QNode> qnodes_;  ///< qnodes_[0] is the query root.
   std::vector<int> leaves_;
   /// Path solutions per leaf: tuples aligned with the root-to-leaf vertex

@@ -36,12 +36,26 @@ bool IsWordChar(char c) {
 
 class QueryParser {
  public:
-  explicit QueryParser(std::string_view input) : input_(input) {}
+  QueryParser(std::string_view input, const util::ParseLimits& limits)
+      : input_(input), limits_(limits) {}
 
   Status Error(const std::string& msg) const {
     return Status::ParseError("FLWOR parse error at offset " +
                               std::to_string(pos_) + ": " + msg);
   }
+
+  /// Bounds the mutual recursion ParseExpr → ParseFlwor → ParseExpr,
+  /// ParseBool → … → ParsePrimary → ParseBool, and ParseConstructor →
+  /// ParseConstructor: without it ~100k-deep inputs like `((((…))))`
+  /// overflow the parser stack.
+  Status EnterNesting() {
+    if (++depth_ > limits_.max_depth) {
+      return Error("nesting depth exceeds limit of " +
+                   std::to_string(limits_.max_depth));
+    }
+    return Status::OK();
+  }
+  void LeaveNesting() { --depth_; }
 
   bool AtEnd() const { return pos_ >= input_.size(); }
   char Peek() const { return AtEnd() ? '\0' : input_[pos_]; }
@@ -91,7 +105,7 @@ class QueryParser {
   Status ParseEmbeddedPath(xpath::PathExpr* out) {
     SkipSpace();
     size_t pos = pos_;
-    auto r = xpath::ParsePathPrefix(input_, &pos);
+    auto r = xpath::ParsePathPrefix(input_, &pos, limits_.max_depth);
     if (!r.ok()) return r.status();
     pos_ = pos;
     *out = r.MoveValue();
@@ -99,6 +113,13 @@ class QueryParser {
   }
 
   Status ParseExpr(std::unique_ptr<Expr>* out) {
+    BT_RETURN_NOT_OK(EnterNesting());
+    Status st = ParseExprNoGuard(out);
+    LeaveNesting();
+    return st;
+  }
+
+  Status ParseExprNoGuard(std::unique_ptr<Expr>* out) {
     SkipSpace();
     auto expr = std::make_unique<Expr>();
     if (Peek() == '<' && PeekAt(1) != '/') {
@@ -181,6 +202,13 @@ class QueryParser {
   }
 
   Status ParseBool(std::unique_ptr<BoolExpr>* out) {
+    BT_RETURN_NOT_OK(EnterNesting());
+    Status st = ParseBoolNoGuard(out);
+    LeaveNesting();
+    return st;
+  }
+
+  Status ParseBoolNoGuard(std::unique_ptr<BoolExpr>* out) {
     BT_RETURN_NOT_OK(ParseAnd(out));
     while (PeekKeyword("or")) {
       ConsumeKeyword("or");
@@ -336,6 +364,13 @@ class QueryParser {
   }
 
   Status ParseConstructor(Constructor* out) {
+    BT_RETURN_NOT_OK(EnterNesting());
+    Status st = ParseConstructorNoGuard(out);
+    LeaveNesting();
+    return st;
+  }
+
+  Status ParseConstructorNoGuard(Constructor* out) {
     // Cursor at '<'.
     ++pos_;
     size_t start = pos_;
@@ -415,13 +450,21 @@ class QueryParser {
   }
 
   std::string_view input_;
+  util::ParseLimits limits_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace
 
-Result<std::unique_ptr<Expr>> ParseQuery(std::string_view input) {
-  QueryParser parser(input);
+Result<std::unique_ptr<Expr>> ParseQuery(std::string_view input,
+                                         const util::ParseLimits& limits) {
+  if (input.size() > limits.max_input_bytes) {
+    return Status::ResourceExhausted(
+        "query of " + std::to_string(input.size()) +
+        " bytes exceeds limit of " + std::to_string(limits.max_input_bytes));
+  }
+  QueryParser parser(input, limits);
   std::unique_ptr<Expr> out;
   BT_RETURN_NOT_OK(parser.ParseWholeQuery(&out));
   return out;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string_view>
 
+#include "util/resource_guard.h"
 #include "util/status.h"
 #include "flwor/ast.h"
 
@@ -26,7 +27,12 @@ namespace flwor {
 ///   Op        ::= Path | StringLiteral | Number
 ///   Constructor ::= '<' Name Attr* '>' (Text | '{' Expr '}' | Constructor)*
 ///                   '</' Name '>'
-Result<std::unique_ptr<Expr>> ParseQuery(std::string_view input);
+///
+/// `limits` bounds the recursion depth (expression / boolean / constructor
+/// nesting) and the input size; exceeding either returns a ParseError /
+/// ResourceExhausted instead of overflowing the stack.
+Result<std::unique_ptr<Expr>> ParseQuery(std::string_view input,
+                                         const util::ParseLimits& limits = {});
 
 }  // namespace flwor
 }  // namespace blossomtree

@@ -75,7 +75,8 @@ class TreePlanner {
               exec::MergedNokScan* merged,
               const std::vector<int>* merged_index, PatternTreePlan* plan,
               bool* used_pipelined, bool* used_bnlj,
-              util::ThreadPool* pool, const CostModel* cost)
+              util::ThreadPool* pool, util::ResourceGuard* guard,
+              const CostModel* cost)
       : doc_(doc),
         tree_(tree),
         decomp_(decomp),
@@ -86,6 +87,7 @@ class TreePlanner {
         used_pipelined_(used_pipelined),
         used_bnlj_(used_bnlj),
         pool_(pool),
+        guard_(guard),
         cost_(cost) {}
 
   /// True when matches of `v`'s tag can never nest — the precondition for
@@ -130,7 +132,7 @@ class TreePlanner {
       plan_->explain += "MergedNokView(" + NokLabel(nok_index) + ")\n";
     } else {
       auto scan = std::make_unique<NokScanOperator>(
-          doc_, tree_, &decomp_->noks[nok_index], pool_);
+          doc_, tree_, &decomp_->noks[nok_index], pool_, guard_);
       plan_->scans.push_back(scan.get());
       scan->set_label("NokScan(" + NokLabel(nok_index) + ")");
       Indent(depth);
@@ -173,11 +175,12 @@ class TreePlanner {
                                tree_->vertex(c.to).tag + ")";
       if (join == JoinStrategy::kPipelined) {
         op = std::make_unique<exec::PipelinedDescJoin>(
-            doc_, tree_, std::move(op), std::move(inner), from_slot, c.mode);
+            doc_, tree_, std::move(op), std::move(inner), from_slot, c.mode,
+            guard_);
       } else {
         op = std::make_unique<exec::BoundedNestedLoopJoin>(
             doc_, tree_, std::move(op), std::move(inner), from_slot, c.mode,
-            /*bounded=*/join != JoinStrategy::kNaiveNestedLoop);
+            /*bounded=*/join != JoinStrategy::kNaiveNestedLoop, guard_);
       }
       op->set_label(std::move(join_label));
       if (cost_ != nullptr) {
@@ -224,6 +227,7 @@ class TreePlanner {
   bool* used_pipelined_;
   bool* used_bnlj_;
   util::ThreadPool* pool_;
+  util::ResourceGuard* guard_;
   const CostModel* cost_;
 };
 
@@ -335,8 +339,14 @@ Result<QueryPlan> PlanQuery(const xml::Document* doc,
       noks.push_back(&d.noks[i]);
     }
     merged = std::make_unique<exec::MergedNokScan>(doc, tree,
-                                                   std::move(noks));
+                                                   std::move(noks),
+                                                   options.guard);
     merged->Run();
+    // A trip during the eager merged scan leaves partial match lists;
+    // surface it now rather than handing out a truncated plan.
+    if (options.guard != nullptr && options.guard->Tripped()) {
+      return options.guard->status();
+    }
   }
 
   bool used_pipelined = false;
@@ -349,7 +359,7 @@ Result<QueryPlan> PlanQuery(const xml::Document* doc,
     PatternTreePlan tp;
     TreePlanner builder(doc, tree, &plan.decomposition, strategy,
                         merged.get(), &merged_index, &tp, &used_pipelined,
-                        &used_bnlj, options.pool, cost.get());
+                        &used_bnlj, options.pool, options.guard, cost.get());
     BT_ASSIGN_OR_RETURN(tp.root, builder.Build(base, 1));
     tp.tops = tp.root->top_slots();
     plan.trees.push_back(std::move(tp));
@@ -385,6 +395,11 @@ Result<std::vector<xml::NodeId>> EvaluatePathQuery(
   while (tp.root->GetNext(&nl)) {
     auto part = nestedlist::Project(*tree, tp.tops, nl, result);
     out.insert(out.end(), part.begin(), part.end());
+  }
+  // Operators end their streams early when the guard trips; distinguish
+  // that from genuine exhaustion before claiming a complete result.
+  if (options.guard != nullptr && options.guard->Tripped()) {
+    return options.guard->status();
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());

@@ -10,6 +10,7 @@
 #include "exec/nok_scan.h"
 #include "exec/operator.h"
 #include "pattern/decompose.h"
+#include "util/resource_guard.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -38,6 +39,11 @@ struct PlanOptions {
   /// full-document NoK scans run partitioned across it. nullptr = serial
   /// plan, bitwise-identical results either way.
   util::ThreadPool* pool = nullptr;
+  /// Per-query resource guard (borrowed, not owned): when set, every
+  /// physical operator in the plan samples it at batch boundaries and ends
+  /// its stream early once it trips (DESIGN.md §9). Callers must check
+  /// guard->status() after draining the plan; nullptr = ungoverned.
+  util::ResourceGuard* guard = nullptr;
   /// Annotate every operator with a CostModel cardinality estimate (for
   /// EXPLAIN ANALYZE's est-vs-actual and the calibration check). Off by
   /// default: building the model forces tag-index construction, which would

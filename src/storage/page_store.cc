@@ -53,12 +53,17 @@ std::vector<NodeRange> PageStore::Partition(size_t max_partitions) const {
   if (!records_.empty()) {
     cuts.push_back(0);
     // Children of the root are the level-1 records; each one's subtree_end
-    // jumps to the next.
-    xml::NodeId c = records_[0].subtree_end > 0 ? 1 : xml::kNullNode;
-    while (c != xml::kNullNode) {
+    // jumps to the next. A store built from an empty or failed document can
+    // carry a root whose subtree_end points past the record array, so every
+    // index is bounds-checked: out-of-range walks terminate (yielding the
+    // single whole-store range) instead of reading out of bounds.
+    xml::NodeId c = (records_[0].subtree_end > 0 && records_.size() > 1)
+                        ? 1
+                        : xml::kNullNode;
+    while (c != xml::kNullNode && c < records_.size()) {
       cuts.push_back(c);
       xml::NodeId next = records_[c].subtree_end + 1;
-      c = (next < records_.size() && records_[next].level == 1)
+      c = (next > c && next < records_.size() && records_[next].level == 1)
               ? next
               : xml::kNullNode;
     }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation inside the library.
   kIOError,           ///< Filesystem-level failure.
   kResourceExhausted, ///< A configured limit (memory, DNF time) was hit.
+  kCancelled,         ///< The caller cancelled the operation cooperatively.
 };
 
 /// \brief Human-readable name of a status code (e.g. "ParseError").
@@ -63,6 +64,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

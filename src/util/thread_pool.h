@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/resource_guard.h"
+
 namespace blossomtree {
 namespace util {
 
@@ -46,12 +48,21 @@ class ThreadPool {
   /// \brief Runs fn(0) .. fn(n-1) on the pool and blocks until all have
   /// finished. The first exception thrown by any iteration is rethrown
   /// after every iteration has completed.
+  ///
+  /// With a non-null `guard`, each worker re-checks the guard before
+  /// starting its iteration and skips the body once the guard has tripped
+  /// (queued-but-unstarted work is abandoned, in-flight iterations finish
+  /// cooperatively). The caller must treat any output produced after a trip
+  /// as garbage — check guard->status() after ParallelFor returns.
   template <typename Fn>
-  void ParallelFor(size_t n, Fn&& fn) {
+  void ParallelFor(size_t n, Fn&& fn, ResourceGuard* guard = nullptr) {
     std::vector<std::future<void>> futures;
     futures.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-      futures.push_back(Submit([&fn, i] { fn(i); }));
+      futures.push_back(Submit([&fn, i, guard] {
+        if (guard != nullptr && !guard->Check()) return;
+        fn(i);
+      }));
     }
     std::exception_ptr first;
     for (std::future<void>& f : futures) {

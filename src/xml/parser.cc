@@ -116,6 +116,11 @@ Status DecodeText(Cursor* c, std::string_view raw, std::string* out) {
             return c->Error("bad hex character reference");
           }
           cp = cp * 16 + d;
+          // Bail inside the loop: a long digit run like &#xFFFF…F; would
+          // otherwise overflow the accumulator (signed overflow is UB).
+          if (cp > 0x10FFFF) {
+            return c->Error("bad character reference");
+          }
         }
       } else {
         cp = ParseNonNegativeInt(ent.substr(1));
@@ -183,15 +188,23 @@ Status SkipPI(Cursor* c) {
 }
 
 Status SkipDoctype(Cursor* c) {
-  // Cursor is just past "<!DOCTYPE". Skip until matching '>', allowing one
-  // level of internal subset brackets.
+  // Cursor is just past "<!DOCTYPE". Skip until the matching '>', tracking
+  // internal-subset brackets and quoted literals: a '>' inside a SYSTEM/
+  // PUBLIC literal ("a>b") must not terminate the declaration, and a stray
+  // ']' must not drive the depth negative (which would make the real
+  // closing '>' unmatchable and misreport valid input as unterminated).
   int bracket_depth = 0;
+  char quote = 0;
   while (!c->AtEnd()) {
     char ch = c->Peek();
-    if (ch == '[') {
+    if (quote != 0) {
+      if (ch == quote) quote = 0;
+    } else if (ch == '"' || ch == '\'') {
+      quote = ch;
+    } else if (ch == '[') {
       ++bracket_depth;
     } else if (ch == ']') {
-      --bracket_depth;
+      if (bracket_depth > 0) --bracket_depth;
     } else if (ch == '>' && bracket_depth == 0) {
       c->Advance();
       return Status::OK();
@@ -238,6 +251,11 @@ Status ParseAttributes(Cursor* c, SaxHandler* handler) {
 
 Status ParseXml(std::string_view input, SaxHandler* handler,
                 const ParseOptions& options) {
+  if (input.size() > options.max_input_bytes) {
+    return Status::ResourceExhausted(
+        "XML input of " + std::to_string(input.size()) +
+        " bytes exceeds limit of " + std::to_string(options.max_input_bytes));
+  }
   Cursor c(input);
   std::vector<std::string> open;  // Tag names for well-formedness checking.
   bool seen_root = false;
@@ -344,6 +362,11 @@ Status ParseXml(std::string_view input, SaxHandler* handler,
     }
     c.Advance();  // '>'
     open.emplace_back(name);
+    if (open.size() > options.max_depth) {
+      return Status::ResourceExhausted(
+          "element nesting depth exceeds limit of " +
+          std::to_string(options.max_depth));
+    }
   }
   if (!open.empty()) {
     return c.Error("unclosed element <" + open.back() + ">");

@@ -1,6 +1,8 @@
 #ifndef BLOSSOMTREE_XML_PARSER_H_
 #define BLOSSOMTREE_XML_PARSER_H_
 
+#include <cstddef>
+#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -19,6 +21,14 @@ struct ParseOptions {
   /// Keep XML comments/processing instructions? (They are always skipped from
   /// the tree; this flag only controls whether they are a parse error.)
   bool allow_misc = true;
+  /// Maximum element-nesting depth. The parser is iterative (no stack-
+  /// overflow risk), but each open element costs heap for the
+  /// well-formedness stack and one Document node, so pathological inputs
+  /// like 10M nested `<a>` are rejected with ResourceExhausted.
+  size_t max_depth = 10000;
+  /// Maximum input size in bytes; exceeding it returns ResourceExhausted
+  /// before any parsing work.
+  size_t max_input_bytes = std::numeric_limits<size_t>::max();
 };
 
 /// \brief Receives parse events in document order (SAX-style).
@@ -40,7 +50,8 @@ class SaxHandler {
 /// Supports: one root element, attributes, character data, the five
 /// predefined entities plus numeric character references, CDATA sections,
 /// comments, processing instructions, an XML declaration, and a DOCTYPE
-/// declaration (skipped, internal subsets without nested brackets).
+/// declaration (skipped, including bracketed internal subsets and quoted
+/// system/public literals).
 /// Reports errors with 1-based line/column positions.
 Status ParseXml(std::string_view input, SaxHandler* handler,
                 const ParseOptions& options = {});

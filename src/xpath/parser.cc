@@ -20,8 +20,8 @@ bool IsNameChar(char c) {
 /// Recursive-descent parser over a flat character buffer.
 class PathParser {
  public:
-  explicit PathParser(std::string_view input, size_t pos)
-      : input_(input), pos_(pos) {}
+  PathParser(std::string_view input, size_t pos, size_t max_depth)
+      : input_(input), pos_(pos), max_depth_(max_depth) {}
 
   size_t pos() const { return pos_; }
 
@@ -204,6 +204,20 @@ class PathParser {
   }
 
   Status ParsePredicate(Predicate* out) {
+    // The only recursion cycle in this parser runs through predicates
+    // (ParsePredicate → ParsePathExpr → ParseOneStep → ParsePredicate), so
+    // guarding the depth here bounds the whole parse: `a[a[a[…]]]` at
+    // ~100k levels would otherwise overflow the stack.
+    if (++depth_ > max_depth_) {
+      return Error("predicate nesting depth exceeds limit of " +
+                   std::to_string(max_depth_));
+    }
+    Status st = ParsePredicateNoGuard(out);
+    --depth_;
+    return st;
+  }
+
+  Status ParsePredicateNoGuard(Predicate* out) {
     ++pos_;  // '['
     SkipSpace();
     if (std::isdigit(static_cast<unsigned char>(Peek()))) {
@@ -282,13 +296,15 @@ class PathParser {
  private:
   std::string_view input_;
   size_t pos_;
+  size_t max_depth_;
+  size_t depth_ = 0;
 };
 
 }  // namespace
 
-Result<PathExpr> ParsePath(std::string_view input) {
+Result<PathExpr> ParsePath(std::string_view input, size_t max_depth) {
   size_t pos = 0;
-  BT_ASSIGN_OR_RETURN(PathExpr path, ParsePathPrefix(input, &pos));
+  BT_ASSIGN_OR_RETURN(PathExpr path, ParsePathPrefix(input, &pos, max_depth));
   while (pos < input.size() &&
          std::isspace(static_cast<unsigned char>(input[pos]))) {
     ++pos;
@@ -301,8 +317,9 @@ Result<PathExpr> ParsePath(std::string_view input) {
   return path;
 }
 
-Result<PathExpr> ParsePathPrefix(std::string_view input, size_t* pos) {
-  PathParser parser(input, *pos);
+Result<PathExpr> ParsePathPrefix(std::string_view input, size_t* pos,
+                                 size_t max_depth) {
+  PathParser parser(input, *pos, max_depth);
   PathExpr path;
   Status st = parser.ParsePathExpr(&path, /*inside_predicate=*/false);
   if (!st.ok()) return st;

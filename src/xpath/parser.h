@@ -1,8 +1,10 @@
 #ifndef BLOSSOMTREE_XPATH_PARSER_H_
 #define BLOSSOMTREE_XPATH_PARSER_H_
 
+#include <cstddef>
 #include <string_view>
 
+#include "util/resource_guard.h"
 #include "util/status.h"
 #include "xpath/ast.h"
 
@@ -15,7 +17,11 @@ namespace xpath {
 /// Accepted forms (paper §3.1 and the Appendix A test queries):
 ///   /a/b[c/d = "x"]//e   //a[2]/b[.="v"]   doc("bib.xml")//book/title
 ///   $v/author            .//name           following-sibling::b
-Result<PathExpr> ParsePath(std::string_view input);
+///
+/// `max_depth` caps predicate-nesting recursion (`a[a[a[…]]]`); deeper
+/// inputs return a ParseError instead of overflowing the stack.
+Result<PathExpr> ParsePath(std::string_view input,
+                           size_t max_depth = util::kDefaultMaxParseDepth);
 
 /// \brief Parses the longest path expression starting at `*pos` and leaves
 /// `*pos` just past it. Used by the FLWOR parser, whose grammar embeds paths
@@ -23,7 +29,9 @@ Result<PathExpr> ParsePath(std::string_view input);
 ///
 /// Stops (without error) at top-level whitespace, ',', '{', '}', ')',
 /// comparison characters and end of input.
-Result<PathExpr> ParsePathPrefix(std::string_view input, size_t* pos);
+Result<PathExpr> ParsePathPrefix(std::string_view input, size_t* pos,
+                                 size_t max_depth =
+                                     util::kDefaultMaxParseDepth);
 
 }  // namespace xpath
 }  // namespace blossomtree

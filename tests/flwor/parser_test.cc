@@ -215,6 +215,40 @@ TEST(FlworParserTest, ErrorWhereWithoutComparison) {
   EXPECT_FALSE(ParseQuery("for $x in //a where return $x").ok());
 }
 
+// Regression (fuzz corpus: flwor/deep_parens.txt): ~100k-deep nesting once
+// recursed ParseBool/ParsePrimary off the stack; the depth guard now
+// rejects it with a clean error.
+TEST(FlworParserTest, DeeplyNestedParensRejectedNotCrash) {
+  const size_t kDepth = 100'000;
+  std::string q = "for $x in /a where ";
+  q.append(kDepth, '(');
+  q += "$x = \"1\"";
+  q.append(kDepth, ')');
+  q += " return $x";
+  auto r = ParseQuery(q);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("depth"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(FlworParserTest, NestingWithinDepthLimitParses) {
+  std::string q = "for $x in /a where ";
+  q.append(50, '(');
+  q += "$x = \"1\"";
+  q.append(50, ')');
+  q += " return $x";
+  auto r = ParseQuery(q);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(FlworParserTest, InputSizeLimitRejectsOversizedQuery) {
+  util::ParseLimits limits;
+  limits.max_input_bytes = 8;
+  auto r = ParseQuery("for $x in /a return $x", limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
 }  // namespace
 }  // namespace flwor
 }  // namespace blossomtree

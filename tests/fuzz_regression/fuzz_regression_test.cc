@@ -1,0 +1,153 @@
+// Replays the checked-in fuzz crash corpus (fuzz/regressions/) through the
+// same entry points the libFuzzer harnesses drive, on every toolchain — the
+// fuzzers themselves are Clang-only, but a crash must stay fixed everywhere.
+// Each input once crashed, hung, or invoked UB; the assertions pin the clean
+// behavior that replaced it.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "flwor/parser.h"
+#include "util/resource_guard.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<fs::path> InputsIn(const std::string& subdir) {
+  fs::path dir = fs::path(BLOSSOMTREE_FUZZ_DIR) / "regressions" / subdir;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// Mirror of the harness configurations in fuzz/*.cc.
+xml::ParseOptions XmlFuzzOptions() {
+  xml::ParseOptions options;
+  options.max_depth = 512;
+  options.max_input_bytes = 1 << 20;
+  return options;
+}
+
+util::ParseLimits QueryFuzzLimits() {
+  util::ParseLimits limits;
+  limits.max_depth = 256;
+  limits.max_input_bytes = 1 << 20;
+  return limits;
+}
+
+TEST(FuzzRegressionTest, CorpusIsNonEmpty) {
+  EXPECT_FALSE(InputsIn("xml").empty());
+  EXPECT_FALSE(InputsIn("xpath").empty());
+  EXPECT_FALSE(InputsIn("flwor").empty());
+}
+
+// Every input must come back with a Status — OK or error — and never crash.
+TEST(FuzzRegressionTest, ReplayAllXmlInputs) {
+  for (const fs::path& p : InputsIn("xml")) {
+    SCOPED_TRACE(p.filename().string());
+    auto doc = xml::ParseDocument(ReadFile(p), XmlFuzzOptions());
+    if (doc.ok()) {
+      EXPECT_GE(doc.value()->NumNodes(), 1u);
+    }
+  }
+}
+
+TEST(FuzzRegressionTest, ReplayAllXpathInputs) {
+  for (const fs::path& p : InputsIn("xpath")) {
+    SCOPED_TRACE(p.filename().string());
+    auto path = xpath::ParsePath(ReadFile(p), /*max_depth=*/256);
+    if (path.ok()) {
+      EXPECT_FALSE(path.value().ToString().empty());
+    }
+  }
+}
+
+TEST(FuzzRegressionTest, ReplayAllFlworInputs) {
+  for (const fs::path& p : InputsIn("flwor")) {
+    SCOPED_TRACE(p.filename().string());
+    auto expr = flwor::ParseQuery(ReadFile(p), QueryFuzzLimits());
+    (void)expr;
+  }
+}
+
+// A stray ']' in the internal subset once drove the bracket counter
+// negative, so the following '>' never terminated the DOCTYPE and parsing
+// ran off the end of the declaration.
+TEST(FuzzRegressionTest, DoctypeStrayBracketParses) {
+  auto doc = xml::ParseDocument(
+      ReadFile(fs::path(BLOSSOMTREE_FUZZ_DIR) /
+               "regressions/xml/doctype_stray_bracket.xml"),
+      XmlFuzzOptions());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value()->NumNodes(), 1u);
+}
+
+// '>' inside a quoted SYSTEM literal once terminated the DOCTYPE early,
+// leaving `b">` to be mis-parsed as content before the root element.
+TEST(FuzzRegressionTest, DoctypeQuotedGtParses) {
+  auto doc = xml::ParseDocument(
+      ReadFile(fs::path(BLOSSOMTREE_FUZZ_DIR) /
+               "regressions/xml/doctype_quoted_gt.xml"),
+      XmlFuzzOptions());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc.value()->NumNodes(), 1u);
+}
+
+// The hex character-reference accumulator once overflowed (signed, UB);
+// now any code point above 0x10FFFF is rejected as soon as it is exceeded.
+TEST(FuzzRegressionTest, HexCharRefOverflowRejected) {
+  auto doc = xml::ParseDocument(
+      ReadFile(fs::path(BLOSSOMTREE_FUZZ_DIR) /
+               "regressions/xml/charref_overflow.xml"),
+      XmlFuzzOptions());
+  EXPECT_FALSE(doc.ok());
+}
+
+TEST(FuzzRegressionTest, DeepXmlNestingResourceExhausted) {
+  auto doc = xml::ParseDocument(
+      ReadFile(fs::path(BLOSSOMTREE_FUZZ_DIR) /
+               "regressions/xml/deep_nesting.xml"),
+      XmlFuzzOptions());
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
+}
+
+// 100k nested predicates once recursed the parser off the stack.
+TEST(FuzzRegressionTest, DeepXpathPredicatesRejected) {
+  auto path = xpath::ParsePath(
+      ReadFile(fs::path(BLOSSOMTREE_FUZZ_DIR) /
+               "regressions/xpath/deep_predicates.txt"),
+      /*max_depth=*/256);
+  EXPECT_FALSE(path.ok());
+}
+
+// 100k nested parentheses in a where clause once recursed ParseBool /
+// ParsePrimary off the stack.
+TEST(FuzzRegressionTest, DeepFlworParensRejected) {
+  auto expr = flwor::ParseQuery(
+      ReadFile(fs::path(BLOSSOMTREE_FUZZ_DIR) /
+               "regressions/flwor/deep_parens.txt"),
+      QueryFuzzLimits());
+  EXPECT_FALSE(expr.ok());
+}
+
+}  // namespace
+}  // namespace blossomtree

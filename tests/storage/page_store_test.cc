@@ -92,6 +92,36 @@ TEST(PageStoreTest, RepeatedSamePageIsCached) {
   EXPECT_EQ(store.PageReads(), 1u);
 }
 
+TEST(PageStoreTest, PartitionEmptyDocumentIsSafe) {
+  xml::Document doc;  // Empty (e.g. a failed parse left nothing behind).
+  PageStore store(doc);
+  EXPECT_TRUE(store.Partition(4).empty());
+}
+
+TEST(PageStoreTest, PartitionUnterminatedDocumentStaysInBounds) {
+  // A document abandoned mid-build (BeginElement without EndElement) can
+  // carry a root subtree_end pointing past the record array; Partition must
+  // clamp its walk instead of indexing out of bounds.
+  xml::Document doc;
+  doc.BeginElement("a");
+  doc.BeginElement("b");
+  PageStore store(doc);
+  std::vector<NodeRange> ranges = store.Partition(4);
+  for (const NodeRange& r : ranges) {
+    EXPECT_LE(r.begin, r.end);
+    EXPECT_LT(r.end, store.NumNodes());  // Ranges are inclusive.
+  }
+}
+
+TEST(PageStoreTest, PartitionSingleNodeDocument) {
+  auto doc = Parse("<a/>");
+  PageStore store(*doc);
+  std::vector<NodeRange> ranges = store.Partition(4);
+  size_t covered = 0;
+  for (const NodeRange& r : ranges) covered += r.end - r.begin + 1;
+  EXPECT_EQ(covered, 1u);
+}
+
 }  // namespace
 }  // namespace storage
 }  // namespace blossomtree

@@ -185,6 +185,64 @@ TEST(ParserTest, RoundTripDepth) {
   EXPECT_EQ((*r)->MaxRecursionDegree(), static_cast<uint32_t>(kDepth));
 }
 
+// Regression: a stray ']' in the internal subset once drove the bracket
+// counter negative, so the terminating '>' was never honored.
+TEST(ParserTest, DoctypeStrayClosingBracket) {
+  auto r = ParseDocument("<!DOCTYPE r ]><r/>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->NumNodes(), 1u);
+  EXPECT_EQ((*r)->TagName(0), "r");
+}
+
+// Regression: '>' inside a quoted SYSTEM/PUBLIC literal once terminated the
+// DOCTYPE early, mis-parsing the literal's tail as document content.
+TEST(ParserTest, DoctypeQuotedGreaterThan) {
+  auto r = ParseDocument("<!DOCTYPE r SYSTEM \"a>b\"><r/>");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->NumNodes(), 1u);
+  auto r2 = ParseDocument("<!DOCTYPE r [<!ENTITY gt \"]>\">]><r/>");
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ((*r2)->NumNodes(), 1u);
+}
+
+TEST(ParserTest, DoctypeUnterminatedIsError) {
+  EXPECT_FALSE(ParseDocument("<!DOCTYPE r [").ok());
+  EXPECT_FALSE(ParseDocument("<!DOCTYPE r SYSTEM \"a>").ok());
+}
+
+// Regression: the hex character-reference accumulator once overflowed
+// (signed arithmetic, UB); overlong references now fail fast.
+TEST(ParserTest, HexCharRefOverflowRejected) {
+  EXPECT_FALSE(ParseDocument("<r>&#x11111111111111111;</r>").ok());
+  EXPECT_FALSE(ParseDocument("<r>&#x110000;</r>").ok());
+  auto ok = ParseDocument("<r>&#x10FFFF;</r>");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(ParserTest, DepthLimitRejectsPathologicalNesting) {
+  ParseOptions options;
+  options.max_depth = 64;
+  std::string in;
+  for (int i = 0; i < 65; ++i) in += "<n>";
+  for (int i = 0; i < 65; ++i) in += "</n>";
+  auto r = ParseDocument(in, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  // One level under the cap is fine.
+  std::string ok;
+  for (int i = 0; i < 64; ++i) ok += "<n>";
+  for (int i = 0; i < 64; ++i) ok += "</n>";
+  EXPECT_TRUE(ParseDocument(ok, options).ok());
+}
+
+TEST(ParserTest, InputSizeLimitRejectsOversizedDocument) {
+  ParseOptions options;
+  options.max_input_bytes = 4;
+  auto r = ParseDocument("<root/>", options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
 }  // namespace
 }  // namespace xml
 }  // namespace blossomtree

@@ -237,6 +237,25 @@ TEST(XPathParserTest, PrefixParsingStopsAtComma) {
   EXPECT_EQ(pos, 4u);
 }
 
+// Regression (fuzz corpus: xpath/deep_predicates.txt): ~100k nested
+// predicates once recursed ParsePredicate -> ParsePathPrefix off the stack.
+TEST(XPathParserTest, DeeplyNestedPredicatesRejectedNotCrash) {
+  std::string q = "//a";
+  for (size_t i = 0; i < 100'000; ++i) q += "[//a";
+  auto r = ParsePath(q);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("depth"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(XPathParserTest, PredicateNestingWithinLimitParses) {
+  std::string q = "//a";
+  for (size_t i = 0; i < 50; ++i) q += "[b";
+  q.append(50, ']');
+  auto r = ParsePath(q);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
 }  // namespace
 }  // namespace xpath
 }  // namespace blossomtree
