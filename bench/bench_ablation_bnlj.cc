@@ -27,6 +27,7 @@ namespace {
 struct RunResult {
   std::string time;
   uint64_t nodes = 0;
+  double seconds = -1;  ///< Wall time; negative on DNF.
 };
 
 RunResult Run(const blossomtree::xml::Document* doc,
@@ -52,6 +53,7 @@ RunResult Run(const blossomtree::xml::Document* doc,
     out.nodes = plan->trees[0].TotalNodesScanned();
   });
   out.time = t > dnf_seconds ? "DNF" : TimeCell(t);
+  out.seconds = t > dnf_seconds ? -1 : t;
   return out;
 }
 
@@ -72,6 +74,7 @@ int main(int argc, char** argv) {
     o.scale = flags.scale;
     o.seed = flags.seed;
     auto doc = blossomtree::datagen::GenerateDataset(d, o);
+    sink.AddDatasetLabel(DatasetName(d));
     for (const auto& q : blossomtree::workload::QueriesFor(d)) {
       auto path = blossomtree::xpath::ParsePath(q.xpath);
       if (!path.ok()) continue;
@@ -92,9 +95,12 @@ int main(int argc, char** argv) {
       // artifact; the naive variant is skipped — it may DNF.
       PlanOptions po;
       po.strategy = JoinStrategy::kBoundedNestedLoop;
+      blossomtree::bench::LatencyHistogram latency;
+      latency.RecordSeconds(bounded.seconds);
       sink.Add(blossomtree::bench::WithContext(
           "\"dataset\": \"" + std::string(DatasetName(d)) +
-              "\", \"id\": \"" + q.id + "\", \"system\": \"BNLJ\"",
+              "\", \"id\": \"" + q.id + "\", \"system\": \"BNLJ\", " +
+              latency.JsonField(),
           blossomtree::bench::PlanProfileJson(doc.get(), &*tree, q.xpath,
                                               po)));
     }

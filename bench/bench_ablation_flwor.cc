@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "baseline/navigational.h"
+#include "bench_profile.h"
 #include "bench_util.h"
 #include "engine/engine.h"
 #include "util/rng.h"
@@ -87,6 +88,7 @@ int main(int argc, char** argv) {
     size_t scaled = static_cast<size_t>(n * flags.scale);
     if (scaled < 4) scaled = 4;
     auto doc = Bib(scaled, flags.seed);
+    sink.AddDatasetLabel("bib-" + std::to_string(scaled));
     for (const Q& q : queries) {
       std::string bt_result;
       std::string nav_result;
@@ -114,9 +116,12 @@ int main(int argc, char** argv) {
       eo.collect_profile = true;
       blossomtree::engine::BlossomTreeEngine profiled(doc.get(), eo);
       if (profiled.EvaluateQuery(q.text).ok()) {
+        blossomtree::bench::LatencyHistogram latency;
+        latency.RecordSeconds(bt_s);
         sink.Add("{\"books\": " + std::to_string(scaled) +
-                 ", \"query\": \"" + std::string(q.name) +
-                 "\", \"profile\": " + profiled.LastProfile().ToJson() +
+                 ", \"query\": \"" + std::string(q.name) + "\", " +
+                 latency.JsonField() +
+                 ", \"profile\": " + profiled.LastProfile().ToJson() +
                  "}");
       }
     }

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
     o.scale = flags.scale;
     o.seed = flags.seed;
     auto doc = blossomtree::datagen::GenerateDataset(d, o);
+    sink.AddDatasetLabel(DatasetName(d));
     for (const auto& q : blossomtree::workload::QueriesFor(d)) {
       auto path = blossomtree::xpath::ParsePath(q.xpath);
       if (!path.ok()) continue;
@@ -84,10 +85,12 @@ int main(int argc, char** argv) {
         PlanOptions po;
         po.strategy = JoinStrategy::kPipelined;
         po.merge_nok_scans = merged;
+        blossomtree::bench::LatencyHistogram latency;
+        latency.RecordSeconds(merged ? merged_s : separate_s);
         sink.Add(blossomtree::bench::WithContext(
             "\"dataset\": \"" + std::string(DatasetName(d)) +
                 "\", \"id\": \"" + q.id + "\", \"merged\": " +
-                (merged ? "true" : "false"),
+                (merged ? "true" : "false") + ", " + latency.JsonField(),
             blossomtree::bench::PlanProfileJson(doc.get(), &*tree, q.xpath,
                                                 po)));
       }

@@ -106,8 +106,12 @@ int main(int argc, char** argv) {
     // BNLJ breakdown per nesting degree: rescans should track the degree.
     PlanOptions po;
     po.strategy = JoinStrategy::kBoundedNestedLoop;
+    sink.AddDatasetLabel("nested-depth-" + std::to_string(depth));
+    blossomtree::bench::LatencyHistogram latency;
+    latency.RecordSeconds(nl_s);
     sink.Add(blossomtree::bench::WithContext(
-        "\"nesting\": " + std::to_string(depth) + ", \"system\": \"NL\"",
+        "\"nesting\": " + std::to_string(depth) + ", \"system\": \"NL\", " +
+            latency.JsonField(),
         blossomtree::bench::PlanProfileJson(doc.get(), &*tree, "//a//b",
                                             po)));
   }

@@ -4,6 +4,7 @@
 // of the pipelined plan), plus a thread-count sweep of the partitioned
 // parallel NoK scan (--threads=) with byte-identical-result verification.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -62,6 +63,7 @@ void SweepThreads(datagen::Dataset dataset, const BenchFlags& flags,
   o.scale = flags.scale;
   o.seed = flags.seed;
   auto doc = datagen::GenerateDataset(dataset, o);
+  sink->AddDatasetLabel(datagen::DatasetName(dataset));
 
   std::string serial_bytes;
   double serial_s = 0;
@@ -76,12 +78,13 @@ void SweepThreads(datagen::Dataset dataset, const BenchFlags& flags,
       po.pool = pool.get();
     }
     std::string bytes;
+    std::vector<double> run_seconds;
     double s = TimeAverage(
         [&] {
           auto r = opt::EvaluatePathQuery(doc.get(), &*tree, po);
           bytes = r.ok() ? Serialize(*r) : "<error>";
         },
-        flags.runs, flags.dnf_seconds);
+        flags.runs, flags.dnf_seconds, &run_seconds);
     if (t == 1) {
       serial_bytes = bytes;
       serial_s = s;
@@ -94,9 +97,12 @@ void SweepThreads(datagen::Dataset dataset, const BenchFlags& flags,
                     identical});
     // Per-operator breakdown at this thread count: the deterministic
     // counters must match the serial profile entry for entry.
+    bench::LatencyHistogram latency;
+    latency.RecordAll(run_seconds);
     sink->Add(bench::WithContext(
         "\"dataset\": \"" + std::string(datagen::DatasetName(dataset)) +
-            "\", \"threads\": " + std::to_string(t),
+            "\", \"threads\": " + std::to_string(t) + ", " +
+            latency.JsonField(),
         bench::PlanProfileJson(doc.get(), &*tree, queries[5].xpath, po)));
   }
 }
@@ -189,6 +195,7 @@ int main(int argc, char** argv) {
       util::ThreadPool::DefaultThreads());
   std::vector<ThreadPoint> points;
   bench::ProfileSink sink("figure_scalability");
+  sink.SetThreads(*std::max_element(counts.begin(), counts.end()));
   SweepThreads(datagen::Dataset::kD4Treebank, flags, counts, &points,
                &sink);
   SweepThreads(datagen::Dataset::kD5Dblp, flags, counts, &points, &sink);

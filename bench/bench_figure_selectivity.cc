@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
               "XH s", "TS s", "SJ s", "PL s");
 
   bench::ProfileSink sink("figure_selectivity");
+  sink.AddDatasetLabel("catalog-" + std::to_string(items));
   for (int k = 0; k <= 9; ++k) {
     std::string query =
         "//item[key = \"v" + std::to_string(k) + "\"]/payload";
@@ -104,8 +105,11 @@ int main(int argc, char** argv) {
                     static_cast<double>(doc->NumElements()),
                 TimeCell(xh_s).c_str(), TimeCell(ts_s).c_str(),
                 TimeCell(sj_s).c_str(), TimeCell(pl_s).c_str());
+    bench::LatencyHistogram latency;
+    latency.RecordSeconds(pl_s);
     sink.Add(bench::WithContext(
-        "\"key\": \"v" + std::to_string(k) + "\", \"system\": \"PL\"",
+        "\"key\": \"v" + std::to_string(k) + "\", \"system\": \"PL\", " +
+            latency.JsonField(),
         bench::PlanProfileJson(doc.get(), &*tree, query, po)));
   }
   sink.WriteAndReport();

@@ -163,8 +163,14 @@ int main(int argc, char** argv) {
   opt::PlanOptions po;
   po.strategy = opt::JoinStrategy::kPipelined;
   bench::ProfileSink sink("micro");
+  sink.AddDatasetLabel("d5");
+  bench::LatencyHistogram latency;
+  latency.RecordSeconds(bench::TimeSeconds([&] {
+    auto r = opt::EvaluatePathQuery(doc.get(), &tree, po);
+    (void)r;
+  }));
   sink.Add(bench::WithContext(
-      "\"dataset\": \"d5\"",
+      "\"dataset\": \"d5\", " + latency.JsonField(),
       bench::PlanProfileJson(doc.get(), &tree, query, po)));
   sink.WriteAndReport();
   return 0;

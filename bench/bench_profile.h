@@ -3,14 +3,41 @@
 
 #include <string>
 
+#include <vector>
+
 #include "engine/query_profile.h"
 #include "exec/operator.h"
 #include "opt/planner.h"
 #include "pattern/blossom_tree.h"
+#include "util/metrics.h"
 #include "xml/document.h"
 
 namespace blossomtree {
 namespace bench {
+
+/// Per-query latency histogram for BENCH_*.json: feeds every timed run
+/// into a log₂-bucketed util::Histogram and renders the summary (count,
+/// min/max, p50/p90/p99 in nanoseconds) as a JSON field. One instance per
+/// (query, variant) cell; runs recorded in seconds.
+class LatencyHistogram {
+ public:
+  void RecordSeconds(double seconds) {
+    if (seconds < 0) return;  // DNF runs carry no latency sample.
+    hist_.Record(static_cast<uint64_t>(seconds * 1e9));
+  }
+  void RecordAll(const std::vector<double>& run_seconds) {
+    for (double s : run_seconds) RecordSeconds(s);
+  }
+  bool empty() const { return hist_.Snapshot().count == 0; }
+
+  /// `"latency_ns": {...}` — ready to splice into a context-fields string.
+  std::string JsonField() const {
+    return "\"latency_ns\": " + hist_.Snapshot().ToJson();
+  }
+
+ private:
+  util::Histogram hist_;
+};
 
 /// Plans `tree` with cardinality estimates, runs it to completion, and
 /// returns the engine::QueryProfile as a JSON object — the per-operator

@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
     o.scale = flags.scale;
     o.seed = flags.seed;
     auto doc = GenerateDataset(d, o);
+    sink.AddDatasetLabel(DatasetName(d));
     DatasetStats s = ComputeStats(*doc, DatasetName(d));
     std::printf("%-12s %-10s %-4s %-10s %9zu %9.1f %8u %8zu %10s\n",
                 Category(d), s.recursive ? "Y" : "N", s.name.c_str(),

@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     o.scale = flags.scale;
     o.seed = flags.seed;
     auto doc = GenerateDataset(d, o);
+    sink.AddDatasetLabel(DatasetName(d));
     std::printf("%s (%zu element nodes)\n", DatasetName(d),
                 doc->NumElements());
     std::printf("  %-3s %-4s %-60s %9s %8s\n", "id", "cat", "query",
@@ -47,7 +48,13 @@ int main(int argc, char** argv) {
         continue;
       }
       NavigationalEvaluator nav(doc.get());
-      auto r = nav.EvaluatePath(*path);
+      blossomtree::bench::LatencyHistogram latency;
+      blossomtree::Result<std::vector<blossomtree::xml::NodeId>> r =
+          std::vector<blossomtree::xml::NodeId>{};
+      for (int run = 0; run < flags.runs; ++run) {
+        latency.RecordSeconds(blossomtree::bench::TimeSeconds(
+            [&] { r = nav.EvaluatePath(*path); }));
+      }
       if (!r.ok()) {
         std::printf("  %-3s eval error: %s\n", q.id.c_str(),
                     r.status().ToString().c_str());
@@ -60,7 +67,7 @@ int main(int argc, char** argv) {
       if (tree.ok()) {
         sink.Add(blossomtree::bench::WithContext(
             "\"dataset\": \"" + std::string(DatasetName(d)) +
-                "\", \"id\": \"" + q.id + "\"",
+                "\", \"id\": \"" + q.id + "\", " + latency.JsonField(),
             blossomtree::bench::PlanProfileJson(doc.get(), &*tree,
                                                 q.xpath)));
       }

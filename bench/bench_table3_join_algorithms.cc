@@ -56,15 +56,17 @@ struct SystemRow {
   std::vector<std::string> cells;
 };
 
-/// Times fn over flags.runs executions with a DNF cap.
-std::string Timed(const BenchFlags& flags,
-                  const std::function<Status()>& fn) {
+/// Times fn over flags.runs executions with a DNF cap; completed runs feed
+/// `latency` when non-null.
+std::string Timed(const BenchFlags& flags, const std::function<Status()>& fn,
+                  blossomtree::bench::LatencyHistogram* latency = nullptr) {
   double total = 0;
   for (int i = 0; i < flags.runs; ++i) {
     Status st;
     double t = TimeSeconds([&] { st = fn(); });
     if (!st.ok()) return "n/a";
     if (t > flags.dnf_seconds) return "DNF";
+    if (latency != nullptr) latency->RecordSeconds(t);
     total += t;
   }
   return TimeCell(total / flags.runs);
@@ -87,6 +89,7 @@ int main(int argc, char** argv) {
     o.scale = flags.scale;
     o.seed = flags.seed;
     auto doc = GenerateDataset(d, o);
+    sink.AddDatasetLabel(DatasetName(d));
     // Warm the tag indexes once (the join-based systems assume they exist
     // on storage, like the paper's setting).
     for (blossomtree::xml::TagId t = 0; t < doc->tags().size(); ++t) {
@@ -136,15 +139,19 @@ int main(int argc, char** argv) {
       po.strategy = recursive
                         ? blossomtree::opt::JoinStrategy::kBoundedNestedLoop
                         : blossomtree::opt::JoinStrategy::kPipelined;
-      bt.cells.push_back(Timed(flags, [&]() -> Status {
-        return blossomtree::opt::EvaluatePathQuery(doc.get(), &*tree, po)
-            .status();
-      }));
+      blossomtree::bench::LatencyHistogram bt_latency;
+      bt.cells.push_back(Timed(
+          flags,
+          [&]() -> Status {
+            return blossomtree::opt::EvaluatePathQuery(doc.get(), &*tree, po)
+                .status();
+          },
+          &bt_latency));
       // Per-operator breakdown of the BT plan (outside the timed loop).
       sink.Add(blossomtree::bench::WithContext(
           "\"dataset\": \"" + std::string(DatasetName(d)) +
               "\", \"id\": \"" + q.id + "\", \"system\": \"" + bt.name +
-              "\"",
+              "\", " + bt_latency.JsonField(),
           blossomtree::bench::PlanProfileJson(doc.get(), &*tree, q.xpath,
                                               po)));
       if (!recursive) {

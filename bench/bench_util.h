@@ -68,16 +68,42 @@ inline double TimeSeconds(const std::function<void()>& fn) {
 }
 
 /// Runs `fn` up to `runs` times, returning the average seconds; returns a
-/// negative value (DNF) if a run exceeds `dnf_seconds`.
+/// negative value (DNF) if a run exceeds `dnf_seconds`. When `run_seconds`
+/// is non-null every completed run's time is appended — the per-query
+/// latency histograms in BENCH_*.json are fed from these samples.
 inline double TimeAverage(const std::function<void()>& fn, int runs,
-                          double dnf_seconds) {
+                          double dnf_seconds,
+                          std::vector<double>* run_seconds = nullptr) {
   double total = 0;
   for (int i = 0; i < runs; ++i) {
     double t = TimeSeconds(fn);
+    if (run_seconds != nullptr) run_seconds->push_back(t);
     if (t > dnf_seconds) return -1.0;
     total += t;
   }
   return total / runs;
+}
+
+/// Build configuration of this binary ("Release" = assertions compiled
+/// out), stamped into BENCH_*.json so latency numbers from a Debug run are
+/// never mistaken for Release measurements. The counter-based perf gate is
+/// build-type independent.
+inline const char* BuildType() {
+#ifdef NDEBUG
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+/// Compiler banner (e.g. "13.2.0" under GCC, "Ubuntu clang ..." strings
+/// under Clang) for the BENCH_*.json environment block.
+inline const char* CompilerVersion() {
+#ifdef __VERSION__
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
 }
 
 /// Formats a time cell: seconds with 3 decimals, or "DNF".
@@ -94,6 +120,11 @@ inline std::string TimeCell(double seconds) {
 /// the entries opaque here avoids an engine dependency in bench_util.h.
 class ProfileSink {
  public:
+  /// Schema of the BENCH_*.json artifacts. v2 added the environment block
+  /// and per-query latency histograms; bump on layout changes so the
+  /// regression gate can refuse cross-schema diffs.
+  static constexpr int kSchemaVersion = 2;
+
   explicit ProfileSink(std::string bench) : bench_(std::move(bench)) {}
 
   /// Adds one complete JSON object (e.g. `{"dataset": "d1", ...}`).
@@ -101,17 +132,37 @@ class ProfileSink {
     if (!json_object.empty()) entries_.push_back(std::move(json_object));
   }
 
+  /// Environment stamps for the artifact header: the thread count the
+  /// harness ran with, and each dataset it touched (deduplicated, in
+  /// first-seen order).
+  void SetThreads(unsigned threads) { threads_ = threads; }
+  void AddDatasetLabel(const std::string& label) {
+    for (const std::string& d : datasets_) {
+      if (d == label) return;
+    }
+    datasets_.push_back(label);
+  }
+
   bool empty() const { return entries_.empty(); }
 
-  /// Writes `{"bench": ..., "profiles": [...]}`; returns the path written,
-  /// or an empty string on failure/no entries.
+  /// Writes `{"bench": ..., "schema_version": ..., "environment": {...},
+  /// "profiles": [...]}`; returns the path written, or an empty string on
+  /// failure/no entries.
   std::string Write() const {
     if (entries_.empty()) return {};
     std::string path = "BENCH_" + bench_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return {};
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"profiles\": [\n",
-                 bench_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema_version\": %d,\n",
+                 bench_.c_str(), kSchemaVersion);
+    std::fprintf(f,
+                 "  \"environment\": {\"build\": \"%s\", \"compiler\": "
+                 "\"%s\", \"threads\": %u, \"datasets\": [",
+                 BuildType(), CompilerVersion(), threads_);
+    for (size_t i = 0; i < datasets_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\"", i > 0 ? ", " : "", datasets_[i].c_str());
+    }
+    std::fprintf(f, "]},\n  \"profiles\": [\n");
     for (size_t i = 0; i < entries_.size(); ++i) {
       std::fprintf(f, "    %s%s\n", entries_[i].c_str(),
                    i + 1 < entries_.size() ? "," : "");
@@ -132,6 +183,8 @@ class ProfileSink {
  private:
   std::string bench_;
   std::vector<std::string> entries_;
+  unsigned threads_ = 1;
+  std::vector<std::string> datasets_;
 };
 
 }  // namespace bench

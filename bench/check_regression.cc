@@ -1,0 +1,83 @@
+// CI perf-regression gate: diffs the BENCH_*.json artifacts of a fresh
+// bench run against the checked-in baselines under bench/baseline/.
+//
+//   check_regression [--tolerance=F] [--check-latency]
+//                    [--latency-tolerance=F] BASELINE CURRENT
+//                    [BASELINE CURRENT ...]
+//
+// Compares the deterministic work counters (nodes_scanned, index_entries,
+// comparisons, rows, nl_cells) per query; exits 1 on any regression, with
+// one FAIL line per offending counter. Wall time is compared only behind
+// --check-latency (off in CI: shared runners are too noisy for a clock
+// gate, while the counter gate is exact on any machine).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "regression_check.h"
+
+int main(int argc, char** argv) {
+  blossomtree::bench::RegressionOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+      options.counter_tolerance = std::atof(arg + 12);
+    } else if (std::strcmp(arg, "--check-latency") == 0) {
+      options.check_latency = true;
+    } else if (std::strncmp(arg, "--latency-tolerance=", 20) == 0) {
+      options.latency_tolerance = std::atof(arg + 20);
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: check_regression [--tolerance=F] [--check-latency] "
+          "[--latency-tolerance=F] BASELINE CURRENT [BASELINE CURRENT "
+          "...]\n");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty() || files.size() % 2 != 0) {
+    std::fprintf(stderr,
+                 "check_regression: need BASELINE CURRENT file pairs "
+                 "(--help for usage)\n");
+    return 2;
+  }
+
+  bool failed = false;
+  for (size_t i = 0; i < files.size(); i += 2) {
+    const std::string& baseline_path = files[i];
+    const std::string& current_path = files[i + 1];
+    auto baseline = blossomtree::bench::LoadBenchRun(baseline_path);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "FAIL: %s: %s\n", baseline_path.c_str(),
+                   baseline.status().message().c_str());
+      failed = true;
+      continue;
+    }
+    auto current = blossomtree::bench::LoadBenchRun(current_path);
+    if (!current.ok()) {
+      std::fprintf(stderr, "FAIL: %s: %s\n", current_path.c_str(),
+                   current.status().message().c_str());
+      failed = true;
+      continue;
+    }
+    blossomtree::bench::RegressionReport report =
+        blossomtree::bench::CompareRuns(*baseline, *current, options);
+    std::printf("== %s vs %s ==\n%s", baseline_path.c_str(),
+                current_path.c_str(), report.ToString().c_str());
+    if (!report.ok()) failed = true;
+  }
+  if (failed) {
+    std::fprintf(stderr,
+                 "\nperf gate: REGRESSION DETECTED. If the counter change "
+                 "is intended (plan or workload change), regenerate the "
+                 "baselines:\n  run the bench harnesses with the CI flags "
+                 "and copy the BENCH_*.json files into bench/baseline/\n");
+    return 1;
+  }
+  std::printf("perf gate: OK\n");
+  return 0;
+}

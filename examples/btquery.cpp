@@ -8,6 +8,11 @@
 //     --explain                print the physical plan
 //     --advise                 print the cost model's recommendation
 //     --save-btsx=<path>       save the parsed document in succinct form
+//     --trace=<path>           record a query-lifecycle trace and export it
+//                              as Chrome trace_event JSON (load the file in
+//                              chrome://tracing or https://ui.perfetto.dev)
+//     --metrics                print the engine's metric counters and
+//                              latency histogram summaries after the query
 //
 // The query may be a path expression or a full FLWOR expression.
 
@@ -21,6 +26,7 @@
 #include "opt/cost_model.h"
 #include "pattern/builder.h"
 #include "storage/succinct.h"
+#include "util/trace.h"
 #include "xml/parser.h"
 
 using namespace blossomtree;
@@ -39,6 +45,8 @@ int main(int argc, char** argv) {
   std::string strategy = "auto";
   bool explain = false;
   bool advise = false;
+  bool metrics = false;
+  std::string trace_path;
   std::string save_btsx;
   std::string file;
   std::string query;
@@ -55,17 +63,24 @@ int main(int argc, char** argv) {
       advise = true;
     } else if (std::strncmp(arg, "--save-btsx=", 12) == 0) {
       save_btsx = arg + 12;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics = true;
     } else if (file.empty()) {
       file = arg;
     } else if (query.empty()) {
       query = arg;
     }
   }
+  // Start the capture before the query parse so the flwor::ParseQuery span
+  // lands on the timeline; the engine leaves a running capture alone.
+  if (!trace_path.empty()) util::Tracer::Get().Enable();
   if (file.empty() || query.empty()) {
     std::fprintf(stderr,
                  "usage: btquery [--engine=blossom|nav] [--strategy=auto|pl|"
-                 "nl] [--explain] [--advise] [--save-btsx=p] <file> "
-                 "<query>\n");
+                 "nl] [--explain] [--advise] [--save-btsx=p] [--trace=p] "
+                 "[--metrics] <file> <query>\n");
     return 2;
   }
 
@@ -112,6 +127,8 @@ int main(int argc, char** argv) {
   } else if (strategy == "nl") {
     opts.plan.strategy = opt::JoinStrategy::kBoundedNestedLoop;
   }
+  opts.trace = !trace_path.empty();
+  opts.collect_metrics = metrics;
 
   Result<std::string> result("");
   if (engine_name == "nav") {
@@ -122,6 +139,21 @@ int main(int argc, char** argv) {
     result = engine.EvaluateToXml(**parsed);
     if (explain) {
       std::fprintf(stderr, "plan:\n%s", engine.LastExplain().c_str());
+    }
+    if (metrics) {
+      std::fprintf(stderr, "metrics:\n%s%s\n",
+                   engine.metrics().CountersText().c_str(),
+                   engine.metrics().ToJson().c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    Status st = util::Tracer::Get().ExportJsonFile(trace_path);
+    if (st.ok()) {
+      std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                   trace_path.c_str(), util::Tracer::Get().EventCount());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.ToString().c_str());
     }
   }
   if (!result.ok()) {

@@ -4,8 +4,15 @@
 //  - the same query gets a pipelined plan on a non-recursive document and
 //    a bounded-nested-loop plan on a recursive one;
 //  - enabling the merged-NoK rewrite collapses k scans into one pass.
+//
+// Options:
+//   --trace=<path>  record the whole exploration under the process tracer
+//                   and export Chrome trace_event JSON (chrome://tracing)
+//   --metrics       print metric counters + latency histograms at the end
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "datagen/datagen.h"
 #include "exec/operator.h"
@@ -14,7 +21,9 @@
 #include "pattern/builder.h"
 #include "pattern/decompose.h"
 #include "storage/page_store.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 #include "workload/queries.h"
 #include "xml/parser.h"
 #include "xpath/parser.h"
@@ -23,7 +32,23 @@ using namespace blossomtree;
 
 namespace {
 
-void Explore(const char* label, const char* xml, const char* query) {
+/// Folds a drained plan's per-operator counters (and per-operator wall
+/// times) into `m`; no-op when metrics collection is off.
+void FoldPlanMetrics(util::MetricsRegistry* m, opt::QueryPlan& plan) {
+  if (m == nullptr) return;
+  opt::ForEachOperator(
+      plan, [&](const exec::NestedListOperator& op, int /*depth*/) {
+        const exec::ExecStats& s = op.Stats();
+        m->GetCounter("exec.rows")->Add(s.matches);
+        m->GetCounter("exec.nodes_scanned")->Add(s.nodes_scanned);
+        m->GetCounter("exec.comparisons")->Add(s.comparisons);
+        m->GetCounter("exec.nl_cells")->Add(s.nl_cells);
+        m->GetHistogram("exec.operator_wall_ns")->Record(s.wall_nanos);
+      });
+}
+
+void Explore(const char* label, const char* xml, const char* query,
+             util::MetricsRegistry* m) {
   auto parsed = xml::ParseDocument(xml);
   if (!parsed.ok()) return;
   auto doc = parsed.MoveValue();
@@ -78,6 +103,7 @@ void Explore(const char* label, const char* xml, const char* query) {
   if (aplan.ok()) {
     for (auto& tp : aplan->trees) exec::Drain(tp.root.get());
     aplan->FinishAll();
+    FoldPlanMetrics(m, *aplan);
     std::printf("EXPLAIN ANALYZE:\n%s", aplan->ExplainAnalyze().c_str());
     opt::CalibrationReport cal = opt::CheckCalibration(*aplan);
     if (cal.num_flagged > 0) {
@@ -103,7 +129,7 @@ void Explore(const char* label, const char* xml, const char* query) {
 
 /// EXPLAIN ANALYZE for the full workload: every query of every generated
 /// data set at a small scale, est-vs-actual per operator.
-void ExplainWorkload() {
+void ExplainWorkload(util::MetricsRegistry* m) {
   std::printf("=== workload EXPLAIN ANALYZE (scale 0.02) ===\n\n");
   for (datagen::Dataset d : datagen::AllDatasets()) {
     datagen::GenOptions o;
@@ -120,6 +146,7 @@ void ExplainWorkload() {
       if (!plan.ok()) continue;
       for (auto& tp : plan->trees) exec::Drain(tp.root.get());
       plan->FinishAll();
+      FoldPlanMetrics(m, *plan);
       std::printf("%s %s: %s\n%s\n", datagen::DatasetName(d),
                   q.id.c_str(), q.xpath.c_str(),
                   plan->ExplainAnalyze().c_str());
@@ -129,7 +156,25 @@ void ExplainWorkload() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  bool metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace=", 8) == 0) {
+      trace_path = arg + 8;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: plan_explorer [--trace=path] [--metrics]\n");
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) util::Tracer::Get().Enable();
+  util::MetricsRegistry registry;
+  util::MetricsRegistry* m = metrics ? &registry : nullptr;
+
   const char* query = "//section[//figure]//paragraph";
 
   Explore("non-recursive document",
@@ -137,7 +182,7 @@ int main() {
           "<section><figure/><paragraph/><paragraph/></section>"
           "<section><paragraph/></section>"
           "</doc>",
-          query);
+          query, m);
 
   Explore("recursive document (nested sections)",
           "<doc>"
@@ -145,8 +190,23 @@ int main() {
           "<section><paragraph/><section><figure/><paragraph/></section>"
           "</section></section>"
           "</doc>",
-          query);
+          query, m);
 
-  ExplainWorkload();
+  ExplainWorkload(m);
+
+  if (metrics) {
+    std::printf("=== metrics ===\n%s%s\n", registry.CountersText().c_str(),
+                registry.ToJson().c_str());
+  }
+  if (!trace_path.empty()) {
+    Status st = util::Tracer::Get().ExportJsonFile(trace_path);
+    if (st.ok()) {
+      std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                   trace_path.c_str(), util::Tracer::Get().EventCount());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "util/trace.h"
+
 namespace blossomtree {
 namespace engine {
 
@@ -13,6 +15,7 @@ using pattern::SlotId;
 
 std::vector<SlotBinding> ComputeSlotBindings(const pattern::BlossomTree& tree,
                                              const flwor::Flwor& flwor) {
+  util::TraceSpan span("engine", "bind");
   std::vector<SlotBinding> out(tree.NumSlots());
   for (const flwor::Binding& b : flwor.bindings) {
     SlotId s = tree.SlotOfVariable(b.var);

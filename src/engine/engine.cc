@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "engine/binder.h"
 #include "engine/where_eval.h"
@@ -8,6 +9,7 @@
 #include "exec/operator.h"
 #include "flwor/parser.h"
 #include "pattern/builder.h"
+#include "util/trace.h"
 
 namespace blossomtree {
 namespace engine {
@@ -24,28 +26,73 @@ BlossomTreeEngine::BlossomTreeEngine(const xml::Document* doc,
     pool_ = std::make_unique<util::ThreadPool>(threads);
     options_.plan.pool = pool_.get();
   }
+  // Tracing is process-wide (spans land in per-thread rings regardless of
+  // which engine issued them); any engine asking for it turns it on. An
+  // already-running capture is left alone — Enable() restarts the capture,
+  // which would drop spans a caller recorded before constructing the
+  // engine (e.g. a CLI tracing its own query parse).
+  if (options_.trace && !util::Tracer::Get().enabled()) {
+    util::Tracer::Get().Enable();
+  }
 }
 
+namespace {
+
+/// Wall-clock nanoseconds since `start` — histogram fodder, never part of
+/// the deterministic counter surface.
+uint64_t NanosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
 Result<std::string> BlossomTreeEngine::EvaluateQuery(std::string_view query) {
+  auto parse_start = std::chrono::steady_clock::now();
   BT_ASSIGN_OR_RETURN(std::unique_ptr<flwor::Expr> expr,
                       flwor::ParseQuery(query, options_.limits.ToParseLimits()));
+  if (options_.collect_metrics) {
+    metrics_.GetHistogram("query.parse_ns")->Record(NanosSince(parse_start));
+  }
   return EvaluateToXml(*expr);
 }
 
 Result<std::string> BlossomTreeEngine::EvaluateToXml(
     const flwor::Expr& expr) {
+  util::TraceSpan span("engine", "query");
+  auto start = std::chrono::steady_clock::now();
   guard_.Arm();  // The deadline clock starts here, not at construction.
   ResultBuilder out(doc_);
   BT_RETURN_NOT_OK(EvalExpr(expr, Env{}, &out));
   if (guard_.Tripped()) return guard_.status();
-  return out.ToXml();
+  Result<std::string> xml = out.ToXml();
+  if (options_.collect_metrics) {
+    metrics_.GetCounter("engine.queries")->Increment();
+    metrics_.GetHistogram("query.wall_ns")->Record(NanosSince(start));
+    // Re-snapshot so the profile's embedded registry includes the
+    // query-level counters recorded just now, not only the per-operator
+    // ones folded in by CollectProfile.
+    if (options_.collect_profile) last_profile_.metrics_json = metrics_.ToJson();
+  }
+  return xml;
 }
 
 Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvaluatePath(
     const xpath::PathExpr& path) {
+  util::TraceSpan span("engine", "path");
+  auto start = std::chrono::steady_clock::now();
   guard_.Arm();
   BT_ASSIGN_OR_RETURN(std::vector<xml::NodeId> out, EvalPathPlan(path));
   if (guard_.Tripped()) return guard_.status();
+  if (options_.collect_metrics) {
+    metrics_.GetCounter("engine.path_queries")->Increment();
+    metrics_.GetCounter("engine.path_result_nodes")
+        ->Add(static_cast<uint64_t>(out.size()));
+    metrics_.GetHistogram("query.wall_ns")->Record(NanosSince(start));
+    if (options_.collect_profile) last_profile_.metrics_json = metrics_.ToJson();
+  }
   return out;
 }
 
@@ -86,9 +133,26 @@ Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvalPathPlan(
 
 void BlossomTreeEngine::CollectProfile(opt::QueryPlan* plan,
                                        const std::string& label) {
+  if (!options_.collect_profile && !options_.collect_metrics) return;
+  QueryProfile profile = BuildQueryProfile(plan, label, EffectiveThreads());
+  if (options_.collect_metrics) {
+    // Fold deterministic per-operator counters into the registry — with or
+    // without profile collection, so `--metrics` alone sees exec.* totals.
+    for (const OperatorProfile& op : profile.operators) {
+      metrics_.GetCounter("exec.rows")->Add(op.stats.matches);
+      metrics_.GetCounter("exec.nodes_scanned")->Add(op.stats.nodes_scanned);
+      metrics_.GetCounter("exec.comparisons")->Add(op.stats.comparisons);
+      metrics_.GetCounter("exec.nl_cells")->Add(op.stats.nl_cells);
+    }
+  }
   if (!options_.collect_profile) return;
-  last_profile_ = BuildQueryProfile(plan, label, EffectiveThreads());
+  last_profile_ = std::move(profile);
   last_explain_analyze_ = plan->ExplainAnalyze();
+  if (options_.collect_metrics) {
+    // Attach a registry snapshot (histogram summaries included) to the
+    // profile's JSON form.
+    last_profile_.metrics_json = metrics_.ToJson();
+  }
 }
 
 Status BlossomTreeEngine::EvalExpr(const flwor::Expr& expr, const Env& env,
@@ -156,6 +220,7 @@ Status BlossomTreeEngine::EvalFlwor(const flwor::Flwor& flwor, const Env& env,
 
 Result<std::vector<Env>> BlossomTreeEngine::FlworTuples(
     const flwor::Flwor& flwor) {
+  util::TraceSpan span("engine", "flwor-tuples");
   BT_ASSIGN_OR_RETURN(pattern::BlossomTree tree,
                       pattern::BuildFromFlwor(flwor));
   BT_ASSIGN_OR_RETURN(opt::QueryPlan plan,
@@ -194,6 +259,11 @@ Result<std::vector<Env>> BlossomTreeEngine::FlworTuples(
 Status BlossomTreeEngine::EmitTuples(const flwor::Flwor& flwor,
                                      std::vector<Env> tuples,
                                      ResultBuilder* out) {
+  util::TraceSpan span("engine", "emit");
+  if (options_.collect_metrics) {
+    metrics_.GetCounter("engine.flwor_tuples")
+        ->Add(static_cast<uint64_t>(tuples.size()));
+  }
   if (flwor.order_by.has_value()) {
     PathEvaluator ev(doc_);
     std::vector<std::pair<std::string, size_t>> keys;

@@ -10,6 +10,7 @@
 #include "engine/query_profile.h"
 #include "flwor/ast.h"
 #include "opt/planner.h"
+#include "util/metrics.h"
 #include "util/resource_guard.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -29,6 +30,22 @@ struct EngineOptions {
   /// every planned query. Profiling runs every plan to completion after the
   /// result is drained, so enabling it changes timings but never results.
   bool collect_profile = false;
+  /// Enable query-lifecycle tracing (DESIGN.md §10): the engine turns on
+  /// the process-wide util::Tracer at construction, so every span from
+  /// parse to per-operator GetNext batches is recorded and exportable as
+  /// Chrome trace_event JSON via util::Tracer::ExportJsonFile(). When off
+  /// (the default) every instrumentation point reduces to one relaxed
+  /// atomic load. Tracing never changes results.
+  bool trace = false;
+  /// Populate the engine's MetricsRegistry with per-query counters and
+  /// latency histograms (query.wall_ns, query.parse_ns, ...), and attach a
+  /// registry snapshot to QueryProfile::ToJson(). Counter text
+  /// (MetricsRegistry::CountersText) stays bitwise-identical across thread
+  /// counts; wall-clock values live only in histograms. Like
+  /// collect_profile, this runs every plan to completion after the result
+  /// is drained (so exec.* totals are consumption-independent) — timings
+  /// change, results never do.
+  bool collect_metrics = false;
   /// Per-query resource limits (DESIGN.md §9): wall-clock deadline,
   /// NestedList cell/byte budget, result-row cap, and parser depth / input
   /// size caps. The engine arms its guard with these at the start of every
@@ -86,6 +103,11 @@ class BlossomTreeEngine {
   /// \brief The engine's per-query resource guard (counters, trip status).
   const util::ResourceGuard& guard() const { return guard_; }
 
+  /// \brief The engine's metrics registry (counters + latency histograms).
+  /// Populated only when EngineOptions::collect_metrics; always readable.
+  util::MetricsRegistry& metrics() { return metrics_; }
+  const util::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   /// EvaluatePath minus the guard arming: used for top-level paths and for
   /// paths nested inside an already-armed evaluation (re-arming would
@@ -110,6 +132,9 @@ class BlossomTreeEngine {
   /// Owned worker pool when num_threads resolves above 1; options_.plan.pool
   /// borrows it for the lifetime of the engine.
   std::unique_ptr<util::ThreadPool> pool_;
+  /// Engine-owned metrics: deterministic counters plus latency histograms
+  /// (DESIGN.md §10). Snapshotted into QueryProfile when collect_metrics.
+  util::MetricsRegistry metrics_;
   std::string last_explain_;
   std::string last_explain_analyze_;
   QueryProfile last_profile_;

@@ -1,5 +1,6 @@
 #include "engine/query_profile.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace blossomtree {
@@ -78,15 +79,27 @@ std::string QueryProfile::ToJson() const {
     out += ", \"rescans\": " + std::to_string(s.rescans);
     out += "}";
   }
-  out += "]}";
+  out += "]";
+  if (!metrics_json.empty()) out += ", \"metrics\": " + metrics_json;
+  out += "}";
   return out;
 }
 
 std::string QueryProfile::ToText() const {
   std::string out = "strategy: " + strategy + "\n";
+  // Two passes: size the label column first, so the counter column starts
+  // at one fixed offset whatever the tree depth, label length, or counter
+  // magnitude (7+-digit counters used to shear the layout).
+  size_t width = 0;
   for (const OperatorProfile& op : operators) {
-    out.append(static_cast<size_t>(op.depth) * 2, ' ');
-    out += op.label + ": " + op.stats.Counters() + "\n";
+    width = std::max(width,
+                     static_cast<size_t>(op.depth) * 2 + op.label.size());
+  }
+  for (const OperatorProfile& op : operators) {
+    std::string line(static_cast<size_t>(op.depth) * 2, ' ');
+    line += op.label;
+    line.append(width - line.size() + 2, ' ');
+    out += line + op.stats.Counters() + "\n";
   }
   return out;
 }

@@ -30,6 +30,11 @@ struct QueryProfile {
   unsigned threads = 1;  ///< Resolved intra-query parallelism.
   uint64_t total_wall_nanos = 0;  ///< Wall time of the plan roots.
   std::vector<OperatorProfile> operators;
+  /// Snapshot of the engine's MetricsRegistry as a JSON object (empty
+  /// unless EngineOptions::collect_metrics): counters plus histogram
+  /// summaries with p50/p90/p99. Embedded verbatim by ToJson(); excluded
+  /// from ToText(), which stays wall-clock-free.
+  std::string metrics_json;
 
   void AddOperator(std::string label, int depth, const exec::ExecStats& s,
                    double estimated_rows = -1);

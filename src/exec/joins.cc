@@ -49,6 +49,7 @@ bool PipelinedDescJoin::FetchInner() {
 
 bool PipelinedDescJoin::GetNext(NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
+  util::TraceSpan span("exec", TraceName(*this));
   NestedList m;
   while (outer_->GetNext(&m)) {
     // Batch boundary (DESIGN.md §9): one guard check per outer tuple — the
@@ -136,6 +137,7 @@ BoundedNestedLoopJoin::BoundedNestedLoopJoin(
 
 bool BoundedNestedLoopJoin::GetNext(NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
+  util::TraceSpan span("exec", TraceName(*this));
   NestedList m;
   while (outer_->GetNext(&m)) {
     // One check per outer tuple; each inner re-scan below is a governed
@@ -213,6 +215,7 @@ NestedLoopJoin::NestedLoopJoin(
 
 bool NestedLoopJoin::GetNext(NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
+  util::TraceSpan span("exec", TraceName(*this));
   if (!right_materialized_) {
     right_mat_ = Drain(right_.get());
     right_materialized_ = true;
@@ -280,6 +283,7 @@ FrameOperator::FrameOperator(const pattern::BlossomTree* tree,
 
 bool FrameOperator::GetNext(NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
+  util::TraceSpan span("exec", TraceName(*this));
   NestedList in;
   if (!input_->GetNext(&in)) return false;
   out->tops.clear();

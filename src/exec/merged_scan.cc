@@ -23,6 +23,7 @@ void MergedNokScan::Run() {
   if (ran_) return;
   ran_ = true;
   ScopedTimer timer(&wall_nanos_);
+  util::TraceSpan span("exec", "MergedNokScan.run");
   uint64_t cmp_before = ValueComparisonCount();
   // Virtual-root NoKs fire once, before the node scan.
   for (size_t i = 0; i < matchers_.size(); ++i) {

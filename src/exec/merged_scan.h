@@ -23,6 +23,7 @@ class MaterializedOperator : public NestedListOperator {
   }
   bool GetNext(nestedlist::NestedList* out) override {
     ScopedTimer timer(&wall_nanos_);
+    util::TraceSpan span("exec", TraceName(*this));
     if (pos_ >= lists_.size()) return false;
     *out = lists_[pos_++];
     ++matches_emitted_;

@@ -259,6 +259,9 @@ bool NokScanOperator::ParallelEligible() const {
 }
 
 void NokScanOperator::RunParallelScan() {
+  util::TraceSpan span(
+      "exec", util::Tracer::Get().enabled() ? Label() + ".parallel"
+                                            : std::string());
   std::vector<storage::NodeRange> parts =
       storage::PartitionSubtrees(*doc_, pool_->NumThreads());
   partitions_used_ = parts.size();
@@ -269,6 +272,12 @@ void NokScanOperator::RunParallelScan() {
   pool_->ParallelFor(
       parts.size(),
       [&](size_t i) {
+        util::TraceSpan part_span(
+            "exec", util::Tracer::Get().enabled()
+                        ? "partition[" + std::to_string(i) + "] nodes [" +
+                              std::to_string(parts[i].begin) + "," +
+                              std::to_string(parts[i].end) + "]"
+                        : std::string());
         // A private matcher per partition: constraint checks are read-only
         // on the shared document, and counters stay thread-local. One
         // partition runs entirely on one worker, so the thread-local
@@ -314,6 +323,7 @@ void NokScanOperator::RunParallelScan() {
 
 bool NokScanOperator::GetNext(nestedlist::NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
+  util::TraceSpan span("exec", TraceName(*this));
   if (virtual_root_) {
     if (virtual_done_) return false;
     virtual_done_ = true;

@@ -7,6 +7,7 @@
 #include "exec/exec_stats.h"
 #include "nestedlist/nested_list.h"
 #include "pattern/blossom_tree.h"
+#include "util/trace.h"
 #include "xml/document.h"
 
 namespace blossomtree {
@@ -87,6 +88,13 @@ class NestedListOperator {
   std::string label_;
   double estimated_rows_ = -1.0;
 };
+
+/// \brief Span name for an operator's timeline events: the planner label
+/// when tracing is on, and a free empty string otherwise — call sites pay
+/// for the label string only on traced runs (DESIGN.md §10).
+inline std::string TraceName(const NestedListOperator& op) {
+  return util::Tracer::Get().enabled() ? op.Label() : std::string();
+}
 
 /// \brief Drains an operator into a materialized sequence.
 std::vector<nestedlist::NestedList> Drain(NestedListOperator* op);

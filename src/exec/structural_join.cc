@@ -1,6 +1,9 @@
 #include "exec/structural_join.h"
 
 #include <algorithm>
+#include <string>
+
+#include "util/trace.h"
 
 namespace blossomtree {
 namespace exec {
@@ -133,14 +136,20 @@ void ForestJoin(const xml::Document& doc,
   std::vector<EmitT> emits;
   emits.reserve(chunks.size());
   for (size_t i = 0; i < chunks.size(); ++i) emits.push_back(make_emit(i));
+  const bool traced = util::Tracer::Get().enabled();
   auto run = [&](size_t i) {
+    util::TraceSpan span("join",
+                         traced ? "merge.chunk[" + std::to_string(i) + "]"
+                                : std::string());
     const ForestChunk& c = chunks[i];
     MergeRange(doc, ancestors, c.anc_begin, c.anc_end, descendants,
                c.desc_begin, c.desc_end, emits[i], guard);
   };
   if (pool != nullptr && chunks.size() > 1) {
+    util::TraceSpan span("join", "merge.parallel");
     pool->ParallelFor(chunks.size(), run, guard);
   } else {
+    util::TraceSpan span("join", "merge.serial");
     for (size_t i = 0; i < chunks.size(); ++i) {
       if (guard != nullptr && !guard->Check()) break;
       run(i);

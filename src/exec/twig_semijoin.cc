@@ -2,6 +2,7 @@
 
 #include "exec/structural_join.h"
 #include "exec/value_ops.h"
+#include "util/trace.h"
 
 namespace blossomtree {
 namespace exec {
@@ -122,6 +123,7 @@ void TwigSemijoin::TopDown(VertexId v) {
 Status TwigSemijoin::Run(VertexId result_vertex,
                          std::vector<xml::NodeId>* result) {
   ScopedTimer timer(&stats_.wall_nanos);
+  util::TraceSpan span("exec", "TwigSemijoin.run");
   // Candidate value filters run on this thread (the per-edge joins do no
   // value comparisons), so one delta around the whole run attributes them.
   uint64_t cmp_before = ValueComparisonCount();

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "exec/value_ops.h"
+#include "util/trace.h"
 
 namespace blossomtree {
 namespace exec {
@@ -328,6 +329,7 @@ ExecStats ToExecStats(const TwigStackStats& s) {
 Status TwigStack::Run(VertexId result_vertex,
                       std::vector<xml::NodeId>* result) {
   ScopedTimer timer(&stats_.wall_nanos);
+  util::TraceSpan span("exec", "TwigStack.run");
   // Stream value filters run serially on this thread: one delta attributes
   // them (DESIGN.md §8).
   uint64_t cmp_before = ValueComparisonCount();

@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "util/strings.h"
+#include "util/trace.h"
 #include "xpath/parser.h"
 
 namespace blossomtree {
@@ -459,6 +460,7 @@ class QueryParser {
 
 Result<std::unique_ptr<Expr>> ParseQuery(std::string_view input,
                                          const util::ParseLimits& limits) {
+  util::TraceSpan span("parse", "flwor::ParseQuery");
   if (input.size() > limits.max_input_bytes) {
     return Status::ResourceExhausted(
         "query of " + std::to_string(input.size()) +

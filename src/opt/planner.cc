@@ -6,6 +6,7 @@
 #include "exec/joins.h"
 #include "nestedlist/ops.h"
 #include "opt/cost_model.h"
+#include "util/trace.h"
 
 namespace blossomtree {
 namespace opt {
@@ -285,6 +286,7 @@ void ForEachOperator(
 Result<QueryPlan> PlanQuery(const xml::Document* doc,
                             const pattern::BlossomTree* tree,
                             const PlanOptions& options) {
+  util::TraceSpan span("plan", "opt::PlanQuery");
   if (!tree->finalized()) {
     return Status::InvalidArgument("BlossomTree must be finalized");
   }

@@ -1,5 +1,7 @@
 #include "storage/page_store.h"
 
+#include "util/trace.h"
+
 namespace blossomtree {
 namespace storage {
 
@@ -37,6 +39,7 @@ std::vector<NodeRange> GroupCuts(const std::vector<xml::NodeId>& cuts,
 
 std::vector<NodeRange> PartitionSubtrees(const xml::Document& doc,
                                          size_t max_partitions) {
+  util::TraceSpan span("storage", "PartitionSubtrees");
   std::vector<xml::NodeId> cuts;
   if (!doc.empty()) {
     cuts.push_back(doc.Root());
@@ -49,6 +52,7 @@ std::vector<NodeRange> PartitionSubtrees(const xml::Document& doc,
 }
 
 std::vector<NodeRange> PageStore::Partition(size_t max_partitions) const {
+  util::TraceSpan span("storage", "PageStore::Partition");
   std::vector<xml::NodeId> cuts;
   if (!records_.empty()) {
     cuts.push_back(0);

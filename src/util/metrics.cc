@@ -1,0 +1,231 @@
+#include "util/metrics.h"
+
+#include <bit>
+
+namespace blossomtree {
+namespace util {
+
+namespace {
+
+/// Bucket index for a value: 0 for 0, else floor(log2(v)) + 1, so bucket i
+/// (i >= 1) covers [2^(i-1), 2^i).
+int BucketIndex(uint64_t v) {
+  if (v == 0) return 0;
+  return 64 - std::countl_zero(v);
+}
+
+/// Inclusive-exclusive upper bound of bucket i (the value Quantile reports).
+uint64_t BucketUpperBound(int i) {
+  if (i == 0) return 0;
+  if (i >= 64) return UINT64_MAX;
+  return uint64_t{1} << i;
+}
+
+void AppendKeyValue(std::string* out, const char* key, uint64_t v,
+                    bool* first) {
+  if (!*first) *out += ", ";
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\": ";
+  *out += std::to_string(v);
+}
+
+}  // namespace
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    min = o.min;
+    max = o.max;
+  } else {
+    min = min < o.min ? min : o.min;
+    max = max > o.max ? max : o.max;
+  }
+  count += o.count;
+  sum += o.sum;
+  for (int i = 0; i < kNumBuckets; ++i) buckets[i] += o.buckets[i];
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target observation, 1-based: ceil(q * count), at least 1.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return max;
+}
+
+std::string HistogramSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  AppendKeyValue(&out, "count", count, &first);
+  AppendKeyValue(&out, "sum", sum, &first);
+  AppendKeyValue(&out, "min", count == 0 ? 0 : min, &first);
+  AppendKeyValue(&out, "max", max, &first);
+  AppendKeyValue(&out, "p50", Quantile(0.50), &first);
+  AppendKeyValue(&out, "p90", Quantile(0.90), &first);
+  AppendKeyValue(&out, "p99", Quantile(0.99), &first);
+  out += ", \"buckets\": [";
+  bool first_bucket = true;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (!first_bucket) out += ", ";
+    first_bucket = false;
+    out += '[';
+    out += std::to_string(BucketUpperBound(i));
+    out += ", ";
+    out += std::to_string(buckets[i]);
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value,
+                                     std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = mn == UINT64_MAX ? 0 : mn;
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+void Histogram::MergeSnapshot(const HistogramSnapshot& s) {
+  if (s.count == 0) return;
+  for (int i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+    if (s.buckets[i] != 0) {
+      buckets_[i].fetch_add(s.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(s.count, std::memory_order_relaxed);
+  sum_.fetch_add(s.sum, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (s.min < cur &&
+         !min_.compare_exchange_weak(cur, s.min,
+                                     std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (s.max > cur &&
+         !max_.compare_exchange_weak(cur, s.max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Snapshot the other side first so self-merge or concurrent recording
+  // cannot deadlock (lock order: other.mu_ released before mu_ is taken via
+  // GetCounter/GetHistogram).
+  std::map<std::string, uint64_t> counter_values;
+  std::map<std::string, HistogramSnapshot> hist_snapshots;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [name, c] : other.counters_) {
+      counter_values[name] = c->value();
+    }
+    for (const auto& [name, h] : other.histograms_) {
+      hist_snapshots[name] = h->Snapshot();
+    }
+  }
+  for (const auto& [name, v] : counter_values) GetCounter(name)->Add(v);
+  for (const auto& [name, s] : hist_snapshots) {
+    GetHistogram(name)->MergeSnapshot(s);
+  }
+}
+
+std::string MetricsRegistry::CountersText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {  // std::map: sorted by name.
+    out += name;
+    out += ' ';
+    out += std::to_string(c->value());
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"' + name + "\": " + std::to_string(c->value());
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"' + name + "\": " + h->Snapshot().ToJson();
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace util
+}  // namespace blossomtree

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/trace.h"
+
 namespace blossomtree {
 namespace util {
 
@@ -28,6 +30,9 @@ void ResourceGuard::Arm() {
 void ResourceGuard::Trip(StatusCode code, std::string msg) {
   std::lock_guard<std::mutex> lock(mu_);
   if (tripped_.load(std::memory_order_relaxed)) return;  // First trip wins.
+  // The first trip lands on the query timeline as an instant event, so a
+  // trace shows exactly which operator span the budget ran out under.
+  if (Tracer::Get().enabled()) TraceInstant("guard", "trip: " + msg);
   status_ = code == StatusCode::kCancelled
                 ? Status::Cancelled(std::move(msg))
                 : Status::ResourceExhausted(std::move(msg));

@@ -1,5 +1,9 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
+
+#include "util/trace.h"
+
 namespace blossomtree {
 namespace util {
 
@@ -23,6 +27,25 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  if (Tracer::Get().enabled()) {
+    // Timeline instrumentation (DESIGN.md §10): an 'i' event marks the
+    // enqueue on the submitting thread; the worker records the
+    // enqueue→start queueing delay as a counter and wraps the body in a
+    // "pool.task" span. Captured only when tracing is on, so the default
+    // path submits the bare callable.
+    Tracer::Get().Record('i', "pool", "enqueue");
+    auto enqueue = std::chrono::steady_clock::now();
+    fn = [body = std::move(fn), enqueue] {
+      auto start = std::chrono::steady_clock::now();
+      TraceCounter("pool", "queue_delay_ns",
+                   static_cast<double>(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           start - enqueue)
+                           .count()));
+      TraceSpan span("pool", "task");
+      body();
+    };
+  }
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
   {

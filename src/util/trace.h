@@ -1,0 +1,170 @@
+#ifndef BLOSSOMTREE_UTIL_TRACE_H_
+#define BLOSSOMTREE_UTIL_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace blossomtree {
+namespace util {
+
+/// \brief One timeline event, 64 bytes so a ring slot is one cache line.
+///
+/// `ph` follows the Chrome trace_event phase alphabet: 'B'/'E' span
+/// begin/end (matched per-thread by nesting), 'i' instant, 'C' counter.
+/// `cat` must point at a string with static storage duration (it is not
+/// copied); `name` is copied inline and truncated to fit the slot.
+struct TraceEvent {
+  uint64_t ts_nanos = 0;       ///< Nanoseconds since the tracer epoch.
+  const char* cat = nullptr;   ///< Static category string ("engine", ...).
+  double value = 0;            ///< Counter value for 'C' events.
+  char ph = 0;                 ///< 'B', 'E', 'i', or 'C'.
+  char name[39] = {};          ///< NUL-terminated, truncated.
+};
+static_assert(sizeof(TraceEvent) == 64, "one cache line per event");
+
+/// \brief A per-thread ring of trace events. Exactly one thread writes
+/// (lock-free: a plain slot store plus one relaxed counter increment);
+/// the exporter reads it only after that writing has happened-before the
+/// export (e.g. queries finished, pool futures joined).
+class TraceRing {
+ public:
+  /// ~64 B * 16384 = 1 MiB per recording thread.
+  static constexpr size_t kCapacity = 16384;
+
+  explicit TraceRing(uint32_t tid) : tid_(tid), events_(kCapacity) {}
+
+  uint32_t tid() const { return tid_; }
+
+  void Record(char ph, const char* cat, std::string_view name, double value,
+              uint64_t ts_nanos) {
+    TraceEvent& e = events_[count_.load(std::memory_order_relaxed) %
+                            kCapacity];
+    e.ts_nanos = ts_nanos;
+    e.cat = cat;
+    e.value = value;
+    e.ph = ph;
+    size_t n = name.size() < sizeof(e.name) - 1 ? name.size()
+                                                : sizeof(e.name) - 1;
+    name.copy(e.name, n);
+    e.name[n] = '\0';
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Oldest-first snapshot of the retained window (at most kCapacity; older
+  /// events are overwritten once the ring wraps).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Total events ever recorded (not capped at the capacity).
+  uint64_t TotalRecorded() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  void Clear() { count_.store(0, std::memory_order_relaxed); }
+
+ private:
+  uint32_t tid_;
+  std::atomic<uint64_t> count_{0};
+  std::vector<TraceEvent> events_;
+};
+
+/// \brief Process-wide query-lifecycle tracer (DESIGN.md §10).
+///
+/// Disabled (the default) it costs one relaxed atomic load per probe — the
+/// hot paths check `enabled()` before building span names. Enabled, every
+/// thread records into its own TraceRing; ExportJson() serializes all rings
+/// as Chrome trace_event JSON loadable in chrome://tracing or Perfetto.
+///
+/// Export is snapshot-based and must not race active recording: callers
+/// export after the traced query has completed (pool futures joined), which
+/// establishes the needed happens-before edge.
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  /// \brief Starts (or restarts) a capture: clears all rings and stamps the
+  /// time epoch. Idempotent only in the sense that re-enabling resets.
+  void Enable();
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// \brief Records one event on the calling thread's ring (no-op when
+  /// disabled). `cat` must have static storage duration.
+  void Record(char ph, const char* cat, std::string_view name,
+              double value = 0);
+
+  /// \brief Discards all recorded events (rings stay registered).
+  void Clear();
+
+  /// \brief Events currently retained across all rings.
+  size_t EventCount() const;
+
+  /// \brief Chrome trace_event JSON: {"traceEvents": [...],
+  /// "displayTimeUnit": "ms"} with process/thread metadata records. Every
+  /// event object carries "ph", "ts" (microseconds), "pid", and "tid".
+  std::string ExportJson() const;
+
+  /// \brief ExportJson() to a file.
+  Status ExportJsonFile(const std::string& path) const;
+
+ private:
+  Tracer() = default;
+
+  TraceRing* Ring();
+  std::shared_ptr<TraceRing> RegisterRing();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_{};
+
+  mutable std::mutex mu_;  ///< Guards rings_ registration and next_tid_.
+  std::vector<std::shared_ptr<TraceRing>> rings_;
+  uint32_t next_tid_ = 0;
+};
+
+/// \brief RAII span: 'B' at construction, 'E' at destruction, both elided
+/// when the tracer is disabled at construction time. Callers building
+/// expensive names should gate on Tracer::Get().enabled() first.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, std::string_view name) {
+    Tracer& t = Tracer::Get();
+    if (t.enabled()) {
+      cat_ = cat;
+      t.Record('B', cat, name);
+    }
+  }
+  ~TraceSpan() {
+    if (cat_ != nullptr) Tracer::Get().Record('E', cat_, {});
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* cat_ = nullptr;
+};
+
+/// \brief Instant event ('i') — e.g. a resource-guard trip.
+inline void TraceInstant(const char* cat, std::string_view name) {
+  Tracer& t = Tracer::Get();
+  if (t.enabled()) t.Record('i', cat, name);
+}
+
+/// \brief Counter sample ('C') — e.g. a thread-pool queueing delay.
+inline void TraceCounter(const char* cat, std::string_view name,
+                         double value) {
+  Tracer& t = Tracer::Get();
+  if (t.enabled()) t.Record('C', cat, name, value);
+}
+
+}  // namespace util
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_UTIL_TRACE_H_

@@ -1,0 +1,111 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace blossomtree {
+namespace util {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  auto v = ParseJson("42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_number());
+  EXPECT_DOUBLE_EQ(v->AsNumber(), 42.0);
+
+  v = ParseJson("-3.5e2");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsNumber(), -350.0);
+
+  v = ParseJson("true");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_bool());
+  EXPECT_TRUE(v->AsBool());
+
+  v = ParseJson("false");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v->AsBool());
+
+  v = ParseJson("null");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+
+  v = ParseJson("\"hi\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_string());
+  EXPECT_EQ(v->AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\nd\te")");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->AsString(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonTest, ParsesNestedObject) {
+  auto v = ParseJson(
+      R"({"bench": "t2", "schema_version": 2,
+          "environment": {"threads": 4, "datasets": ["d1", "d2"]},
+          "profiles": [{"rows": 10}, {"rows": 20}]})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->StringOr("bench", ""), "t2");
+  EXPECT_DOUBLE_EQ(v->NumberOr("schema_version", 0), 2.0);
+  const JsonValue* env = v->Find("environment");
+  ASSERT_NE(env, nullptr);
+  EXPECT_DOUBLE_EQ(env->NumberOr("threads", 0), 4.0);
+  const JsonValue* ds = env->Find("datasets");
+  ASSERT_NE(ds, nullptr);
+  ASSERT_TRUE(ds->is_array());
+  ASSERT_EQ(ds->AsArray().size(), 2u);
+  EXPECT_EQ(ds->AsArray()[1].AsString(), "d2");
+  const JsonValue* profiles = v->Find("profiles");
+  ASSERT_NE(profiles, nullptr);
+  ASSERT_EQ(profiles->AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(profiles->AsArray()[0].NumberOr("rows", 0), 10.0);
+}
+
+TEST(JsonTest, FindFallbacks) {
+  auto v = ParseJson(R"({"a": 1, "s": "x"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(v->NumberOr("missing", -7), -7.0);
+  EXPECT_DOUBLE_EQ(v->NumberOr("s", -7), -7.0);  // Wrong type → fallback.
+  EXPECT_EQ(v->StringOr("a", "fb"), "fb");
+  // Find on a non-object is a null lookup, not a crash.
+  auto arr = ParseJson("[1, 2]");
+  ASSERT_TRUE(arr.ok());
+  EXPECT_EQ(arr->Find("a"), nullptr);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1, 2").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  // Trailing garbage after a complete document is an error, not ignored.
+  EXPECT_FALSE(ParseJson("{} x").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+  // Trailing whitespace is fine.
+  EXPECT_TRUE(ParseJson("{}  \n").ok());
+}
+
+TEST(JsonTest, DepthLimited) {
+  // A pathological nesting depth is rejected instead of overflowing the
+  // stack (the parser is used on artifacts that could come from anywhere).
+  std::string deep(100000, '[');
+  deep += std::string(100000, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonTest, MissingFileIsError) {
+  auto v = ParseJsonFile("/nonexistent/path/to/artifact.json");
+  EXPECT_FALSE(v.ok());
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace blossomtree

@@ -1,0 +1,154 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace blossomtree {
+namespace util {
+namespace {
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HistogramTest, RecordsBasicStats) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(7);
+  h.Record(1000);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 1008u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 1000u);
+  // Bucket 0 holds the zero; bucket 1 holds v == 1.
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+}
+
+TEST(HistogramTest, QuantilesAreBucketUpperBounds) {
+  Histogram h;
+  // 100 values in [1, 2): all land in bucket 1, upper bound 1... actually
+  // values of exactly 1 land in the v==1 bucket. Use a spread instead:
+  // 90 small values (v=3, bucket upper bound 4) and 10 large (v=1000,
+  // bucket upper bound 1024).
+  for (int i = 0; i < 90; ++i) h.Record(3);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.Quantile(0.5), 4u);
+  EXPECT_EQ(s.Quantile(0.9), 4u);
+  EXPECT_EQ(s.Quantile(0.99), 1024u);
+  // Degenerate inputs.
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, MergeIsOrderIndependent) {
+  // The determinism contract: merging the same per-thread snapshots in any
+  // order yields bitwise-identical aggregates (and hence identical JSON).
+  std::vector<HistogramSnapshot> parts;
+  for (int t = 0; t < 3; ++t) {
+    Histogram h;
+    for (int i = 0; i < 50; ++i) h.Record(static_cast<uint64_t>(t * 97 + i));
+    parts.push_back(h.Snapshot());
+  }
+  HistogramSnapshot fwd;
+  for (int t = 0; t < 3; ++t) fwd.MergeFrom(parts[t]);
+  HistogramSnapshot rev;
+  for (int t = 2; t >= 0; --t) rev.MergeFrom(parts[t]);
+  EXPECT_EQ(fwd.count, rev.count);
+  EXPECT_EQ(fwd.sum, rev.sum);
+  EXPECT_EQ(fwd.min, rev.min);
+  EXPECT_EQ(fwd.max, rev.max);
+  EXPECT_EQ(fwd.buckets, rev.buckets);
+  EXPECT_EQ(fwd.ToJson(), rev.ToJson());
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllLand) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(5);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(s.sum, static_cast<uint64_t>(kThreads * kPerThread) * 5);
+}
+
+TEST(HistogramTest, ToJsonListsOccupiedBucketsOnly) {
+  Histogram h;
+  h.Record(3);
+  std::string json = h.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("[4, 1]"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, StablePointersAndIdempotentLookup) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("a.b");
+  Counter* c2 = reg.GetCounter("a.b");
+  EXPECT_EQ(c1, c2);
+  Histogram* h1 = reg.GetHistogram("lat");
+  Histogram* h2 = reg.GetHistogram("lat");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, CountersTextIsSortedAndCountersOnly) {
+  MetricsRegistry reg;
+  reg.GetCounter("zeta")->Add(3);
+  reg.GetCounter("alpha")->Add(1);
+  reg.GetHistogram("latency_ns")->Record(123);
+  // Sorted by name, one "name value" line each, histograms excluded: this
+  // is the bitwise cross-thread identity surface, and wall times have no
+  // business on it.
+  EXPECT_EQ(reg.CountersText(), "alpha 1\nzeta 3\n");
+}
+
+TEST(MetricsRegistryTest, ToJsonCarriesHistograms) {
+  MetricsRegistry reg;
+  reg.GetCounter("queries")->Add(2);
+  reg.GetHistogram("wall_ns")->Record(1 << 20);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"queries\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"wall_ns\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, MergeFromAddsAndReset) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("n")->Add(1);
+  b.GetCounter("n")->Add(2);
+  b.GetCounter("only_b")->Add(5);
+  b.GetHistogram("h")->Record(9);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("n")->value(), 3u);
+  EXPECT_EQ(a.GetCounter("only_b")->value(), 5u);
+  EXPECT_EQ(a.GetHistogram("h")->Snapshot().count, 1u);
+  Counter* n = a.GetCounter("n");
+  a.Reset();
+  EXPECT_EQ(n->value(), 0u);  // Pointers stay valid across Reset.
+  EXPECT_EQ(a.GetHistogram("h")->Snapshot().count, 0u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace blossomtree

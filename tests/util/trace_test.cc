@@ -1,0 +1,149 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+
+namespace blossomtree {
+namespace util {
+namespace {
+
+/// Every trace test owns the process-wide tracer for its duration and
+/// leaves it disabled and empty, so test order cannot leak state.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Clear();
+  }
+  void TearDown() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  ASSERT_FALSE(Tracer::Get().enabled());
+  {
+    TraceSpan span("test", "ignored");
+    TraceInstant("test", "ignored too");
+    TraceCounter("test", "ignored as well", 42);
+  }
+  EXPECT_EQ(Tracer::Get().EventCount(), 0u);
+}
+
+TEST_F(TraceTest, DisableMidSpanDropsTheEnd) {
+  // Record() gates on enabled(), so disabling mid-span drops the 'E'.
+  // Callers therefore disable only between queries, never inside one —
+  // pinned here so a change to that contract is a conscious one.
+  Tracer::Get().Enable();
+  {
+    TraceSpan span("test", "closing");
+    Tracer::Get().Disable();
+  }
+  EXPECT_EQ(Tracer::Get().EventCount(), 1u);
+}
+
+TEST_F(TraceTest, ExportIsWellFormedChromeTraceJson) {
+  Tracer::Get().Enable();
+  {
+    TraceSpan outer("test", "outer");
+    { TraceSpan inner("test", "inner with \"quotes\" and\nnewline"); }
+    TraceInstant("test", "tick");
+    TraceCounter("test", "queue_delay_ns", 1234.5);
+  }
+  Tracer::Get().Disable();
+
+  std::string json = Tracer::Get().ExportJson();
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json;
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_EQ(parsed->StringOr("displayTimeUnit", ""), "ms");
+
+  int begins = 0, ends = 0, instants = 0, counters = 0, meta = 0;
+  for (const JsonValue& e : events->AsArray()) {
+    // The contract every viewer relies on: ph/ts/pid/tid on every record.
+    ASSERT_NE(e.Find("ph"), nullptr);
+    ASSERT_NE(e.Find("ts"), nullptr);
+    ASSERT_NE(e.Find("pid"), nullptr);
+    ASSERT_NE(e.Find("tid"), nullptr);
+    std::string ph = e.StringOr("ph", "");
+    if (ph == "B") ++begins;
+    if (ph == "E") ++ends;
+    if (ph == "i") {
+      ++instants;
+      EXPECT_EQ(e.StringOr("s", ""), "t");  // Thread-scoped instant.
+    }
+    if (ph == "C") {
+      ++counters;
+      const JsonValue* args = e.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_DOUBLE_EQ(args->NumberOr("value", 0), 1234.5);
+    }
+    if (ph == "M") ++meta;
+  }
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
+  EXPECT_EQ(instants, 1);
+  EXPECT_EQ(counters, 1);
+  EXPECT_GE(meta, 2);  // process_name + at least one thread_name.
+}
+
+TEST_F(TraceTest, NamesEscapeAndTruncateSafely) {
+  Tracer::Get().Enable();
+  // Longer than the 38-char inline name capacity: must truncate, not smash.
+  std::string long_name(200, 'x');
+  long_name += "\"\\\n";
+  TraceInstant("test", long_name);
+  Tracer::Get().Disable();
+  auto parsed = ParseJson(Tracer::Get().ExportJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST_F(TraceTest, EventsFromMultipleThreadsCarryDistinctTids) {
+  Tracer::Get().Enable();
+  TraceInstant("test", "main-thread");
+  std::thread worker([] { TraceInstant("test", "worker-thread"); });
+  worker.join();
+  Tracer::Get().Disable();
+
+  auto parsed = ParseJson(Tracer::Get().ExportJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::set<double> tids;
+  for (const JsonValue& e : parsed->Find("traceEvents")->AsArray()) {
+    if (e.StringOr("ph", "") == "i") tids.insert(e.NumberOr("tid", -1));
+  }
+  EXPECT_GE(tids.size(), 2u);
+}
+
+TEST_F(TraceTest, RingWrapsKeepingNewestEvents) {
+  Tracer::Get().Enable();
+  for (size_t i = 0; i < TraceRing::kCapacity + 100; ++i) {
+    TraceInstant("test", "spin");
+  }
+  Tracer::Get().Disable();
+  // Retention is capped at the ring capacity; overflow drops oldest.
+  EXPECT_EQ(Tracer::Get().EventCount(), TraceRing::kCapacity);
+  auto parsed = ParseJson(Tracer::Get().ExportJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST_F(TraceTest, EnableRestartsCapture) {
+  Tracer::Get().Enable();
+  TraceInstant("test", "first capture");
+  Tracer::Get().Enable();  // Re-enable = fresh capture.
+  EXPECT_EQ(Tracer::Get().EventCount(), 0u);
+  TraceInstant("test", "second capture");
+  EXPECT_EQ(Tracer::Get().EventCount(), 1u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace blossomtree
