@@ -9,6 +9,7 @@
 #include "exec/operator.h"
 #include "flwor/parser.h"
 #include "pattern/builder.h"
+#include "pattern/decompose.h"
 #include "util/trace.h"
 
 namespace blossomtree {
@@ -25,6 +26,14 @@ BlossomTreeEngine::BlossomTreeEngine(const xml::Document* doc,
   if (threads > 1 && options_.plan.pool == nullptr) {
     pool_ = std::make_unique<util::ThreadPool>(threads);
     options_.plan.pool = pool_.get();
+  }
+  if (options_.plan_cache.enabled) {
+    plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache);
+  }
+  if (options_.result_cache.enabled && options_.plan.result_cache == nullptr) {
+    result_cache_ = std::make_unique<exec::NokResultCache>(
+        options_.result_cache);
+    options_.plan.result_cache = result_cache_.get();
   }
   // Tracing is process-wide (spans land in per-thread rings regardless of
   // which engine issued them); any engine asking for it turns it on. An
@@ -50,11 +59,26 @@ uint64_t NanosSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 Result<std::string> BlossomTreeEngine::EvaluateQuery(std::string_view query) {
-  auto parse_start = std::chrono::steady_clock::now();
-  BT_ASSIGN_OR_RETURN(std::unique_ptr<flwor::Expr> expr,
-                      flwor::ParseQuery(query, options_.limits.ToParseLimits()));
-  if (options_.collect_metrics) {
-    metrics_.GetHistogram("query.parse_ns")->Record(NanosSince(parse_start));
+  // Plan-cache level 1: verbatim query text → parsed AST. A hit skips the
+  // parser entirely (and records no query.parse_ns sample — there was no
+  // parse). Parse failures are never cached: the error re-surfaces each time.
+  std::shared_ptr<const flwor::Expr> expr;
+  if (plan_cache_ != nullptr) {
+    util::TraceSpan lookup("cache", "plan.parsed.lookup");
+    expr = plan_cache_->GetParsed(std::string(query));
+  }
+  if (expr == nullptr) {
+    auto parse_start = std::chrono::steady_clock::now();
+    BT_ASSIGN_OR_RETURN(
+        std::unique_ptr<flwor::Expr> parsed,
+        flwor::ParseQuery(query, options_.limits.ToParseLimits()));
+    if (options_.collect_metrics) {
+      metrics_.GetHistogram("query.parse_ns")->Record(NanosSince(parse_start));
+    }
+    expr = std::shared_ptr<const flwor::Expr>(std::move(parsed));
+    if (plan_cache_ != nullptr) {
+      plan_cache_->PutParsed(std::string(query), expr);
+    }
   }
   return EvaluateToXml(*expr);
 }
@@ -69,6 +93,7 @@ Result<std::string> BlossomTreeEngine::EvaluateToXml(
   if (guard_.Tripped()) return guard_.status();
   Result<std::string> xml = out.ToXml();
   if (options_.collect_metrics) {
+    FoldCacheMetrics();
     metrics_.GetCounter("engine.queries")->Increment();
     metrics_.GetHistogram("query.wall_ns")->Record(NanosSince(start));
     // Re-snapshot so the profile's embedded registry includes the
@@ -87,6 +112,7 @@ Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvaluatePath(
   BT_ASSIGN_OR_RETURN(std::vector<xml::NodeId> out, EvalPathPlan(path));
   if (guard_.Tripped()) return guard_.status();
   if (options_.collect_metrics) {
+    FoldCacheMetrics();
     metrics_.GetCounter("engine.path_queries")->Increment();
     metrics_.GetCounter("engine.path_result_nodes")
         ->Add(static_cast<uint64_t>(out.size()));
@@ -98,21 +124,39 @@ Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvaluatePath(
 
 Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvalPathPlan(
     const xpath::PathExpr& path) {
-  auto built = pattern::BuildFromPath(path);
-  if (!built.ok()) {
-    if (built.status().code() == StatusCode::kUnsupported) {
-      // Constructs outside the BlossomTree subset (e.g. reverse axes)
-      // degrade gracefully to navigational evaluation.
-      PathEvaluator ev(doc_);
-      last_explain_ =
-          "navigational fallback (" + built.status().message() + ")\n";
-      return ev.Evaluate(path);
-    }
-    return built.status();
+  // Plan-cache level 2: canonical path fingerprint → compiled BlossomTree +
+  // decomposition. The navigational fallback below produces no compiled
+  // artifact and is never cached.
+  std::shared_ptr<const CompiledPath> compiled;
+  std::string key;
+  if (plan_cache_ != nullptr) {
+    key = CanonicalPathKey(path);
+    util::TraceSpan lookup("cache", "plan.path.lookup");
+    compiled = plan_cache_->GetPath(key);
   }
-  pattern::BlossomTree tree = built.MoveValue();
+  if (compiled == nullptr) {
+    auto built = pattern::BuildFromPath(path);
+    if (!built.ok()) {
+      if (built.status().code() == StatusCode::kUnsupported) {
+        // Constructs outside the BlossomTree subset (e.g. reverse axes)
+        // degrade gracefully to navigational evaluation.
+        PathEvaluator ev(doc_);
+        last_explain_ =
+            "navigational fallback (" + built.status().message() + ")\n";
+        return ev.Evaluate(path);
+      }
+      return built.status();
+    }
+    auto fresh = std::make_shared<CompiledPath>();
+    fresh->tree = built.MoveValue();
+    fresh->decomposition = pattern::Decompose(fresh->tree);
+    if (plan_cache_ != nullptr) plan_cache_->PutPath(key, fresh);
+    compiled = std::move(fresh);
+  }
+  const pattern::BlossomTree& tree = compiled->tree;
   BT_ASSIGN_OR_RETURN(opt::QueryPlan plan,
-                      opt::PlanQuery(doc_, &tree, options_.plan));
+                      opt::PlanQuery(doc_, &tree, options_.plan,
+                                     &compiled->decomposition));
   last_explain_ = plan.Explain();
   pattern::SlotId result = tree.SlotOfVariable("result");
   std::vector<xml::NodeId> out;
@@ -218,15 +262,62 @@ Status BlossomTreeEngine::EvalFlwor(const flwor::Flwor& flwor, const Env& env,
   return EmitTuples(flwor, std::move(tuples), out);
 }
 
+Result<std::shared_ptr<const CompiledFlwor>> BlossomTreeEngine::CompileFlwor(
+    const flwor::Flwor& flwor) {
+  // Plan-cache level 2: canonical FLWOR fingerprint → BlossomTree +
+  // decomposition + slot bindings. Build failures (e.g. kUnsupported, which
+  // FlworTuples' caller turns into the naive fallback) are never cached.
+  std::string key;
+  if (plan_cache_ != nullptr) {
+    key = CanonicalFlworKey(flwor);
+    util::TraceSpan lookup("cache", "plan.flwor.lookup");
+    std::shared_ptr<const CompiledFlwor> hit = plan_cache_->GetFlwor(key);
+    if (hit != nullptr) return hit;
+  }
+  auto compiled = std::make_shared<CompiledFlwor>();
+  BT_ASSIGN_OR_RETURN(compiled->tree, pattern::BuildFromFlwor(flwor));
+  compiled->decomposition = pattern::Decompose(compiled->tree);
+  compiled->bindings = ComputeSlotBindings(compiled->tree, flwor);
+  if (plan_cache_ != nullptr) plan_cache_->PutFlwor(key, compiled);
+  return std::shared_ptr<const CompiledFlwor>(std::move(compiled));
+}
+
+void BlossomTreeEngine::FoldCacheMetrics() {
+  auto fold = [this](const char* which, const util::CacheStats& now,
+                     util::CacheStats* last) {
+    std::string prefix = std::string("cache.") + which;
+    metrics_.GetCounter(prefix + ".hits")->Add(now.hits - last->hits);
+    metrics_.GetCounter(prefix + ".misses")->Add(now.misses - last->misses);
+    metrics_.GetCounter(prefix + ".evictions")
+        ->Add(now.evictions - last->evictions);
+    // Occupancy is a gauge, not a monotonic counter: overwrite in place.
+    util::Counter* bytes = metrics_.GetCounter(prefix + ".bytes");
+    bytes->Reset();
+    bytes->Add(now.bytes);
+    util::Counter* entries = metrics_.GetCounter(prefix + ".entries");
+    entries->Reset();
+    entries->Add(now.entries);
+    *last = now;
+  };
+  if (plan_cache_ != nullptr) {
+    fold("plan", plan_cache_->Stats(), &folded_plan_stats_);
+  }
+  if (result_cache_ != nullptr) {
+    fold("result", result_cache_->Stats(), &folded_result_stats_);
+  }
+}
+
 Result<std::vector<Env>> BlossomTreeEngine::FlworTuples(
     const flwor::Flwor& flwor) {
   util::TraceSpan span("engine", "flwor-tuples");
-  BT_ASSIGN_OR_RETURN(pattern::BlossomTree tree,
-                      pattern::BuildFromFlwor(flwor));
+  BT_ASSIGN_OR_RETURN(std::shared_ptr<const CompiledFlwor> compiled,
+                      CompileFlwor(flwor));
+  const pattern::BlossomTree& tree = compiled->tree;
   BT_ASSIGN_OR_RETURN(opt::QueryPlan plan,
-                      opt::PlanQuery(doc_, &tree, options_.plan));
+                      opt::PlanQuery(doc_, &tree, options_.plan,
+                                     &compiled->decomposition));
   last_explain_ = plan.Explain();
-  std::vector<SlotBinding> bindings = ComputeSlotBindings(tree, flwor);
+  const std::vector<SlotBinding>& bindings = compiled->bindings;
   // Per pattern tree: drain the plan, expand bindings.
   std::vector<std::vector<Env>> per_tree;
   for (opt::PatternTreePlan& tp : plan.trees) {

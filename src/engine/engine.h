@@ -7,9 +7,12 @@
 
 #include "engine/construct.h"
 #include "engine/path_eval.h"
+#include "engine/plan_cache.h"
 #include "engine/query_profile.h"
+#include "exec/result_cache.h"
 #include "flwor/ast.h"
 #include "opt/planner.h"
+#include "util/cache.h"
 #include "util/metrics.h"
 #include "util/resource_guard.h"
 #include "util/status.h"
@@ -53,6 +56,18 @@ struct EngineOptions {
   /// (kCancelled for Cancel()) instead of a truncated result. Defaults are
   /// unlimited, which preserves the exact ungoverned behavior.
   util::QueryLimits limits;
+  /// Plan cache (DESIGN.md §11): query text → parsed AST and canonical
+  /// FLWOR/path fingerprint → compiled BlossomTree + decomposition +
+  /// bindings. OFF by default — with it off every code path, counter, and
+  /// profile is bitwise-identical to the pre-cache engine. Caching never
+  /// changes results: cached artifacts are pure functions of the query.
+  util::CacheOptions plan_cache;
+  /// NoK sub-result cache (DESIGN.md §11): (document generation, canonical
+  /// NoK, node range) → materialized match NestedLists, shared by every
+  /// full-document NoK scan the engine plans. OFF by default. A hit replays
+  /// exactly what a cold scan of the same range would emit, so results stay
+  /// byte-identical at every thread count.
+  util::CacheOptions result_cache;
 };
 
 /// \brief End-to-end query evaluation via BlossomTree pattern matching:
@@ -108,6 +123,13 @@ class BlossomTreeEngine {
   util::MetricsRegistry& metrics() { return metrics_; }
   const util::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// \brief The plan cache; nullptr unless EngineOptions::plan_cache.enabled.
+  PlanCache* plan_cache() { return plan_cache_.get(); }
+
+  /// \brief The NoK sub-result cache; nullptr unless
+  /// EngineOptions::result_cache.enabled.
+  exec::NokResultCache* result_cache() { return result_cache_.get(); }
+
  private:
   /// EvaluatePath minus the guard arming: used for top-level paths and for
   /// paths nested inside an already-armed evaluation (re-arming would
@@ -123,6 +145,14 @@ class BlossomTreeEngine {
   /// Finishes the executed plan and snapshots last_profile_ /
   /// last_explain_analyze_ (no-op unless collect_profile).
   void CollectProfile(opt::QueryPlan* plan, const std::string& label);
+  /// Compiles `flwor` (BlossomTree + decomposition + slot bindings) through
+  /// the plan cache when enabled, building uncached otherwise.
+  Result<std::shared_ptr<const CompiledFlwor>> CompileFlwor(
+      const flwor::Flwor& flwor);
+  /// Folds cache counters into the metrics registry: hits/misses/evictions
+  /// as deltas since the last fold, bytes/entries as gauges (no-op unless
+  /// collect_metrics and at least one cache is enabled).
+  void FoldCacheMetrics();
 
   const xml::Document* doc_;
   EngineOptions options_;
@@ -135,6 +165,15 @@ class BlossomTreeEngine {
   /// Engine-owned metrics: deterministic counters plus latency histograms
   /// (DESIGN.md §10). Snapshotted into QueryProfile when collect_metrics.
   util::MetricsRegistry metrics_;
+  /// Owned caches (DESIGN.md §11), created only when the corresponding
+  /// EngineOptions knob is enabled; options_.plan.result_cache borrows
+  /// result_cache_ so every planned NoK scan shares it.
+  std::unique_ptr<PlanCache> plan_cache_;
+  std::unique_ptr<exec::NokResultCache> result_cache_;
+  /// Stats snapshots at the last FoldCacheMetrics, for delta folding of the
+  /// monotonic cache counters.
+  util::CacheStats folded_plan_stats_;
+  util::CacheStats folded_result_stats_;
   std::string last_explain_;
   std::string last_explain_analyze_;
   QueryProfile last_profile_;

@@ -1,0 +1,83 @@
+#ifndef BLOSSOMTREE_ENGINE_PLAN_CACHE_H_
+#define BLOSSOMTREE_ENGINE_PLAN_CACHE_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/binder.h"
+#include "flwor/ast.h"
+#include "pattern/blossom_tree.h"
+#include "pattern/decompose.h"
+#include "util/cache.h"
+#include "xpath/ast.h"
+
+namespace blossomtree {
+namespace engine {
+
+/// \brief Everything FlworTuples needs short of physical operators: the
+/// finalized BlossomTree, its NoK decomposition (Algorithm 1), and the
+/// per-slot binding metadata. All three are pure functions of the FLWOR
+/// AST, so they are shared read-only across repeat executions (physical
+/// operators are rebuilt per query — they are stateful iterators).
+struct CompiledFlwor {
+  pattern::BlossomTree tree;
+  pattern::Decomposition decomposition;
+  std::vector<SlotBinding> bindings;
+};
+
+/// \brief The compiled form of an absolute path query (result bound to the
+/// "result" variable by pattern::BuildFromPath).
+struct CompiledPath {
+  pattern::BlossomTree tree;
+  pattern::Decomposition decomposition;
+};
+
+/// \brief The engine's plan cache (DESIGN.md §11): two levels over
+/// util::ShardedLruCache.
+///
+/// Level 1 maps verbatim query text to the parsed flwor::Expr (skips the
+/// parser). Level 2 maps a *canonical fingerprint* of the FLWOR or path —
+/// whitespace- and formatting-insensitive, injective over every field the
+/// compilation consumes — to the compiled artifacts (skips BuildFromFlwor /
+/// BuildFromPath, Algorithm 1, and the binder). Each level has its own
+/// byte budget carved from CacheOptions::max_bytes, so a flood of distinct
+/// query texts cannot evict every compiled tree.
+class PlanCache {
+ public:
+  explicit PlanCache(const util::CacheOptions& options);
+
+  // -- Level 1: query text -> parsed AST -------------------------------------
+  std::shared_ptr<const flwor::Expr> GetParsed(const std::string& text);
+  void PutParsed(const std::string& text,
+                 std::shared_ptr<const flwor::Expr> expr);
+
+  // -- Level 2: canonical fingerprint -> compiled artifacts ------------------
+  std::shared_ptr<const CompiledFlwor> GetFlwor(const std::string& key);
+  void PutFlwor(const std::string& key,
+                std::shared_ptr<const CompiledFlwor> compiled);
+  std::shared_ptr<const CompiledPath> GetPath(const std::string& key);
+  void PutPath(const std::string& key,
+               std::shared_ptr<const CompiledPath> compiled);
+
+  /// \brief Merged counters across the three internal caches.
+  util::CacheStats Stats() const;
+
+ private:
+  util::ShardedLruCache<std::string, flwor::Expr> parsed_;
+  util::ShardedLruCache<std::string, CompiledFlwor> flwor_;
+  util::ShardedLruCache<std::string, CompiledPath> path_;
+};
+
+/// \brief Canonical fingerprint of a FLWOR: every binding, the where tree,
+/// ordering, and the return expression, with literals length-prefixed so
+/// the encoding is injective. Two query texts with equal keys compile to
+/// identical BlossomTrees, decompositions, and slot bindings.
+std::string CanonicalFlworKey(const flwor::Flwor& flwor);
+
+/// \brief Canonical fingerprint of an absolute path query.
+std::string CanonicalPathKey(const xpath::PathExpr& path);
+
+}  // namespace engine
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_ENGINE_PLAN_CACHE_H_

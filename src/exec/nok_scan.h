@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "exec/operator.h"
+#include "exec/result_cache.h"
 #include "nestedlist/nested_list.h"
 #include "pattern/decompose.h"
 #include "storage/page_store.h"
@@ -97,10 +100,16 @@ class NokScanOperator : public NestedListOperator {
   ///        boundaries (every ~512 nodes, per partition in parallel mode)
   ///        and charged for every emitted NestedList cell; once tripped the
   ///        stream ends early and the caller must check guard->status().
+  /// \param cache optional NoK sub-result cache (DESIGN.md §11): full-range
+  ///        scans probe it by (document generation, canonical NoK, range)
+  ///        and replay a hit's materialized matches without scanning;
+  ///        complete cold scans fill it. Range-restricted scans (the BNLJ
+  ///        inner side) bypass it. nullptr = the exact uncached scan.
   NokScanOperator(const xml::Document* doc, const pattern::BlossomTree* tree,
                   const pattern::NokTree* nok,
                   util::ThreadPool* pool = nullptr,
-                  util::ResourceGuard* guard = nullptr);
+                  util::ResourceGuard* guard = nullptr,
+                  NokResultCache* cache = nullptr);
 
   const std::vector<pattern::SlotId>& top_slots() const override {
     return matcher_.top_slots();
@@ -142,9 +151,32 @@ class NokScanOperator : public NestedListOperator {
   /// re-scans stay serial — their ranges are single subtrees).
   bool ParallelEligible() const;
 
+  /// True when the pending scan may use the result cache: a cache is
+  /// attached and the range covers the whole finished document.
+  bool CacheEligible() const;
+
   /// Materializes all matches of the full-document scan via one matcher per
-  /// partition, concatenated in partition (= document) order.
+  /// partition, concatenated in partition (= document) order. With a cache,
+  /// hit partitions replay their stored matches and only miss partitions
+  /// scan (each complete miss fills its entry).
   void RunParallelScan();
+
+  /// Cached serial path: probes the whole-range key, scanning eagerly into
+  /// the buffer on a miss (then filling the cache). Emits the same stream,
+  /// counters, and guard charges as the lazy serial loop.
+  void RunSerialCachedScan();
+
+  /// Cached virtual-root path ("~" NoKs match at most once per document).
+  void RunVirtualCachedScan();
+
+  /// Hands out the next buffered match: move, count, charge (the same
+  /// deterministic main-thread charging as the parallel handout).
+  bool HandOutBuffered(nestedlist::NestedList* out);
+
+  /// Stores a complete match list under `key` unless the guard tripped
+  /// mid-scan (a partial list must never be cached).
+  void FillCache(const NokCacheKey& key,
+                 const std::vector<nestedlist::NestedList>& matches);
 
   const xml::Document* doc_;
   const pattern::BlossomTree* tree_;
@@ -163,11 +195,18 @@ class NokScanOperator : public NestedListOperator {
 
   util::ThreadPool* pool_;
   util::ResourceGuard* guard_;
+  /// Shared materialization state: the parallel scan and both cached paths
+  /// buffer their full match stream here and hand entries out by move.
   bool parallel_done_ = false;
   std::vector<nestedlist::NestedList> parallel_buf_;
   size_t parallel_pos_ = 0;
   uint64_t parallel_work_ = 0;
   size_t partitions_used_ = 0;
+
+  NokResultCache* cache_;
+  /// Canonical NoK fingerprint (computed once at construction when a cache
+  /// is attached): the pattern half of every cache key this scan uses.
+  std::string canonical_nok_;
 };
 
 }  // namespace exec

@@ -1,0 +1,25 @@
+#include "exec/result_cache.h"
+
+#include "pattern/fingerprint.h"
+
+namespace blossomtree {
+namespace exec {
+
+size_t NokCacheKeyHash::operator()(const NokCacheKey& k) const {
+  uint64_t h = pattern::FingerprintHash(k.nok);
+  h ^= k.doc_generation * 0x9E3779B97F4A7C15ull;
+  h ^= (static_cast<uint64_t>(k.begin) << 32 | k.end) *
+       0xC2B2AE3D27D4EB4Full;
+  return static_cast<size_t>(h);
+}
+
+uint64_t CachedNokScanBytes(const NokCacheKey& key, const CachedNokScan& scan) {
+  // The same per-cell footprint the ResourceGuard charges at handout, plus
+  // per-list and key overheads; approximate by design (DESIGN.md §9).
+  return scan.cells * sizeof(nestedlist::Entry) +
+         scan.matches.size() * sizeof(nestedlist::NestedList) +
+         key.nok.size() + 64;
+}
+
+}  // namespace exec
+}  // namespace blossomtree

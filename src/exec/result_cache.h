@@ -1,0 +1,76 @@
+#ifndef BLOSSOMTREE_EXEC_RESULT_CACHE_H_
+#define BLOSSOMTREE_EXEC_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nestedlist/nested_list.h"
+#include "util/cache.h"
+#include "xml/document.h"
+
+namespace blossomtree {
+namespace exec {
+
+/// \brief Identity of one cached NoK scan (DESIGN.md §11): which document
+/// build (generation), which pattern (the full canonical NoK string — the
+/// cache never trusts a hash for equality), and which contiguous node range
+/// (the whole document for serial scans, one storage::PartitionSubtrees
+/// range per partition in parallel mode).
+struct NokCacheKey {
+  uint64_t doc_generation = 0;
+  std::string nok;
+  xml::NodeId begin = 0;
+  xml::NodeId end = 0;
+
+  bool operator==(const NokCacheKey& o) const {
+    return doc_generation == o.doc_generation && begin == o.begin &&
+           end == o.end && nok == o.nok;
+  }
+};
+
+struct NokCacheKeyHash {
+  size_t operator()(const NokCacheKey& k) const;
+};
+
+/// \brief The complete, in-document-order match stream of one NoK scan over
+/// one node range. `matches` is exactly what the cold scan's iterator hands
+/// out, so replaying a hit is byte-identical to rescanning.
+struct CachedNokScan {
+  std::vector<nestedlist::NestedList> matches;
+  uint64_t cells = 0;  ///< Total NestedList cells across all matches.
+};
+
+/// \brief Approximate in-memory footprint charged to the cache budget.
+uint64_t CachedNokScanBytes(const NokCacheKey& key, const CachedNokScan& scan);
+
+/// \brief The NoK sub-result cache: maps (generation, NoK fingerprint,
+/// range) to materialized match lists. Shared by every NokScanOperator of
+/// an engine; thread-safe (parallel partitions of one scan probe and fill
+/// it concurrently).
+class NokResultCache {
+ public:
+  explicit NokResultCache(const util::CacheOptions& options)
+      : cache_(options) {}
+
+  std::shared_ptr<const CachedNokScan> Get(const NokCacheKey& key) {
+    return cache_.Get(key);
+  }
+
+  void Put(const NokCacheKey& key, std::shared_ptr<const CachedNokScan> scan) {
+    uint64_t bytes = CachedNokScanBytes(key, *scan);
+    cache_.Put(key, std::move(scan), bytes);
+  }
+
+  void Clear() { cache_.Clear(); }
+  util::CacheStats Stats() const { return cache_.Stats(); }
+
+ private:
+  util::ShardedLruCache<NokCacheKey, CachedNokScan, NokCacheKeyHash> cache_;
+};
+
+}  // namespace exec
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_EXEC_RESULT_CACHE_H_

@@ -1,5 +1,8 @@
 #include "exec/value_ops.h"
 
+#include <utility>
+#include <vector>
+
 #include "util/strings.h"
 
 namespace blossomtree {
@@ -7,16 +10,13 @@ namespace exec {
 
 namespace {
 thread_local uint64_t value_comparisons = 0;
-}  // namespace
 
-uint64_t ValueComparisonCount() { return value_comparisons; }
-
-bool CompareValues(std::string_view left, xpath::CompareOp op,
-                   std::string_view right) {
-  ++value_comparisons;
-  double ln = 0;
-  double rn = 0;
-  if (ParseDouble(left, &ln) && ParseDouble(right, &rn)) {
+/// One XPath value comparison over pre-parsed operands: numeric when both
+/// sides parse as doubles, string collation otherwise.
+bool ComparePrepared(bool left_numeric, double ln, std::string_view left,
+                     xpath::CompareOp op, bool right_numeric, double rn,
+                     std::string_view right) {
+  if (left_numeric && right_numeric) {
     switch (op) {
       case xpath::CompareOp::kEq:
         return ln == rn;
@@ -32,7 +32,7 @@ bool CompareValues(std::string_view left, xpath::CompareOp op,
         return ln >= rn;
     }
   }
-  int cmp = std::string_view(left).compare(right);
+  int cmp = left.compare(right);
   switch (op) {
     case xpath::CompareOp::kEq:
       return cmp == 0;
@@ -49,15 +49,52 @@ bool CompareValues(std::string_view left, xpath::CompareOp op,
   }
   return false;
 }
+}  // namespace
+
+uint64_t ValueComparisonCount() { return value_comparisons; }
+
+bool CompareValues(std::string_view left, xpath::CompareOp op,
+                   std::string_view right) {
+  ++value_comparisons;
+  double ln = 0;
+  double rn = 0;
+  bool l_num = ParseDouble(left, &ln);
+  bool r_num = ParseDouble(right, &rn);
+  return ComparePrepared(l_num, ln, left, op, r_num, rn, right);
+}
 
 bool GeneralCompare(const xml::Document& doc,
                     const std::vector<xml::NodeId>& left,
                     xpath::CompareOp op,
                     const std::vector<xml::NodeId>& right) {
+  if (left.empty() || right.empty()) return false;
+  // Materialize and parse each right-side value once. The inner loop used
+  // to rebuild doc.StringValue(r) (and re-parse it) for every left node —
+  // O(|L|·|R|) string construction on what is already the hot path of
+  // where-clause joins.
+  struct RightValue {
+    std::string text;
+    double num = 0;
+    bool numeric = false;
+  };
+  std::vector<RightValue> rights;
+  rights.reserve(right.size());
+  for (xml::NodeId r : right) {
+    RightValue rv;
+    rv.text = doc.StringValue(r);
+    rv.numeric = ParseDouble(rv.text, &rv.num);
+    rights.push_back(std::move(rv));
+  }
   for (xml::NodeId l : left) {
     std::string lv = doc.StringValue(l);
-    for (xml::NodeId r : right) {
-      if (CompareValues(lv, op, doc.StringValue(r))) return true;
+    double ln = 0;
+    bool l_num = ParseDouble(lv, &ln);
+    for (const RightValue& rv : rights) {
+      // Counter parity with CompareValues: one tick per (l, r) pair tried.
+      ++value_comparisons;
+      if (ComparePrepared(l_num, ln, lv, op, rv.numeric, rv.num, rv.text)) {
+        return true;
+      }
     }
   }
   return false;
@@ -66,34 +103,52 @@ bool GeneralCompare(const xml::Document& doc,
 bool GeneralCompareLiteral(const xml::Document& doc,
                            const std::vector<xml::NodeId>& left,
                            xpath::CompareOp op, std::string_view literal) {
+  double rn = 0;
+  bool r_num = ParseDouble(literal, &rn);
   for (xml::NodeId l : left) {
-    if (CompareValues(doc.StringValue(l), op, literal)) return true;
+    std::string lv = doc.StringValue(l);
+    double ln = 0;
+    bool l_num = ParseDouble(lv, &ln);
+    ++value_comparisons;
+    if (ComparePrepared(l_num, ln, lv, op, r_num, rn, literal)) return true;
   }
   return false;
 }
 
 bool DeepEqualNodes(const xml::Document& doc, xml::NodeId a, xml::NodeId b) {
-  if (a == b) return true;
-  if (doc.IsElement(a) != doc.IsElement(b)) return false;
-  if (!doc.IsElement(a)) {
-    return doc.Text(a) == doc.Text(b);
+  // Explicit work stack: deep-equal on a pathologically deep document must
+  // not recurse once per level.
+  std::vector<std::pair<xml::NodeId, xml::NodeId>> stack;
+  stack.emplace_back(a, b);
+  while (!stack.empty()) {
+    auto [x, y] = stack.back();
+    stack.pop_back();
+    if (x == y) continue;
+    if (doc.IsElement(x) != doc.IsElement(y)) return false;
+    if (!doc.IsElement(x)) {
+      if (doc.Text(x) != doc.Text(y)) return false;
+      continue;
+    }
+    if (doc.Tag(x) != doc.Tag(y)) return false;
+    auto attrs_x = doc.Attributes(x);
+    auto attrs_y = doc.Attributes(y);
+    if (attrs_x.size() != attrs_y.size()) return false;
+    for (const auto& [name, value] : attrs_x) {
+      std::string_view other;
+      if (!doc.AttributeValue(y, name, &other) || other != value) {
+        return false;
+      }
+    }
+    xml::NodeId cx = doc.FirstChild(x);
+    xml::NodeId cy = doc.FirstChild(y);
+    while (cx != xml::kNullNode && cy != xml::kNullNode) {
+      stack.emplace_back(cx, cy);
+      cx = doc.NextSibling(cx);
+      cy = doc.NextSibling(cy);
+    }
+    if (cx != xml::kNullNode || cy != xml::kNullNode) return false;
   }
-  if (doc.Tag(a) != doc.Tag(b)) return false;
-  auto attrs_a = doc.Attributes(a);
-  auto attrs_b = doc.Attributes(b);
-  if (attrs_a.size() != attrs_b.size()) return false;
-  for (const auto& [name, value] : attrs_a) {
-    std::string_view other;
-    if (!doc.AttributeValue(b, name, &other) || other != value) return false;
-  }
-  xml::NodeId ca = doc.FirstChild(a);
-  xml::NodeId cb = doc.FirstChild(b);
-  while (ca != xml::kNullNode && cb != xml::kNullNode) {
-    if (!DeepEqualNodes(doc, ca, cb)) return false;
-    ca = doc.NextSibling(ca);
-    cb = doc.NextSibling(cb);
-  }
-  return ca == xml::kNullNode && cb == xml::kNullNode;
+  return true;
 }
 
 bool DeepEqualSequences(const xml::Document& doc,

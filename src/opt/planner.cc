@@ -77,7 +77,7 @@ class TreePlanner {
               const std::vector<int>* merged_index, PatternTreePlan* plan,
               bool* used_pipelined, bool* used_bnlj,
               util::ThreadPool* pool, util::ResourceGuard* guard,
-              const CostModel* cost)
+              const CostModel* cost, exec::NokResultCache* result_cache)
       : doc_(doc),
         tree_(tree),
         decomp_(decomp),
@@ -89,7 +89,8 @@ class TreePlanner {
         used_bnlj_(used_bnlj),
         pool_(pool),
         guard_(guard),
-        cost_(cost) {}
+        cost_(cost),
+        result_cache_(result_cache) {}
 
   /// True when matches of `v`'s tag can never nest — the precondition for
   /// the pipelined join's merge discipline (Theorem 2 holds per tag: a
@@ -133,7 +134,8 @@ class TreePlanner {
       plan_->explain += "MergedNokView(" + NokLabel(nok_index) + ")\n";
     } else {
       auto scan = std::make_unique<NokScanOperator>(
-          doc_, tree_, &decomp_->noks[nok_index], pool_, guard_);
+          doc_, tree_, &decomp_->noks[nok_index], pool_, guard_,
+          result_cache_);
       plan_->scans.push_back(scan.get());
       scan->set_label("NokScan(" + NokLabel(nok_index) + ")");
       Indent(depth);
@@ -230,6 +232,7 @@ class TreePlanner {
   util::ThreadPool* pool_;
   util::ResourceGuard* guard_;
   const CostModel* cost_;
+  exec::NokResultCache* result_cache_;
 };
 
 }  // namespace
@@ -285,14 +288,18 @@ void ForEachOperator(
 
 Result<QueryPlan> PlanQuery(const xml::Document* doc,
                             const pattern::BlossomTree* tree,
-                            const PlanOptions& options) {
+                            const PlanOptions& options,
+                            const pattern::Decomposition* precomputed) {
   util::TraceSpan span("plan", "opt::PlanQuery");
   if (!tree->finalized()) {
     return Status::InvalidArgument("BlossomTree must be finalized");
   }
   QueryPlan plan;
   plan.tree = tree;
-  plan.decomposition = pattern::Decompose(*tree);
+  // Decompose is deterministic, so a plan built from a cached decomposition
+  // is identical to one that re-runs Algorithm 1 here.
+  plan.decomposition =
+      precomputed != nullptr ? *precomputed : pattern::Decompose(*tree);
   const Decomposition& d = plan.decomposition;
 
   // Rule: pipelined joins need document-order preservation (Theorem 2).
@@ -361,7 +368,8 @@ Result<QueryPlan> PlanQuery(const xml::Document* doc,
     PatternTreePlan tp;
     TreePlanner builder(doc, tree, &plan.decomposition, strategy,
                         merged.get(), &merged_index, &tp, &used_pipelined,
-                        &used_bnlj, options.pool, options.guard, cost.get());
+                        &used_bnlj, options.pool, options.guard, cost.get(),
+                        options.result_cache);
     BT_ASSIGN_OR_RETURN(tp.root, builder.Build(base, 1));
     tp.tops = tp.root->top_slots();
     plan.trees.push_back(std::move(tp));

@@ -9,6 +9,7 @@
 #include "exec/merged_scan.h"
 #include "exec/nok_scan.h"
 #include "exec/operator.h"
+#include "exec/result_cache.h"
 #include "pattern/decompose.h"
 #include "util/resource_guard.h"
 #include "util/status.h"
@@ -49,6 +50,11 @@ struct PlanOptions {
   /// default: building the model forces tag-index construction, which would
   /// perturb benchmark timings.
   bool estimate_cardinalities = false;
+  /// NoK sub-result cache (borrowed, not owned; DESIGN.md §11): when set,
+  /// every full-document NokScanOperator in the plan probes it before
+  /// scanning and fills it after a complete cold scan. nullptr = uncached
+  /// (the exact pre-cache behavior, counters included).
+  exec::NokResultCache* result_cache = nullptr;
 };
 
 /// \brief A compiled plan for one pattern tree of a BlossomTree.
@@ -111,9 +117,14 @@ void ForEachOperator(
 ///  - for each remaining //-connection picks the join: pipelined on
 ///    non-recursive documents, bounded nested-loop otherwise,
 ///  - optionally merges all root NoK scans into one pass.
+/// \param precomputed optional Decomposition of `tree` (e.g. from the plan
+///        cache): copied into the plan instead of re-running Algorithm 1.
+///        Must have been produced by pattern::Decompose(*tree).
 Result<QueryPlan> PlanQuery(const xml::Document* doc,
                             const pattern::BlossomTree* tree,
-                            const PlanOptions& options = {});
+                            const PlanOptions& options = {},
+                            const pattern::Decomposition* precomputed =
+                                nullptr);
 
 /// \brief Convenience for path queries (single pattern tree, result bound
 /// to the "result" variable): plans, executes, and returns the distinct

@@ -6,17 +6,24 @@ namespace blossomtree {
 namespace pattern {
 
 Result<DeweyId> DeweyId::Parse(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty Dewey ID");
+  }
   std::vector<uint32_t> components;
   for (std::string_view part : Split(text, '.')) {
+    // Split never yields zero fields, so an empty part pinpoints a leading,
+    // trailing, or doubled dot ("1..2", "1.") rather than falling through
+    // to the generic integer error.
+    if (part.empty()) {
+      return Status::InvalidArgument("empty component in Dewey ID '" +
+                                     std::string(text) + "'");
+    }
     long long v = ParseNonNegativeInt(part);
     if (v <= 0) {
       return Status::InvalidArgument("bad Dewey ID '" + std::string(text) +
                                      "'");
     }
     components.push_back(static_cast<uint32_t>(v));
-  }
-  if (components.empty()) {
-    return Status::InvalidArgument("empty Dewey ID");
   }
   return DeweyId(std::move(components));
 }

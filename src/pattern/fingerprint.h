@@ -1,0 +1,38 @@
+#ifndef BLOSSOMTREE_PATTERN_FINGERPRINT_H_
+#define BLOSSOMTREE_PATTERN_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pattern/blossom_tree.h"
+#include "pattern/decompose.h"
+
+namespace blossomtree {
+namespace pattern {
+
+/// \brief Canonical serialization of one NoK pattern tree within its
+/// finalized BlossomTree — the cache-key half of the NoK sub-result cache
+/// (DESIGN.md §11).
+///
+/// Two NoKs with equal canonical strings produce byte-identical NestedList
+/// streams from a NokScanOperator over the same document range. The string
+/// therefore covers every input of the scan: per vertex (DFS from the NoK
+/// root) the tag test, incoming axis and edge mode, positional and value
+/// constraints, and — for returning vertices — the slot's Dewey ID plus its
+/// child-slot Dewey IDs, because the emitted NestedList shape depends on the
+/// *global* returning tree (group fan-out comes from slot children that may
+/// live in other NoKs). Variable names are deliberately excluded: renaming
+/// a blossom does not change the matched lists. String fields are emitted
+/// length-prefixed so the encoding is injective.
+std::string CanonicalNok(const BlossomTree& tree, const NokTree& nok);
+
+/// \brief 64-bit FNV-1a of `s` — a compact digest for logs and stats; the
+/// caches key on the full canonical string, never the hash, so a collision
+/// can at worst waste an entry, not corrupt a result.
+uint64_t FingerprintHash(std::string_view s);
+
+}  // namespace pattern
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_PATTERN_FINGERPRINT_H_

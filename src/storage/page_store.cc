@@ -76,6 +76,7 @@ std::vector<NodeRange> PageStore::Partition(size_t max_partitions) const {
 }
 
 PageStore::PageStore(const xml::Document& doc, size_t page_bytes) {
+  generation_ = doc.generation();
   nodes_per_page_ = page_bytes / sizeof(NodeRecord);
   if (nodes_per_page_ == 0) nodes_per_page_ = 1;
   records_.reserve(doc.NumNodes());

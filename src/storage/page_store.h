@@ -65,6 +65,12 @@ class PageStore {
   size_t NumPages() const { return num_pages_; }
   size_t NodesPerPage() const { return nodes_per_page_; }
 
+  /// \brief Generation of the source document at construction time (see
+  /// xml::Document::generation()): result-cache keys derived from a store
+  /// carry the same invalidation identity as ones derived from the
+  /// document itself.
+  uint64_t generation() const { return generation_; }
+
   /// \brief Fetches the record for `n`, counting a page read on page switch.
   const NodeRecord& Get(xml::NodeId n) const {
     size_t page = n / nodes_per_page_;
@@ -111,6 +117,7 @@ class PageStore {
   size_t num_pages_;
   mutable size_t current_page_ = static_cast<size_t>(-1);
   mutable uint64_t page_reads_ = 0;
+  uint64_t generation_ = 0;  ///< Copied from the source document.
 };
 
 }  // namespace storage

@@ -99,6 +99,22 @@ bool ResourceGuard::ChargeRows(uint64_t rows) {
   return true;
 }
 
+bool ResourceGuard::TryReserveBytes(uint64_t bytes) {
+  uint64_t cur = bytes_.load(std::memory_order_relaxed);
+  do {
+    if (limits_.max_nl_bytes != QueryLimits::kUnlimited &&
+        cur + bytes > limits_.max_nl_bytes) {
+      return false;
+    }
+  } while (!bytes_.compare_exchange_weak(cur, cur + bytes,
+                                         std::memory_order_relaxed));
+  return true;
+}
+
+void ResourceGuard::ReleaseBytes(uint64_t bytes) {
+  bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
 Status ResourceGuard::status() const {
   std::lock_guard<std::mutex> lock(mu_);
   return status_;

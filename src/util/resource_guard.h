@@ -123,6 +123,16 @@ class ResourceGuard {
   /// \brief Charges emitted result rows. Returns false when over budget.
   bool ChargeRows(uint64_t rows);
 
+  /// \brief Non-tripping byte reservation against `max_nl_bytes`, for
+  /// long-lived consumers (the util/cache LRU budgets) that respond to
+  /// refusal by evicting and retrying rather than failing a query. Returns
+  /// false when the reservation would exceed the budget; the guard is NOT
+  /// tripped and no bytes are charged in that case.
+  bool TryReserveBytes(uint64_t bytes);
+
+  /// \brief Returns bytes taken with TryReserveBytes (eviction / clear).
+  void ReleaseBytes(uint64_t bytes);
+
   /// \brief OK until tripped; afterwards the latched first violation.
   Status status() const;
 

@@ -1,6 +1,7 @@
 #include "xml/document.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace blossomtree {
 namespace xml {
@@ -99,6 +100,11 @@ Status Document::Finish() {
     return Status::Internal("Document::Finish with unclosed elements");
   }
   ComputeStats();
+  // Process-wide, never reused: identical bytes re-parsed into a new
+  // Document get a new generation, which is what invalidates NoK result
+  // cache entries keyed to the old object (DESIGN.md §11).
+  static std::atomic<uint64_t> next_generation{1};
+  generation_ = next_generation.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

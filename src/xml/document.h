@@ -92,7 +92,17 @@ class Document {
   void EndElement();
 
   /// \brief Verifies the builder stack is empty and finalizes statistics.
+  /// Also stamps the document's generation (below).
   Status Finish();
+
+  /// \brief Process-unique generation stamp, assigned by Finish() from a
+  /// monotonically increasing process-wide counter starting at 1; 0 means
+  /// "not finished". Two Document objects never share a generation, so
+  /// (generation, node range) is a stable identity for cached NoK scan
+  /// results (DESIGN.md §11): rebuilding or reloading a document — even
+  /// from identical bytes — yields a fresh generation and thereby
+  /// invalidates every cached result keyed to the old one.
+  uint64_t generation() const { return generation_; }
 
   // -- Structure accessors ---------------------------------------------------
 
@@ -213,6 +223,8 @@ class Document {
   // Lazy per-tag document-order index.
   mutable std::vector<std::vector<NodeId>> tag_index_;
   mutable bool tag_index_built_ = false;
+
+  uint64_t generation_ = 0;  ///< Stamped by Finish(); 0 = unfinished.
 };
 
 /// \brief 1-based rank of element `n` among its parent's element children

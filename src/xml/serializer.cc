@@ -1,5 +1,7 @@
 #include "xml/serializer.h"
 
+#include <vector>
+
 #include "util/strings.h"
 
 namespace blossomtree {
@@ -14,42 +16,78 @@ bool HasElementChild(const Document& doc, NodeId n) {
   return false;
 }
 
-void SerializeRec(const Document& doc, NodeId n, const SerializeOptions& opts,
-                  int depth, std::string* out) {
-  if (!doc.IsElement(n)) {
-    out->append(XmlEscape(doc.Text(n)));
-    return;
+bool HasTextChild(const Document& doc, NodeId n) {
+  for (NodeId c = doc.FirstChild(n); c != kNullNode; c = doc.NextSibling(c)) {
+    if (!doc.IsElement(c)) return true;
   }
-  auto indent = [&](int d) {
-    if (opts.indent) {
+  return false;
+}
+
+/// One pending unit of output. `close` frames emit the element's end tag;
+/// open frames emit the node itself (and, for elements, push the close
+/// frame plus the children). `indent` carries the parent's block decision:
+/// whether a newline + indentation precedes this frame's output.
+struct Frame {
+  NodeId node;
+  int depth;
+  bool close;
+  bool indent;
+};
+
+/// Iterative serializer (explicit stack): document depth never grows the
+/// call stack, so pathologically deep documents serialize instead of
+/// overflowing.
+void SerializeIter(const Document& doc, NodeId root,
+                   const SerializeOptions& opts, std::string* out) {
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root, 0, false, false});
+  std::vector<NodeId> children;  // Scratch for reverse-order pushes.
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.indent) {
       out->push_back('\n');
-      out->append(static_cast<size_t>(d) * 2, ' ');
+      out->append(static_cast<size_t>(f.depth) * 2, ' ');
     }
-  };
-  out->push_back('<');
-  out->append(doc.TagName(n));
-  for (const auto& [name, value] : doc.Attributes(n)) {
-    out->push_back(' ');
-    out->append(name);
-    out->append("=\"");
-    out->append(XmlEscape(value));
-    out->push_back('"');
+    if (f.close) {
+      out->append("</");
+      out->append(doc.TagName(f.node));
+      out->push_back('>');
+      continue;
+    }
+    if (!doc.IsElement(f.node)) {
+      out->append(XmlEscape(doc.Text(f.node)));
+      continue;
+    }
+    out->push_back('<');
+    out->append(doc.TagName(f.node));
+    for (const auto& [name, value] : doc.Attributes(f.node)) {
+      out->push_back(' ');
+      out->append(name);
+      out->append("=\"");
+      out->append(XmlEscape(value));
+      out->push_back('"');
+    }
+    NodeId child = doc.FirstChild(f.node);
+    if (child == kNullNode) {
+      out->append("/>");
+      continue;
+    }
+    out->push_back('>');
+    // Indent only element-only content. Mixed content (any text child)
+    // must serialize inline: injected whitespace would become part of the
+    // element's text on re-parse.
+    bool block = opts.indent && HasElementChild(doc, f.node) &&
+                 !HasTextChild(doc, f.node);
+    stack.push_back(Frame{f.node, f.depth, true, block});
+    children.clear();
+    for (NodeId c = child; c != kNullNode; c = doc.NextSibling(c)) {
+      children.push_back(c);
+    }
+    for (size_t i = children.size(); i-- > 0;) {
+      stack.push_back(Frame{children[i], f.depth + 1, false, block});
+    }
   }
-  NodeId child = doc.FirstChild(n);
-  if (child == kNullNode) {
-    out->append("/>");
-    return;
-  }
-  out->push_back('>');
-  bool block = opts.indent && HasElementChild(doc, n);
-  for (NodeId c = child; c != kNullNode; c = doc.NextSibling(c)) {
-    if (block) indent(depth + 1);
-    SerializeRec(doc, c, opts, depth + 1, out);
-  }
-  if (block) indent(depth);
-  out->append("</");
-  out->append(doc.TagName(n));
-  out->push_back('>');
 }
 
 }  // namespace
@@ -57,7 +95,7 @@ void SerializeRec(const Document& doc, NodeId n, const SerializeOptions& opts,
 std::string SerializeSubtree(const Document& doc, NodeId n,
                              const SerializeOptions& options) {
   std::string out;
-  SerializeRec(doc, n, options, 0, &out);
+  SerializeIter(doc, n, options, &out);
   return out;
 }
 

@@ -62,6 +62,38 @@ TEST(GeneralCompareTest, LiteralVariant) {
   EXPECT_FALSE(GeneralCompareLiteral(*doc, {}, CompareOp::kEq, "a"));
 }
 
+TEST(GeneralCompareTest, NumericSemanticsWithHoistedRights) {
+  // The hoisted right-side materialization must keep numeric comparison
+  // semantics: 2 < 10 numerically even though "2" > "10" lexicographically.
+  auto doc = Parse("<r><k>2</k><j>10</j><j>07</j></r>");
+  auto ks = doc->TagIndex(doc->tags().Lookup("k"));
+  auto js = doc->TagIndex(doc->tags().Lookup("j"));
+  EXPECT_TRUE(GeneralCompare(*doc, ks, CompareOp::kLt, js));
+  EXPECT_FALSE(GeneralCompare(*doc, ks, CompareOp::kGt, js));
+  // "07" == "7" numerically.
+  EXPECT_TRUE(GeneralCompare(*doc, js, CompareOp::kEq,
+                             doc->TagIndex(doc->tags().Lookup("j"))));
+}
+
+TEST(GeneralCompareTest, ComparisonCounterParity) {
+  // The perf gate pins value_comparisons: the hoisted implementation must
+  // tick exactly once per (left, right) pair tried, stopping at the first
+  // match — the same contract as the per-pair CompareValues loop it
+  // replaced.
+  auto doc = Parse("<r><k>a</k><k>b</k><j>c</j><j>d</j></r>");
+  auto ks = doc->TagIndex(doc->tags().Lookup("k"));
+  auto js = doc->TagIndex(doc->tags().Lookup("j"));
+  uint64_t before = ValueComparisonCount();
+  EXPECT_FALSE(GeneralCompare(*doc, ks, CompareOp::kEq, js));
+  EXPECT_EQ(ValueComparisonCount() - before, 4u);  // All pairs tried.
+  before = ValueComparisonCount();
+  EXPECT_TRUE(GeneralCompare(*doc, ks, CompareOp::kNeq, js));
+  EXPECT_EQ(ValueComparisonCount() - before, 1u);  // First pair matches.
+  before = ValueComparisonCount();
+  EXPECT_FALSE(GeneralCompareLiteral(*doc, ks, CompareOp::kEq, "z"));
+  EXPECT_EQ(ValueComparisonCount() - before, 2u);  // One per left node.
+}
+
 TEST(DeepEqualTest, IdenticalSubtrees) {
   auto doc = Parse(
       "<r><a><x>1</x><y/></a><a><x>1</x><y/></a><a><x>2</x><y/></a></r>");
@@ -94,6 +126,34 @@ TEST(DeepEqualTest, TextExactness) {
   auto doc = Parse("<r><a>x</a><a>x </a></r>");
   auto as = doc->TagIndex(doc->tags().Lookup("a"));
   EXPECT_FALSE(DeepEqualNodes(*doc, as[0], as[1]));
+}
+
+TEST(DeepEqualTest, DeepChainsDoNotOverflowStack) {
+  // DeepEqualNodes iterates an explicit stack; two parallel ~100k-deep
+  // chains must compare without exhausting the thread stack.
+  constexpr size_t kDepth = 100000;
+  auto build = [](std::string_view leaf_text) {
+    auto doc = std::make_unique<xml::Document>();
+    doc->BeginElement("r");
+    for (int chain = 0; chain < 2; ++chain) {
+      doc->BeginElement("a");
+      for (size_t i = 0; i < kDepth; ++i) doc->BeginElement("d");
+      doc->AddText(chain == 0 ? "x" : leaf_text);
+      for (size_t i = 0; i < kDepth; ++i) doc->EndElement();
+      doc->EndElement();
+    }
+    doc->EndElement();
+    EXPECT_TRUE(doc->Finish().ok());
+    return doc;
+  };
+  auto equal_doc = build("x");
+  auto as = equal_doc->TagIndex(equal_doc->tags().Lookup("a"));
+  ASSERT_EQ(as.size(), 2u);
+  EXPECT_TRUE(DeepEqualNodes(*equal_doc, as[0], as[1]));
+  auto differing_doc = build("y");  // Chains differ only at the deepest leaf.
+  as = differing_doc->TagIndex(differing_doc->tags().Lookup("a"));
+  ASSERT_EQ(as.size(), 2u);
+  EXPECT_FALSE(DeepEqualNodes(*differing_doc, as[0], as[1]));
 }
 
 TEST(DeepEqualSequencesTest, EmptyEqualsEmpty) {

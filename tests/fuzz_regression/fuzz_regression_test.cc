@@ -14,6 +14,7 @@
 #include "flwor/parser.h"
 #include "util/resource_guard.h"
 #include "xml/parser.h"
+#include "xml/serializer.h"
 #include "xpath/parser.h"
 
 namespace blossomtree {
@@ -128,6 +129,25 @@ TEST(FuzzRegressionTest, DeepXmlNestingResourceExhausted) {
       XmlFuzzOptions());
   ASSERT_FALSE(doc.ok());
   EXPECT_EQ(doc.status().code(), StatusCode::kResourceExhausted);
+}
+
+// Deep mixed content once hit two serializer bugs at once: indentation
+// whitespace was injected around every text child of an element that also
+// had element children, and the recursive walk burned one stack frame per
+// document level. The round trip through indented serialization must
+// preserve the document exactly.
+TEST(FuzzRegressionTest, DeepMixedContentSerializeRoundTrip) {
+  auto doc = xml::ParseDocument(
+      ReadFile(fs::path(BLOSSOMTREE_FUZZ_DIR) /
+               "regressions/xml/deep_mixed_content.xml"),
+      XmlFuzzOptions());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  xml::SerializeOptions opts;
+  opts.indent = true;
+  std::string pretty = xml::Serialize(*doc.value(), opts);
+  auto doc2 = xml::ParseDocument(pretty, XmlFuzzOptions());
+  ASSERT_TRUE(doc2.ok()) << doc2.status().ToString();
+  EXPECT_EQ(xml::Serialize(*doc2.value()), xml::Serialize(*doc.value()));
 }
 
 // 100k nested predicates once recursed the parser off the stack.

@@ -27,6 +27,33 @@ TEST(DeweyTest, ParseErrors) {
   EXPECT_FALSE(DeweyId::Parse("1.-2").ok());
 }
 
+TEST(DeweyTest, EmptyInputIsItsOwnError) {
+  // "" used to report the generic "bad Dewey ID"; the empty input is a
+  // distinct, explicitly diagnosed case.
+  auto r = DeweyId::Parse("");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("empty Dewey ID"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(DeweyTest, EmptyComponentIsItsOwnError) {
+  for (std::string_view text : {"1..2", "1.", ".1", "."}) {
+    auto r = DeweyId::Parse(text);
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_NE(r.status().message().find("empty component"), std::string::npos)
+        << text << ": " << r.status().ToString();
+  }
+}
+
+TEST(DeweyTest, NonPositiveComponentStaysBadDeweyId) {
+  for (std::string_view text : {"0", "1.0", "a.b"}) {
+    auto r = DeweyId::Parse(text);
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_NE(r.status().message().find("bad Dewey ID"), std::string::npos)
+        << text << ": " << r.status().ToString();
+  }
+}
+
 TEST(DeweyTest, ParentAndChild) {
   DeweyId id({1, 2, 3});
   EXPECT_EQ(id.Parent().ToString(), "1.2");

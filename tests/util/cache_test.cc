@@ -1,0 +1,135 @@
+#include "util/cache.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace blossomtree {
+namespace util {
+namespace {
+
+std::shared_ptr<const std::string> Val(std::string s) {
+  return std::make_shared<const std::string>(std::move(s));
+}
+
+TEST(ShardedLruCacheTest, HitAndMiss) {
+  ShardedLruCache<std::string, std::string> cache(1 << 20, 4);
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  cache.Put("k", Val("v"), 100);
+  auto hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "v");
+  CacheStats s = cache.Stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 100u);
+}
+
+TEST(ShardedLruCacheTest, ReplaceReleasesOldFootprint) {
+  ShardedLruCache<std::string, std::string> cache(1 << 20, 1);
+  cache.Put("k", Val("v1"), 300);
+  cache.Put("k", Val("v2"), 120);
+  auto hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "v2");
+  CacheStats s = cache.Stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 120u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Single shard for a deterministic recency order.
+  ShardedLruCache<std::string, std::string> cache(300, 1);
+  cache.Put("a", Val("1"), 100);
+  cache.Put("b", Val("2"), 100);
+  cache.Put("c", Val("3"), 100);
+  // Touch "a" so "b" becomes the LRU entry, then overflow the budget.
+  ASSERT_NE(cache.Get("a"), nullptr);
+  cache.Put("d", Val("4"), 100);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_NE(cache.Get("d"), nullptr);
+  CacheStats s = cache.Stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_LE(s.bytes, 300u);
+}
+
+TEST(ShardedLruCacheTest, OversizedEntryIsNotCached) {
+  ShardedLruCache<std::string, std::string> cache(100, 2);
+  cache.Put("big", Val("x"), 101);
+  EXPECT_EQ(cache.Get("big"), nullptr);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().bytes, 0u);
+}
+
+TEST(ShardedLruCacheTest, HandedOutValueSurvivesEviction) {
+  ShardedLruCache<std::string, std::string> cache(100, 1);
+  cache.Put("a", Val("keep"), 100);
+  auto held = cache.Get("a");
+  ASSERT_NE(held, nullptr);
+  cache.Put("b", Val("new"), 100);  // Evicts "a".
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(*held, "keep");  // The shared_ptr keeps the value alive.
+}
+
+TEST(ShardedLruCacheTest, ClearReturnsBudget) {
+  ShardedLruCache<std::string, std::string> cache(1000, 4);
+  for (int i = 0; i < 8; ++i) {
+    cache.Put("k" + std::to_string(i), Val("v"), 100);
+  }
+  cache.Clear();
+  CacheStats s = cache.Stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  // The whole budget is available again.
+  cache.Put("fresh", Val("v"), 1000);
+  EXPECT_NE(cache.Get("fresh"), nullptr);
+}
+
+TEST(ShardedLruCacheTest, CacheOptionsConstructor) {
+  CacheOptions options;
+  options.max_bytes = 512;
+  options.shards = 3;
+  ShardedLruCache<std::string, std::string> cache(options);
+  EXPECT_EQ(cache.max_bytes(), 512u);
+  EXPECT_EQ(cache.num_shards(), 3u);
+}
+
+TEST(ShardedLruCacheTest, ConcurrentMixedUse) {
+  ShardedLruCache<std::string, std::string> cache(64 * 1024, 8);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        std::string key = "k" + std::to_string((t * 37 + i) % 256);
+        if (i % 3 == 0) {
+          cache.Put(key, Val("v" + key), 400);
+        } else {
+          auto v = cache.Get(key);
+          if (v != nullptr) {
+            EXPECT_EQ(*v, "v" + key);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  CacheStats s = cache.Stats();
+  EXPECT_LE(s.bytes, 64u * 1024u);
+  // Every non-Put iteration is exactly one Get.
+  constexpr uint64_t kGetsPerThread = kOps - (kOps + 2) / 3;
+  EXPECT_EQ(s.hits + s.misses, kThreads * kGetsPerThread);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace blossomtree

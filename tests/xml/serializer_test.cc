@@ -56,6 +56,52 @@ TEST(SerializerTest, EmptyDocument) {
   EXPECT_EQ(Serialize(doc), "");
 }
 
+TEST(SerializerTest, IndentPreservesMixedContent) {
+  // Indented serialization once injected newline + indentation around the
+  // text children of any element that also had an element child, so mixed
+  // content came back from a parse → serialize(indent) → parse round trip
+  // with corrupted text.
+  std::string original = "<p>hello <b>world</b> tail</p>";
+  auto doc = Parse(original);
+  SerializeOptions opts;
+  opts.indent = true;
+  std::string pretty = Serialize(*doc, opts);
+  auto doc2 = Parse(pretty);
+  EXPECT_EQ(doc2->StringValue(doc2->Root()), doc->StringValue(doc->Root()));
+  EXPECT_EQ(Serialize(*doc2), original);
+}
+
+TEST(SerializerTest, IndentRoundTripNestedMixedContent) {
+  // Mixed content stays inline while the element-only levels around it
+  // still pretty-print.
+  std::string original = "<a><b>x<c>y</c>z</b><d><e>q</e></d></a>";
+  auto doc = Parse(original);
+  SerializeOptions opts;
+  opts.indent = true;
+  std::string pretty = Serialize(*doc, opts);
+  EXPECT_EQ(pretty,
+            "<a>\n  <b>x<c>y</c>z</b>\n  <d>\n    <e>q</e>\n  </d>\n</a>");
+  auto doc2 = Parse(pretty);
+  EXPECT_EQ(Serialize(*doc2), original);
+}
+
+TEST(SerializerTest, DeepDocumentDoesNotOverflowStack) {
+  // The serializer walks an explicit stack, so document depth must not be
+  // bounded by the thread stack.
+  constexpr size_t kDepth = 200000;
+  Document doc;
+  doc.BeginElement("r");
+  for (size_t i = 0; i < kDepth; ++i) doc.BeginElement("d");
+  doc.AddText("x");
+  for (size_t i = 0; i < kDepth; ++i) doc.EndElement();
+  doc.EndElement();
+  ASSERT_TRUE(doc.Finish().ok());
+  std::string out = Serialize(doc);
+  // "<r>" + kDepth * "<d>" + "x" + kDepth * "</d>" + "</r>".
+  EXPECT_EQ(out.size(), 3 + kDepth * 3 + 1 + kDepth * 4 + 4);
+  EXPECT_EQ(out.substr(0, 9), "<r><d><d>");
+}
+
 }  // namespace
 }  // namespace xml
 }  // namespace blossomtree
