@@ -1,0 +1,245 @@
+// Multi-client service benchmark (DESIGN.md §12): drives a QueryService
+// over a shared corpus with an open-loop arrival schedule — queries are
+// submitted on a fixed cadence from round-robin client sessions regardless
+// of completions, the way real clients load a server — and reports p50/p99
+// end-to-end latency and queue delay from the service.* histograms.
+//
+// The BENCH_service.json artifact carries one deterministic per-operator
+// profile per query, computed on a standalone serial engine (work counters
+// are pure functions of the plan at a fixed seed/scale, so the perf gate
+// diffs them exactly); the service run's latency and queue-delay
+// histograms ride along as timing context the gate ignores.
+//
+// Exit status is non-zero when any service result deviates from the
+// uncached serial reference (the zero-wrong-results invariant: admission
+// control may reject under overload, but an accepted query must return
+// exactly the serial bytes) or when any query fails for a reason other
+// than admission rejection.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_profile.h"
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "engine/engine.h"
+#include "service/corpus.h"
+#include "service/query_service.h"
+#include "util/metrics.h"
+
+using blossomtree::bench::BenchFlags;
+using blossomtree::bench::ParseFlags;
+using blossomtree::bench::ProfileSink;
+using blossomtree::bench::TimeSeconds;
+using blossomtree::bench::WithContext;
+using blossomtree::datagen::Dataset;
+using blossomtree::datagen::DatasetName;
+using blossomtree::datagen::GenerateDataset;
+using blossomtree::datagen::GenOptions;
+
+namespace {
+
+struct QueryCase {
+  const char* id;
+  const char* text;
+};
+
+// The served mix: s1 is a broad low-selectivity scan, s2/s3 hit rare tags
+// (the shared result cache's sweet spot once warm), s4 exercises the
+// FLWOR pipeline per tuple. All run through EvaluateQuery, the service's
+// single entry point.
+constexpr QueryCase kQueries[] = {
+    {"s1", "//article/title"},
+    {"s2", "//phdthesis/author"},
+    {"s3", "//article[year = \"omega\"]/title"},
+    {"s4", "for $a in //phdthesis return <hit>{$a/school}</hit>"},
+};
+
+constexpr size_t kNumQueries = sizeof(kQueries) / sizeof(kQueries[0]);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv, /*default_scale=*/0.05);
+  size_t clients = 4;
+  size_t per_client = 16;
+  size_t slots = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = std::strtoul(argv[i] + 10, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--per-client=", 13) == 0) {
+      per_client = std::strtoul(argv[i] + 13, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--slots=", 8) == 0) {
+      slots = std::strtoul(argv[i] + 8, nullptr, 10);
+    }
+  }
+  if (clients == 0) clients = 1;
+  if (slots == 0) slots = 1;
+
+  GenOptions o;
+  o.scale = flags.scale;
+  o.seed = flags.seed;
+
+  blossomtree::service::CorpusOptions copts;
+  copts.plan_cache.enabled = true;
+  copts.result_cache.enabled = true;
+  blossomtree::service::Corpus corpus(copts);
+  {
+    blossomtree::Status st =
+        corpus.Add("dblp", GenerateDataset(Dataset::kD5Dblp, o));
+    if (!st.ok()) {
+      std::fprintf(stderr, "corpus: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  auto shared_doc = corpus.Get("dblp");
+
+  // Serial uncached reference: the bytes every accepted service query must
+  // reproduce, plus the mean serial latency the arrival cadence is derived
+  // from.
+  std::vector<std::string> expected(kNumQueries);
+  double serial_mean_s = 0;
+  for (size_t i = 0; i < kNumQueries; ++i) {
+    blossomtree::engine::EngineOptions plain;
+    plain.num_threads = 1;
+    blossomtree::engine::BlossomTreeEngine ref(shared_doc->doc(), plain);
+    blossomtree::Result<std::string> r = std::string{};
+    serial_mean_s +=
+        TimeSeconds([&] { r = ref.EvaluateQuery(kQueries[i].text); });
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s reference error: %s\n", kQueries[i].id,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    expected[i] = r.MoveValue();
+  }
+  serial_mean_s /= kNumQueries;
+
+  // Deterministic per-query work profiles for the gate, from a dedicated
+  // serial engine outside any timed path.
+  ProfileSink sink("service");
+  sink.AddDatasetLabel(DatasetName(Dataset::kD5Dblp));
+  sink.SetThreads(static_cast<unsigned>(slots));
+  std::vector<std::string> profile_json(kNumQueries);
+  for (size_t i = 0; i < kNumQueries; ++i) {
+    blossomtree::engine::EngineOptions popts;
+    popts.num_threads = 1;
+    popts.collect_profile = true;
+    blossomtree::engine::BlossomTreeEngine prof(shared_doc->doc(), popts);
+    if (prof.EvaluateQuery(kQueries[i].text).ok()) {
+      profile_json[i] = prof.LastProfile().ToJson();
+    }
+  }
+
+  // Open-loop schedule: one arrival every serial_mean/slots seconds keeps
+  // the offered load near the service's capacity without tripping
+  // admission control (the queue bound absorbs the bursts).
+  blossomtree::service::ServiceOptions sopts;
+  sopts.slots = slots;
+  sopts.max_queue = clients * per_client;
+  blossomtree::service::QueryService svc(&corpus, sopts);
+  std::vector<std::shared_ptr<blossomtree::service::Session>> sessions;
+  for (size_t c = 0; c < clients; ++c) {
+    sessions.push_back(svc.CreateSession("client-" + std::to_string(c)));
+  }
+
+  const size_t total = clients * per_client;
+  const auto interval = std::chrono::nanoseconds(static_cast<uint64_t>(
+      serial_mean_s / static_cast<double>(slots) * 1e9));
+  std::printf(
+      "Service bench: %zu clients x %zu queries, %zu slots, "
+      "arrival interval %.2f ms (scale=%.2f)\n\n",
+      clients, per_client, slots,
+      static_cast<double>(interval.count()) / 1e6, flags.scale);
+
+  std::vector<std::pair<size_t, std::shared_ptr<
+                                    blossomtree::service::QueryTicket>>>
+      tickets;
+  tickets.reserve(total);
+  auto start = std::chrono::steady_clock::now();
+  for (size_t n = 0; n < total; ++n) {
+    std::this_thread::sleep_until(start + interval * n);
+    size_t q = n % kNumQueries;
+    tickets.emplace_back(
+        q, svc.Submit(*sessions[n % clients], "dblp", kQueries[q].text));
+  }
+  svc.Drain();
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+  // Zero-wrong-results check plus per-query timing histograms for the
+  // artifact.
+  std::vector<blossomtree::util::Histogram> e2e(kNumQueries);
+  std::vector<blossomtree::util::Histogram> qdelay(kNumQueries);
+  size_t wrong = 0;
+  size_t rejected = 0;
+  size_t failed = 0;
+  for (auto& [q, ticket] : tickets) {
+    const auto& r = ticket->Wait();
+    if (r.ok()) {
+      if (*r != expected[q]) ++wrong;
+      e2e[q].Record(ticket->e2e_ns());
+      qdelay[q].Record(ticket->queue_delay_ns());
+    } else if (r.status().code() ==
+               blossomtree::StatusCode::kResourceExhausted) {
+      ++rejected;
+    } else {
+      std::fprintf(stderr, "%s failed: %s\n", kQueries[q].id,
+                   r.status().ToString().c_str());
+      ++failed;
+    }
+  }
+
+  std::printf("  %-3s %10s %10s %10s %10s\n", "id", "e2e_p50_ms",
+              "e2e_p99_ms", "qd_p50_ms", "qd_p99_ms");
+  for (size_t q = 0; q < kNumQueries; ++q) {
+    auto es = e2e[q].Snapshot();
+    auto qs = qdelay[q].Snapshot();
+    std::printf("  %-3s %10.3f %10.3f %10.3f %10.3f\n", kQueries[q].id,
+                static_cast<double>(es.Quantile(0.5)) / 1e6,
+                static_cast<double>(es.Quantile(0.99)) / 1e6,
+                static_cast<double>(qs.Quantile(0.5)) / 1e6,
+                static_cast<double>(qs.Quantile(0.99)) / 1e6);
+    if (!profile_json[q].empty()) {
+      std::string context = "\"dataset\": \"" +
+                            std::string(DatasetName(Dataset::kD5Dblp)) +
+                            "\", \"id\": \"" + std::string(kQueries[q].id) +
+                            "\", \"variant\": \"service\", \"latency_ns\": " +
+                            es.ToJson() + ", \"queue_delay_ns\": " +
+                            qs.ToJson();
+      sink.Add(WithContext(context, profile_json[q]));
+    }
+  }
+
+  std::printf(
+      "\n  admitted=%llu completed=%llu rejected=%zu failed=%zu "
+      "wall=%.2fs throughput=%.0f q/s\n",
+      static_cast<unsigned long long>(
+          svc.metrics().GetCounter("service.admitted")->value()),
+      static_cast<unsigned long long>(
+          svc.metrics().GetCounter("service.completed")->value()),
+      rejected, failed, wall_s,
+      wall_s > 0 ? static_cast<double>(total - rejected - failed) / wall_s
+                 : 0.0);
+  sink.WriteAndReport();
+
+  if (wrong > 0) {
+    std::printf("FAIL: %zu service results deviate from the serial "
+                "reference\n",
+                wrong);
+    return 1;
+  }
+  if (failed > 0) {
+    std::printf("FAIL: %zu queries failed outside admission control\n",
+                failed);
+    return 1;
+  }
+  std::printf("OK: every accepted query returned the exact serial bytes\n");
+  return 0;
+}

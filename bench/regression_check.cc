@@ -70,12 +70,16 @@ Result<BenchRun> BenchRunFromJson(const util::JsonValue& root) {
   for (const util::JsonValue& entry : profiles->AsArray()) {
     if (!entry.is_object()) continue;
     const util::JsonValue* profile = entry.Find("profile");
-    // Context fields (everything but the profile and the latency samples)
-    // identify the query across runs; std::map iteration makes the key
-    // order-independent of the artifact's field order.
+    // Context fields (everything but the profile and the timing samples —
+    // latency and, for the service bench, queue delay) identify the query
+    // across runs; std::map iteration makes the key order-independent of
+    // the artifact's field order.
     std::string key;
     for (const auto& [name, value] : entry.AsObject()) {
-      if (name == "profile" || name == "latency_ns") continue;
+      if (name == "profile" || name == "latency_ns" ||
+          name == "queue_delay_ns") {
+        continue;
+      }
       key += name + "=" + KeyValue(value) + " ";
     }
     QueryCounters c;

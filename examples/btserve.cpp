@@ -1,0 +1,163 @@
+// btserve — a line-protocol REPL over the service layer (DESIGN.md §12):
+// registers documents into a named Corpus and runs queries through a
+// QueryService, so one process serves many documents with shared caches,
+// admission control, and per-tenant limits.
+//
+// Usage:
+//   btserve [options] [name=file.xml ...]
+//   options:
+//     --slots=N        concurrently running queries (default 2)
+//     --max-queue=N    admission queue bound (default 64)
+//     --cache          enable the corpus-wide plan + NoK result caches
+//     --demo           preload a generated dblp sample as "dblp"
+//
+// Protocol (one command per line on stdin, responses on stdout):
+//   load <name> <file>       parse an XML file into the corpus
+//   drop <name>              evict a document
+//   ls                       list registered documents
+//   query <name> <text...>   run an XPath/FLWOR query against a document
+//   tenant <name>            switch this REPL's session to another tenant
+//   metrics                  dump the service.* counters and histograms
+//   quit
+//
+// Example session:
+//   $ build/examples/btserve --demo --cache
+//   > ls
+//   dblp
+//   > query dblp //phdthesis/author
+//   <author>...</author>
+//   > metrics
+//   service.admitted: 1
+//   ...
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "datagen/datagen.h"
+#include "service/corpus.h"
+#include "service/query_service.h"
+#include "xml/parser.h"
+
+using namespace blossomtree;
+
+int main(int argc, char** argv) {
+  service::CorpusOptions copts;
+  service::ServiceOptions sopts;
+  sopts.slots = 2;
+  bool demo = false;
+  std::string preload[16];
+  size_t preloads = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--slots=", 8) == 0) {
+      sopts.slots = std::strtoul(arg + 8, nullptr, 10);
+    } else if (std::strncmp(arg, "--max-queue=", 12) == 0) {
+      sopts.max_queue = std::strtoul(arg + 12, nullptr, 10);
+    } else if (std::strcmp(arg, "--cache") == 0) {
+      copts.plan_cache.enabled = true;
+      copts.result_cache.enabled = true;
+    } else if (std::strcmp(arg, "--demo") == 0) {
+      demo = true;
+    } else if (std::strchr(arg, '=') != nullptr && preloads < 16) {
+      preload[preloads++] = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: btserve [--slots=N] [--max-queue=N] [--cache] "
+                   "[--demo] [name=file.xml ...]\n");
+      return 2;
+    }
+  }
+
+  service::Corpus corpus(copts);
+  if (demo) {
+    datagen::GenOptions gen;
+    gen.scale = 0.05;
+    Status st = corpus.Add(
+        "dblp", datagen::GenerateDataset(datagen::Dataset::kD5Dblp, gen));
+    if (!st.ok()) {
+      std::fprintf(stderr, "demo load failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  for (size_t i = 0; i < preloads; ++i) {
+    size_t eq = preload[i].find('=');
+    std::string name = preload[i].substr(0, eq);
+    std::string file = preload[i].substr(eq + 1);
+    auto doc = xml::ParseDocumentFile(file);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "%s: %s\n", file.c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    Status st = corpus.Add(name, doc.MoveValue());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(), st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  service::QueryService svc(&corpus, sopts);
+  auto session = svc.CreateSession("repl");
+  std::fprintf(stderr, "btserve: %zu documents, %zu slots (type 'quit')\n",
+               corpus.size(), svc.slots());
+
+  std::string line;
+  std::fprintf(stderr, "> ");
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) {
+      // Blank line.
+    } else if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else if (cmd == "ls") {
+      for (const std::string& name : corpus.Names()) {
+        std::printf("%s\n", name.c_str());
+      }
+    } else if (cmd == "load") {
+      std::string name, file;
+      in >> name >> file;
+      auto doc = xml::ParseDocumentFile(file);
+      Status st = doc.ok() ? corpus.Add(name, doc.MoveValue())
+                           : doc.status();
+      std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+    } else if (cmd == "drop") {
+      std::string name;
+      in >> name;
+      std::printf("%s\n", corpus.Evict(name) ? "ok" : "not found");
+    } else if (cmd == "tenant") {
+      std::string name;
+      in >> name;
+      session = svc.CreateSession(name);
+      std::printf("ok (session %llu, tenant %s)\n",
+                  static_cast<unsigned long long>(session->id()),
+                  session->tenant().c_str());
+    } else if (cmd == "metrics") {
+      std::printf("%s", svc.metrics().CountersText().c_str());
+    } else if (cmd == "query") {
+      std::string name;
+      in >> name;
+      std::string query;
+      std::getline(in, query);
+      size_t first = query.find_first_not_of(" \t");
+      if (first != std::string::npos) query = query.substr(first);
+      auto r = svc.Execute(*session, name, query);
+      if (r.ok()) {
+        std::printf("%s\n", r->c_str());
+      } else {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+      }
+    } else {
+      std::printf(
+          "commands: load <name> <file> | drop <name> | ls | "
+          "query <name> <text> | tenant <name> | metrics | quit\n");
+    }
+    std::fprintf(stderr, "> ");
+  }
+  return 0;
+}

@@ -27,8 +27,13 @@ BlossomTreeEngine::BlossomTreeEngine(const xml::Document* doc,
     pool_ = std::make_unique<util::ThreadPool>(threads);
     options_.plan.pool = pool_.get();
   }
-  if (options_.plan_cache.enabled) {
+  if (options_.shared_plan_cache != nullptr) {
+    // Borrowed corpus-scope cache (DESIGN.md §12): shared across engines,
+    // so this engine creates none of its own.
+    active_plan_cache_ = options_.shared_plan_cache;
+  } else if (options_.plan_cache.enabled) {
     plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache);
+    active_plan_cache_ = plan_cache_.get();
   }
   if (options_.result_cache.enabled && options_.plan.result_cache == nullptr) {
     result_cache_ = std::make_unique<exec::NokResultCache>(
@@ -63,9 +68,9 @@ Result<std::string> BlossomTreeEngine::EvaluateQuery(std::string_view query) {
   // parser entirely (and records no query.parse_ns sample — there was no
   // parse). Parse failures are never cached: the error re-surfaces each time.
   std::shared_ptr<const flwor::Expr> expr;
-  if (plan_cache_ != nullptr) {
+  if (active_plan_cache_ != nullptr) {
     util::TraceSpan lookup("cache", "plan.parsed.lookup");
-    expr = plan_cache_->GetParsed(std::string(query));
+    expr = active_plan_cache_->GetParsed(std::string(query));
   }
   if (expr == nullptr) {
     auto parse_start = std::chrono::steady_clock::now();
@@ -76,8 +81,8 @@ Result<std::string> BlossomTreeEngine::EvaluateQuery(std::string_view query) {
       metrics_.GetHistogram("query.parse_ns")->Record(NanosSince(parse_start));
     }
     expr = std::shared_ptr<const flwor::Expr>(std::move(parsed));
-    if (plan_cache_ != nullptr) {
-      plan_cache_->PutParsed(std::string(query), expr);
+    if (active_plan_cache_ != nullptr) {
+      active_plan_cache_->PutParsed(std::string(query), expr);
     }
   }
   return EvaluateToXml(*expr);
@@ -129,10 +134,10 @@ Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvalPathPlan(
   // artifact and is never cached.
   std::shared_ptr<const CompiledPath> compiled;
   std::string key;
-  if (plan_cache_ != nullptr) {
+  if (active_plan_cache_ != nullptr) {
     key = CanonicalPathKey(path);
     util::TraceSpan lookup("cache", "plan.path.lookup");
-    compiled = plan_cache_->GetPath(key);
+    compiled = active_plan_cache_->GetPath(key);
   }
   if (compiled == nullptr) {
     auto built = pattern::BuildFromPath(path);
@@ -150,7 +155,7 @@ Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvalPathPlan(
     auto fresh = std::make_shared<CompiledPath>();
     fresh->tree = built.MoveValue();
     fresh->decomposition = pattern::Decompose(fresh->tree);
-    if (plan_cache_ != nullptr) plan_cache_->PutPath(key, fresh);
+    if (active_plan_cache_ != nullptr) active_plan_cache_->PutPath(key, fresh);
     compiled = std::move(fresh);
   }
   const pattern::BlossomTree& tree = compiled->tree;
@@ -268,17 +273,17 @@ Result<std::shared_ptr<const CompiledFlwor>> BlossomTreeEngine::CompileFlwor(
   // decomposition + slot bindings. Build failures (e.g. kUnsupported, which
   // FlworTuples' caller turns into the naive fallback) are never cached.
   std::string key;
-  if (plan_cache_ != nullptr) {
+  if (active_plan_cache_ != nullptr) {
     key = CanonicalFlworKey(flwor);
     util::TraceSpan lookup("cache", "plan.flwor.lookup");
-    std::shared_ptr<const CompiledFlwor> hit = plan_cache_->GetFlwor(key);
+    std::shared_ptr<const CompiledFlwor> hit = active_plan_cache_->GetFlwor(key);
     if (hit != nullptr) return hit;
   }
   auto compiled = std::make_shared<CompiledFlwor>();
   BT_ASSIGN_OR_RETURN(compiled->tree, pattern::BuildFromFlwor(flwor));
   compiled->decomposition = pattern::Decompose(compiled->tree);
   compiled->bindings = ComputeSlotBindings(compiled->tree, flwor);
-  if (plan_cache_ != nullptr) plan_cache_->PutFlwor(key, compiled);
+  if (active_plan_cache_ != nullptr) active_plan_cache_->PutFlwor(key, compiled);
   return std::shared_ptr<const CompiledFlwor>(std::move(compiled));
 }
 
@@ -299,11 +304,14 @@ void BlossomTreeEngine::FoldCacheMetrics() {
     entries->Add(now.entries);
     *last = now;
   };
-  if (plan_cache_ != nullptr) {
-    fold("plan", plan_cache_->Stats(), &folded_plan_stats_);
+  if (active_plan_cache_ != nullptr) {
+    fold("plan", active_plan_cache_->Stats(), &folded_plan_stats_);
   }
-  if (result_cache_ != nullptr) {
-    fold("result", result_cache_->Stats(), &folded_result_stats_);
+  if (options_.plan.result_cache != nullptr) {
+    // The effective cache: owned or borrowed (corpus-scope). With a shared
+    // cache the deltas cover all engines' activity since this engine's
+    // last fold — corpus-wide totals, which is what a service wants.
+    fold("result", options_.plan.result_cache->Stats(), &folded_result_stats_);
   }
 }
 

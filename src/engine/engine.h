@@ -68,6 +68,14 @@ struct EngineOptions {
   /// exactly what a cold scan of the same range would emit, so results stay
   /// byte-identical at every thread count.
   util::CacheOptions result_cache;
+  /// Corpus-scope plan cache (DESIGN.md §12), borrowed and shared across
+  /// engines: when non-null the engine uses it instead of creating its own
+  /// from `plan_cache` above (which is then ignored). Compiled plans are
+  /// pure functions of the query text, so sharing one cache across every
+  /// session and document of a service is sound; PlanCache is thread-safe.
+  /// The corpus-scope NoK result cache has no separate knob — it rides the
+  /// existing borrowed `plan.result_cache` pointer the same way.
+  PlanCache* shared_plan_cache = nullptr;
 };
 
 /// \brief End-to-end query evaluation via BlossomTree pattern matching:
@@ -123,12 +131,13 @@ class BlossomTreeEngine {
   util::MetricsRegistry& metrics() { return metrics_; }
   const util::MetricsRegistry& metrics() const { return metrics_; }
 
-  /// \brief The plan cache; nullptr unless EngineOptions::plan_cache.enabled.
-  PlanCache* plan_cache() { return plan_cache_.get(); }
+  /// \brief The effective plan cache (owned or shared); nullptr when
+  /// caching is off.
+  PlanCache* plan_cache() { return active_plan_cache_; }
 
-  /// \brief The NoK sub-result cache; nullptr unless
-  /// EngineOptions::result_cache.enabled.
-  exec::NokResultCache* result_cache() { return result_cache_.get(); }
+  /// \brief The effective NoK sub-result cache (owned or shared); nullptr
+  /// when caching is off.
+  exec::NokResultCache* result_cache() { return options_.plan.result_cache; }
 
  private:
   /// EvaluatePath minus the guard arming: used for top-level paths and for
@@ -166,10 +175,14 @@ class BlossomTreeEngine {
   /// (DESIGN.md §10). Snapshotted into QueryProfile when collect_metrics.
   util::MetricsRegistry metrics_;
   /// Owned caches (DESIGN.md §11), created only when the corresponding
-  /// EngineOptions knob is enabled; options_.plan.result_cache borrows
-  /// result_cache_ so every planned NoK scan shares it.
+  /// EngineOptions knob is enabled and no shared instance was borrowed;
+  /// options_.plan.result_cache borrows result_cache_ so every planned NoK
+  /// scan shares it.
   std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<exec::NokResultCache> result_cache_;
+  /// The cache every lookup goes through: the borrowed corpus-scope cache
+  /// when EngineOptions::shared_plan_cache is set, else plan_cache_.get().
+  PlanCache* active_plan_cache_ = nullptr;
   /// Stats snapshots at the last FoldCacheMetrics, for delta folding of the
   /// monotonic cache counters.
   util::CacheStats folded_plan_stats_;

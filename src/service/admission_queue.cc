@@ -1,0 +1,49 @@
+#include "service/admission_queue.h"
+
+#include <utility>
+
+namespace blossomtree {
+namespace service {
+
+bool AdmissionQueue::Push(const std::string& tenant,
+                          std::shared_ptr<QueryTicket> ticket) {
+  if (queued_ >= max_queued_) return false;
+  auto it = queues_.find(tenant);
+  if (it == queues_.end()) {
+    it = queues_.emplace(tenant, std::deque<std::shared_ptr<QueryTicket>>())
+             .first;
+    tenant_order_.push_back(tenant);
+  }
+  it->second.push_back(std::move(ticket));
+  ++queued_;
+  return true;
+}
+
+std::shared_ptr<QueryTicket> AdmissionQueue::Pop() {
+  if (queued_ == 0) return nullptr;
+  // At least one tenant FIFO is non-empty, so the scan terminates within
+  // one lap of tenant_order_.
+  for (size_t scanned = 0; scanned < tenant_order_.size(); ++scanned) {
+    const std::string& tenant = tenant_order_[rr_next_];
+    rr_next_ = (rr_next_ + 1) % tenant_order_.size();
+    std::deque<std::shared_ptr<QueryTicket>>& fifo = queues_[tenant];
+    if (fifo.empty()) continue;
+    std::shared_ptr<QueryTicket> ticket = std::move(fifo.front());
+    fifo.pop_front();
+    --queued_;
+    return ticket;
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<QueryTicket>> AdmissionQueue::DrainAll() {
+  std::vector<std::shared_ptr<QueryTicket>> out;
+  out.reserve(queued_);
+  for (std::shared_ptr<QueryTicket> t = Pop(); t != nullptr; t = Pop()) {
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace service
+}  // namespace blossomtree

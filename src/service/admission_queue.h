@@ -1,0 +1,71 @@
+#ifndef BLOSSOMTREE_SERVICE_ADMISSION_QUEUE_H_
+#define BLOSSOMTREE_SERVICE_ADMISSION_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace blossomtree {
+namespace service {
+
+class QueryTicket;
+
+/// \brief The QueryService's bounded wait queue with fair FIFO-per-tenant
+/// dispatch (DESIGN.md §12).
+///
+/// Structure: one FIFO per tenant class plus a round-robin cursor over the
+/// tenants that currently have queued work. Push appends to the caller's
+/// tenant FIFO (refusing once the *global* bound is reached — admission
+/// control is a total-queue property, so one tenant can fill the queue but
+/// never starve another's dispatch order); Pop serves tenants round-robin,
+/// oldest query first within a tenant. A tenant that floods N queries
+/// therefore delays a second tenant's next query by at most one dispatch,
+/// not N.
+///
+/// NOT internally synchronized: the QueryService calls it under its own
+/// mutex (the queue is always manipulated together with the running-slot
+/// count, so a second lock would buy nothing). The determinism of Pop —
+/// a pure function of the Push/Pop history — is what the AdmissionQueueTest
+/// fairness cases pin down without threads.
+class AdmissionQueue {
+ public:
+  /// \brief `max_queued` bounds the total queued (not yet dispatched)
+  /// queries across all tenants; 0 means no waiting at all (a query is
+  /// either dispatched immediately or rejected).
+  explicit AdmissionQueue(size_t max_queued) : max_queued_(max_queued) {}
+
+  /// \brief Appends to `tenant`'s FIFO. Returns false — reject with
+  /// kResourceExhausted — when the global bound is already met.
+  bool Push(const std::string& tenant, std::shared_ptr<QueryTicket> ticket);
+
+  /// \brief Removes and returns the next ticket in fair order: round-robin
+  /// over tenants with queued work (in first-seen order), FIFO within each
+  /// tenant. Returns nullptr when empty.
+  std::shared_ptr<QueryTicket> Pop();
+
+  /// \brief Removes every queued ticket, in the order Pop would have
+  /// produced (used by shutdown to fail pending queries as cancelled).
+  std::vector<std::shared_ptr<QueryTicket>> DrainAll();
+
+  size_t size() const { return queued_; }
+  bool empty() const { return queued_ == 0; }
+  size_t max_queued() const { return max_queued_; }
+
+ private:
+  size_t max_queued_;
+  size_t queued_ = 0;
+  /// Tenant FIFOs. Entries persist across empty/non-empty transitions so a
+  /// tenant's round-robin position is stable for the queue's lifetime.
+  std::map<std::string, std::deque<std::shared_ptr<QueryTicket>>> queues_;
+  /// Round-robin order (first Push order) and cursor into it.
+  std::vector<std::string> tenant_order_;
+  size_t rr_next_ = 0;
+};
+
+}  // namespace service
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_SERVICE_ADMISSION_QUEUE_H_

@@ -1,6 +1,7 @@
 #ifndef BLOSSOMTREE_STORAGE_PAGE_STORE_H_
 #define BLOSSOMTREE_STORAGE_PAGE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -72,11 +73,17 @@ class PageStore {
   uint64_t generation() const { return generation_; }
 
   /// \brief Fetches the record for `n`, counting a page read on page switch.
+  ///
+  /// The counters are relaxed atomics so one store can be shared read-only
+  /// across a service's concurrent queries (service::CorpusDocument): the
+  /// single-reader page-read totals stay exact and deterministic, while
+  /// concurrent readers get a race-free (if interleaving-dependent)
+  /// aggregate — acceptable for an I/O *proxy* metric.
   const NodeRecord& Get(xml::NodeId n) const {
     size_t page = n / nodes_per_page_;
-    if (page != current_page_) {
-      current_page_ = page;
-      ++page_reads_;
+    if (page != current_page_.load(std::memory_order_relaxed)) {
+      current_page_.store(page, std::memory_order_relaxed);
+      page_reads_.fetch_add(1, std::memory_order_relaxed);
     }
     return records_[n];
   }
@@ -100,10 +107,12 @@ class PageStore {
 
   // -- I/O accounting --------------------------------------------------------
 
-  uint64_t PageReads() const { return page_reads_; }
+  uint64_t PageReads() const {
+    return page_reads_.load(std::memory_order_relaxed);
+  }
   void ResetCounters() const {
-    page_reads_ = 0;
-    current_page_ = static_cast<size_t>(-1);
+    page_reads_.store(0, std::memory_order_relaxed);
+    current_page_.store(static_cast<size_t>(-1), std::memory_order_relaxed);
   }
 
   /// \brief Partitions the stored document into at most `max_partitions`
@@ -115,8 +124,8 @@ class PageStore {
   std::vector<NodeRecord> records_;
   size_t nodes_per_page_;
   size_t num_pages_;
-  mutable size_t current_page_ = static_cast<size_t>(-1);
-  mutable uint64_t page_reads_ = 0;
+  mutable std::atomic<size_t> current_page_{static_cast<size_t>(-1)};
+  mutable std::atomic<uint64_t> page_reads_{0};
   uint64_t generation_ = 0;  ///< Copied from the source document.
 };
 

@@ -26,6 +26,11 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+size_t ThreadPool::NumPending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   if (Tracer::Get().enabled()) {
     // Timeline instrumentation (DESIGN.md §10): an 'i' event marks the

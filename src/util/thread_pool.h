@@ -41,6 +41,10 @@ class ThreadPool {
 
   size_t NumThreads() const { return workers_.size(); }
 
+  /// \brief Tasks submitted but not yet started (a point-in-time snapshot;
+  /// the service layer reads it for queue-depth metrics).
+  size_t NumPending() const;
+
   /// \brief Enqueues `fn`; the returned future completes when it has run
   /// (rethrowing from get() if the task threw).
   std::future<void> Submit(std::function<void()> fn);
@@ -85,7 +89,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::queue<std::packaged_task<void()>> queue_;
   bool stopping_ = false;

@@ -156,13 +156,15 @@ bool Document::AttributeValue(NodeId n, std::string_view name,
 }
 
 const std::vector<NodeId>& Document::TagIndex(TagId t) const {
-  if (!tag_index_built_) {
+  // Built at most once even under concurrent callers: documents are shared
+  // read-only across a service's concurrent queries, and the pre-PR 6
+  // unguarded lazy build was a data race in that regime.
+  std::call_once(tag_index_once_, [this] {
     tag_index_.assign(tags_.size(), {});
     for (NodeId n = 0; n < kind_.size(); ++n) {
       if (kind_[n] == NodeKind::kElement) tag_index_[tag_[n]].push_back(n);
     }
-    tag_index_built_ = true;
-  }
+  });
   static const std::vector<NodeId> kEmpty;
   if (t == kNullTag || t >= tag_index_.size()) return kEmpty;
   return tag_index_[t];

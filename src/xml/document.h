@@ -2,6 +2,7 @@
 #define BLOSSOMTREE_XML_DOCUMENT_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -162,7 +163,10 @@ class Document {
   /// \brief All element nodes with tag id `t`, in document order.
   ///
   /// This is the "tag-name index" required by the join-based approaches
-  /// (TwigStack, structural merge join). Built lazily on first use.
+  /// (TwigStack, structural merge join). Built lazily on first use, at
+  /// most once (std::call_once), so concurrent queries over one shared
+  /// document — the service::Corpus regime — may all call this without
+  /// external locking.
   const std::vector<NodeId>& TagIndex(TagId t) const;
 
   // -- Statistics (valid after Finish) ---------------------------------------
@@ -220,9 +224,11 @@ class Document {
   uint32_t max_recursion_ = 0;
   std::vector<uint32_t> tag_recursion_;
 
-  // Lazy per-tag document-order index.
+  // Lazy per-tag document-order index, built under tag_index_once_ (the
+  // call_once makes Document non-copyable, which it semantically always
+  // was: nothing may copy a finished document's identity/generation).
   mutable std::vector<std::vector<NodeId>> tag_index_;
-  mutable bool tag_index_built_ = false;
+  mutable std::once_flag tag_index_once_;
 
   uint64_t generation_ = 0;  ///< Stamped by Finish(); 0 = unfinished.
 };

@@ -124,13 +124,14 @@ struct JoinFixture {
 
   explicit JoinFixture(uint64_t seed) {
     Rng rng(seed);
-    xml::Document d;
+    // Built in place: Document is pinned in memory (non-movable) since its
+    // lazy tag index went behind a std::once_flag.
+    doc = std::make_unique<xml::Document>();
     // ~200 nodes, fanout up to 4, depth up to 6, one tag so ancestor and
     // descendant lists overlap heavily.
     size_t budget = 200;
-    BuildSubtree(&d, &rng, &budget, 0);
-    EXPECT_TRUE(d.Finish().ok());
-    doc = std::make_unique<xml::Document>(std::move(d));
+    BuildSubtree(doc.get(), &rng, &budget, 0);
+    EXPECT_TRUE(doc->Finish().ok());
     for (xml::NodeId n = 0; n < doc->NumNodes(); ++n) {
       if (rng.Uniform(100) < 60) anc.push_back(n);
       if (rng.Uniform(100) < 60) desc.push_back(n);

@@ -1,0 +1,134 @@
+// Fairness and bounding of the service admission queue, pinned without
+// threads: AdmissionQueue is externally synchronized, so Pop order is a
+// pure function of the Push/Pop history and every case here is exact.
+
+#include "service/admission_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/query_service.h"
+#include "util/resource_guard.h"
+
+namespace blossomtree {
+namespace service {
+
+/// Mints bare tickets (QueryTicket's constructor is private; the queue
+/// treats them as opaque handles).
+struct QueryTicketTestPeer {
+  static std::shared_ptr<QueryTicket> Make(std::string tenant,
+                                           std::string query) {
+    return std::shared_ptr<QueryTicket>(new QueryTicket(
+        std::move(tenant), "doc", std::move(query), util::QueryLimits{}));
+  }
+};
+
+namespace {
+
+std::shared_ptr<QueryTicket> Ticket(const std::string& tenant,
+                                    const std::string& query) {
+  return QueryTicketTestPeer::Make(tenant, query);
+}
+
+TEST(AdmissionQueueTest, FifoWithinOneTenant) {
+  AdmissionQueue q(8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.Push("a", Ticket("a", "q" + std::to_string(i))));
+  }
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto t = q.Pop();
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->query(), "q" + std::to_string(i));
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.Pop(), nullptr);
+}
+
+TEST(AdmissionQueueTest, RoundRobinAcrossTenantsInFirstSeenOrder) {
+  AdmissionQueue q(16);
+  // b floods four queries before a and c submit one each; round-robin
+  // means a and c each wait at most one dispatch, not four.
+  ASSERT_TRUE(q.Push("b", Ticket("b", "b0")));
+  ASSERT_TRUE(q.Push("b", Ticket("b", "b1")));
+  ASSERT_TRUE(q.Push("b", Ticket("b", "b2")));
+  ASSERT_TRUE(q.Push("b", Ticket("b", "b3")));
+  ASSERT_TRUE(q.Push("a", Ticket("a", "a0")));
+  ASSERT_TRUE(q.Push("c", Ticket("c", "c0")));
+
+  std::vector<std::string> order;
+  while (auto t = q.Pop()) order.push_back(t->query());
+  EXPECT_EQ(order, (std::vector<std::string>{"b0", "a0", "c0", "b1", "b2",
+                                             "b3"}));
+}
+
+TEST(AdmissionQueueTest, CursorIsStableAcrossEmptyTransitions) {
+  AdmissionQueue q(16);
+  ASSERT_TRUE(q.Push("a", Ticket("a", "a0")));
+  ASSERT_TRUE(q.Push("b", Ticket("b", "b0")));
+  EXPECT_EQ(q.Pop()->query(), "a0");
+  // a's FIFO is now empty but its round-robin slot persists: when a
+  // re-queues, dispatch continues from b (the cursor), not from a again.
+  ASSERT_TRUE(q.Push("a", Ticket("a", "a1")));
+  EXPECT_EQ(q.Pop()->query(), "b0");
+  EXPECT_EQ(q.Pop()->query(), "a1");
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(AdmissionQueueTest, GlobalBoundRefusesPushFromAnyTenant) {
+  AdmissionQueue q(2);
+  EXPECT_TRUE(q.Push("a", Ticket("a", "a0")));
+  EXPECT_TRUE(q.Push("a", Ticket("a", "a1")));
+  // The bound is a total-queue property: a fresh tenant is refused too.
+  EXPECT_FALSE(q.Push("b", Ticket("b", "b0")));
+  EXPECT_FALSE(q.Push("a", Ticket("a", "a2")));
+  EXPECT_EQ(q.size(), 2u);
+  // Draining one slot re-admits exactly one.
+  EXPECT_NE(q.Pop(), nullptr);
+  EXPECT_TRUE(q.Push("b", Ticket("b", "b0")));
+  EXPECT_FALSE(q.Push("b", Ticket("b", "b1")));
+}
+
+TEST(AdmissionQueueTest, ZeroCapacityRefusesEverything) {
+  AdmissionQueue q(0);
+  EXPECT_FALSE(q.Push("a", Ticket("a", "a0")));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.Pop(), nullptr);
+}
+
+TEST(AdmissionQueueTest, DrainAllReturnsPopOrderAndEmptiesQueue) {
+  AdmissionQueue q(16);
+  ASSERT_TRUE(q.Push("b", Ticket("b", "b0")));
+  ASSERT_TRUE(q.Push("b", Ticket("b", "b1")));
+  ASSERT_TRUE(q.Push("a", Ticket("a", "a0")));
+  auto drained = q.DrainAll();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0]->query(), "b0");
+  EXPECT_EQ(drained[1]->query(), "a0");
+  EXPECT_EQ(drained[2]->query(), "b1");
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(AdmissionQueueTest, PopIsDeterministicForAFixedHistory) {
+  // Same interleaved Push/Pop script twice — identical dispatch order.
+  auto run = [] {
+    AdmissionQueue q(16);
+    std::vector<std::string> order;
+    q.Push("x", Ticket("x", "x0"));
+    q.Push("y", Ticket("y", "y0"));
+    order.push_back(q.Pop()->query());
+    q.Push("x", Ticket("x", "x1"));
+    q.Push("z", Ticket("z", "z0"));
+    while (auto t = q.Pop()) order.push_back(t->query());
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace blossomtree

@@ -1,0 +1,173 @@
+// The service-level determinism contract (DESIGN.md §12): N sessions firing
+// M queries each over a shared corpus get results byte-identical to a
+// standalone serial engine over the same documents — at 1, 2, and 4
+// execution-pool threads, with and without the corpus-wide shared caches,
+// and with intra-query parallelism layered underneath. Concurrency and
+// caching may change latency, never bytes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "engine/engine.h"
+#include "service/corpus.h"
+#include "service/query_service.h"
+
+namespace blossomtree {
+namespace service {
+namespace {
+
+struct Workload {
+  std::string document;
+  std::string query;
+};
+
+std::vector<Workload> MixedWorkload() {
+  return {
+      {"dblp", "for $a in //article return $a/title"},
+      {"dblp",
+       "for $a in //article where exists($a/year) return "
+       "<hit>{$a/title}</hit>"},
+      {"catalog", "for $i in //item return $i/title"},
+      {"catalog",
+       "for $i in //item where exists($i/attributes) return "
+       "<n>{$i/title}</n>"},
+  };
+}
+
+/// Builds the two-document corpus every case here shares.
+void FillCorpus(Corpus* corpus) {
+  datagen::GenOptions gen;
+  gen.scale = 0.02;
+  gen.seed = 7;
+  ASSERT_TRUE(
+      corpus
+          ->Add("dblp",
+                datagen::GenerateDataset(datagen::Dataset::kD5Dblp, gen))
+          .ok());
+  ASSERT_TRUE(
+      corpus
+          ->Add("catalog",
+                datagen::GenerateDataset(datagen::Dataset::kD3Catalog, gen))
+          .ok());
+}
+
+/// Serial single-engine reference results, computed on fresh engines with
+/// every cache and parallel path disabled.
+std::map<std::string, std::string> SerialReference(const Corpus& corpus) {
+  std::map<std::string, std::string> expected;
+  for (const Workload& w : MixedWorkload()) {
+    auto doc = corpus.Get(w.document);
+    EXPECT_NE(doc, nullptr);
+    engine::EngineOptions serial;
+    serial.num_threads = 1;
+    engine::BlossomTreeEngine ref(doc->doc(), serial);
+    auto r = ref.EvaluateQuery(w.query);
+    EXPECT_TRUE(r.ok()) << w.query << ": " << r.status().ToString();
+    expected[w.document + "|" + w.query] = *r;
+  }
+  return expected;
+}
+
+/// Runs N sessions x M rounds of the mixed workload through a service and
+/// checks every ticket against the reference, byte for byte.
+void RunAndCompare(Corpus* corpus, const ServiceOptions& opts,
+                   const std::map<std::string, std::string>& expected,
+                   const std::string& label) {
+  constexpr int kSessions = 3;
+  constexpr int kRounds = 4;
+  QueryService svc(corpus, opts);
+  std::vector<std::shared_ptr<Session>> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.push_back(svc.CreateSession("tenant-" + std::to_string(s)));
+  }
+  std::vector<std::pair<const Workload*, std::shared_ptr<QueryTicket>>>
+      tickets;
+  const std::vector<Workload> workload = MixedWorkload();
+  for (const Workload& w : workload) {
+    for (int s = 0; s < kSessions; ++s) {
+      for (int m = 0; m < kRounds; ++m) {
+        tickets.emplace_back(&w, svc.Submit(*sessions[s], w.document,
+                                            w.query));
+      }
+    }
+  }
+  for (auto& [w, ticket] : tickets) {
+    const auto& r = ticket->Wait();
+    ASSERT_TRUE(r.ok()) << label << " " << w->query << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(*r, expected.at(w->document + "|" + w->query))
+        << label << " " << w->document << " " << w->query;
+  }
+}
+
+TEST(ServiceDeterminismTest, SharedCorpusMatchesSerialAcrossPoolSizes) {
+  Corpus corpus;
+  FillCorpus(&corpus);
+  auto expected = SerialReference(corpus);
+  for (size_t slots : {1u, 2u, 4u}) {
+    ServiceOptions opts;
+    opts.slots = slots;
+    opts.max_queue = 256;
+    RunAndCompare(&corpus, opts, expected,
+                  "slots=" + std::to_string(slots) + " caches=off");
+  }
+}
+
+TEST(ServiceDeterminismTest, SharedCachesMatchSerialAcrossPoolSizes) {
+  CorpusOptions copts;
+  copts.plan_cache.enabled = true;
+  copts.result_cache.enabled = true;
+  Corpus corpus(copts);
+  FillCorpus(&corpus);
+  auto expected = SerialReference(corpus);
+  for (size_t slots : {1u, 2u, 4u}) {
+    ServiceOptions opts;
+    opts.slots = slots;
+    opts.max_queue = 256;
+    RunAndCompare(&corpus, opts, expected,
+                  "slots=" + std::to_string(slots) + " caches=on");
+  }
+}
+
+TEST(ServiceDeterminismTest, IntraQueryParallelismUnderneathStaysExact) {
+  // Both concurrency layers at once: 4 inter-query slots, each query
+  // fanning its partitioned scans onto a shared 2-worker intra pool.
+  CorpusOptions copts;
+  copts.plan_cache.enabled = true;
+  copts.result_cache.enabled = true;
+  Corpus corpus(copts);
+  FillCorpus(&corpus);
+  auto expected = SerialReference(corpus);
+  ServiceOptions opts;
+  opts.slots = 4;
+  opts.max_queue = 256;
+  opts.intra_query_threads = 2;
+  RunAndCompare(&corpus, opts, expected, "slots=4 intra=2 caches=on");
+}
+
+TEST(ServiceDeterminismTest, RepeatedRunsAreBitwiseStable) {
+  // Two complete service lifetimes over one corpus (second run hits the
+  // shared caches warm) — the bytes must not care.
+  CorpusOptions copts;
+  copts.plan_cache.enabled = true;
+  copts.result_cache.enabled = true;
+  Corpus corpus(copts);
+  FillCorpus(&corpus);
+  auto expected = SerialReference(corpus);
+  for (int run = 0; run < 2; ++run) {
+    ServiceOptions opts;
+    opts.slots = 4;
+    opts.max_queue = 256;
+    RunAndCompare(&corpus, opts, expected, "run=" + std::to_string(run));
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace blossomtree
