@@ -13,6 +13,8 @@
 //
 // Protocol (one command per line on stdin, responses on stdout):
 //   load <name> <file>       parse an XML file into the corpus
+//   load-disk <name> <file>  mmap a BTSX v2 file (examples/btingest) into
+//                            the corpus without parsing — O(open)
 //   drop <name>              evict a document
 //   ls                       list registered documents
 //   query <name> <text...>   run an XPath/FLWOR query against a document
@@ -87,13 +89,14 @@ int main(int argc, char** argv) {
     size_t eq = preload[i].find('=');
     std::string name = preload[i].substr(0, eq);
     std::string file = preload[i].substr(eq + 1);
-    auto doc = xml::ParseDocumentFile(file);
-    if (!doc.ok()) {
-      std::fprintf(stderr, "%s: %s\n", file.c_str(),
-                   doc.status().ToString().c_str());
-      return 1;
+    Status st;
+    // name=file.btsx2 serves straight from disk; anything else parses XML.
+    if (file.size() > 6 && file.rfind(".btsx2") == file.size() - 6) {
+      st = corpus.AddDisk(name, file);
+    } else {
+      auto doc = xml::ParseDocumentFile(file);
+      st = doc.ok() ? corpus.Add(name, doc.MoveValue()) : doc.status();
     }
-    Status st = corpus.Add(name, doc.MoveValue());
     if (!st.ok()) {
       std::fprintf(stderr, "%s: %s\n", name.c_str(), st.ToString().c_str());
       return 1;
@@ -126,6 +129,11 @@ int main(int argc, char** argv) {
       Status st = doc.ok() ? corpus.Add(name, doc.MoveValue())
                            : doc.status();
       std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+    } else if (cmd == "load-disk") {
+      std::string name, file;
+      in >> name >> file;
+      Status st = corpus.AddDisk(name, file);
+      std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
     } else if (cmd == "drop") {
       std::string name;
       in >> name;
@@ -154,8 +162,9 @@ int main(int argc, char** argv) {
       }
     } else {
       std::printf(
-          "commands: load <name> <file> | drop <name> | ls | "
-          "query <name> <text> | tenant <name> | metrics | quit\n");
+          "commands: load <name> <file> | load-disk <name> <file> | "
+          "drop <name> | ls | query <name> <text> | tenant <name> | "
+          "metrics | quit\n");
     }
     std::fprintf(stderr, "> ");
   }

@@ -232,7 +232,8 @@ NokScanOperator::NokScanOperator(const xml::Document* doc,
                                  const pattern::NokTree* nok,
                                  util::ThreadPool* pool,
                                  util::ResourceGuard* guard,
-                                 NokResultCache* cache)
+                                 NokResultCache* cache,
+                                 const storage::NodeStore* store)
     : doc_(doc),
       tree_(tree),
       nok_(nok),
@@ -243,7 +244,8 @@ NokScanOperator::NokScanOperator(const xml::Document* doc,
                      : static_cast<xml::NodeId>(doc->NumNodes() - 1)),
       pool_(pool),
       guard_(guard),
-      cache_(cache) {
+      cache_(cache),
+      store_(store) {
   matcher_.set_guard(guard);
   if (cache_ != nullptr) {
     canonical_nok_ = pattern::CanonicalNok(*tree, *nok);
@@ -257,6 +259,7 @@ void NokScanOperator::SetRange(xml::NodeId begin, xml::NodeId end) {
   parallel_done_ = false;
   parallel_buf_.clear();
   parallel_pos_ = 0;
+  io_cursor_ = storage::ScanCursor();
 }
 
 bool NokScanOperator::ParallelEligible() const {
@@ -335,6 +338,9 @@ void NokScanOperator::RunSerialCachedScan() {
     }
     xml::NodeId x = cursor_++;
     ++nodes_scanned_;
+    // Touch the backing store so block residency and read counters track
+    // the scan even though matching runs over the document facade.
+    if (store_ != nullptr) store_->Get(x, &io_cursor_);
     uint64_t cmp_before = ValueComparisonCount();
     bool matched = matcher_.RootTest(x) && matcher_.MatchAt(x, &nl);
     value_cmps_ += ValueComparisonCount() - cmp_before;
@@ -377,7 +383,8 @@ void NokScanOperator::RunParallelScan() {
       "exec", util::Tracer::Get().enabled() ? Label() + ".parallel"
                                             : std::string());
   std::vector<storage::NodeRange> parts =
-      storage::PartitionSubtrees(*doc_, pool_->NumThreads());
+      store_ != nullptr ? store_->Partition(pool_->NumThreads())
+                        : storage::PartitionSubtrees(*doc_, pool_->NumThreads());
   partitions_used_ = parts.size();
   std::vector<std::vector<nestedlist::NestedList>> results(parts.size());
   std::vector<uint64_t> scanned(parts.size(), 0);
@@ -419,6 +426,10 @@ void NokScanOperator::RunParallelScan() {
         uint64_t cmp_before = ValueComparisonCount();
         NokMatcher m(doc_, tree_, nok_);
         m.set_guard(guard_);
+        // Private I/O cursor per partition: block pins and read counts stay
+        // local to this worker, so the aggregate equals the sum of
+        // partition read counts at every thread count and interleaving.
+        storage::ScanCursor io;
         nestedlist::NestedList nl;
         for (xml::NodeId x = parts[i].begin; x <= parts[i].end; ++x) {
           // Batch-boundary guard sample: a cheap tripped probe per node
@@ -429,6 +440,7 @@ void NokScanOperator::RunParallelScan() {
             break;
           }
           ++scanned[i];
+          if (store_ != nullptr) store_->Get(x, &io);
           if (!m.RootTest(x)) continue;
           if (m.MatchAt(x, &nl)) {
             results[i].push_back(std::move(nl));
@@ -506,6 +518,7 @@ bool NokScanOperator::GetNext(nestedlist::NestedList* out) {
     }
     xml::NodeId x = cursor_++;
     ++nodes_scanned_;
+    if (store_ != nullptr) store_->Get(x, &io_cursor_);
     uint64_t cmp_before = ValueComparisonCount();
     bool matched = matcher_.RootTest(x) && matcher_.MatchAt(x, out);
     value_cmps_ += ValueComparisonCount() - cmp_before;
@@ -542,6 +555,7 @@ void NokScanOperator::Rewind() {
   parallel_done_ = false;
   parallel_buf_.clear();
   parallel_pos_ = 0;
+  io_cursor_ = storage::ScanCursor();
 }
 
 }  // namespace exec

@@ -10,6 +10,7 @@
 #include "exec/result_cache.h"
 #include "nestedlist/nested_list.h"
 #include "pattern/decompose.h"
+#include "storage/node_store.h"
 #include "storage/page_store.h"
 #include "util/resource_guard.h"
 #include "util/thread_pool.h"
@@ -105,11 +106,18 @@ class NokScanOperator : public NestedListOperator {
   ///        and replay a hit's materialized matches without scanning;
   ///        complete cold scans fill it. Range-restricted scans (the BNLJ
   ///        inner side) bypass it. nullptr = the exact uncached scan.
+  /// \param store optional paged node store backing `doc` (an in-RAM
+  ///        PageStore or an out-of-core DiskStore): the scan drivers touch
+  ///        every visited node through it with a per-scan cursor, so block
+  ///        residency and page-read counts reflect the scan's real access
+  ///        pattern — deterministically, independent of concurrent readers.
+  ///        Partitioning also goes through the store when attached.
   NokScanOperator(const xml::Document* doc, const pattern::BlossomTree* tree,
                   const pattern::NokTree* nok,
                   util::ThreadPool* pool = nullptr,
                   util::ResourceGuard* guard = nullptr,
-                  NokResultCache* cache = nullptr);
+                  NokResultCache* cache = nullptr,
+                  const storage::NodeStore* store = nullptr);
 
   const std::vector<pattern::SlotId>& top_slots() const override {
     return matcher_.top_slots();
@@ -207,6 +215,11 @@ class NokScanOperator : public NestedListOperator {
   /// Canonical NoK fingerprint (computed once at construction when a cache
   /// is attached): the pattern half of every cache key this scan uses.
   std::string canonical_nok_;
+
+  /// Optional paged store behind the document; the serial drivers thread
+  /// `io_cursor_` through it (parallel partitions use private cursors).
+  const storage::NodeStore* store_;
+  storage::ScanCursor io_cursor_;
 };
 
 }  // namespace exec

@@ -16,8 +16,8 @@ namespace {
 /// first.
 template <typename Emit>
 void MergeRange(const xml::Document& doc,
-                const std::vector<xml::NodeId>& ancestors, size_t abegin,
-                size_t aend, const std::vector<xml::NodeId>& descendants,
+                std::span<const xml::NodeId> ancestors, size_t abegin,
+                size_t aend, std::span<const xml::NodeId> descendants,
                 size_t dbegin, size_t dend, Emit&& emit,
                 util::ResourceGuard* guard = nullptr) {
   std::vector<xml::NodeId> stack;
@@ -69,8 +69,8 @@ struct ForestChunk {
 /// size. Each descendant's covering ancestors then live in exactly one
 /// chunk, making the chunks independently joinable.
 std::vector<ForestChunk> ChunkOuterForest(
-    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants, size_t max_chunks) {
+    const xml::Document& doc, std::span<const xml::NodeId> ancestors,
+    std::span<const xml::NodeId> descendants, size_t max_chunks) {
   std::vector<ForestChunk> chunks;
   if (ancestors.empty()) return chunks;
   if (max_chunks <= 1) {
@@ -124,8 +124,8 @@ std::vector<ForestChunk> ChunkOuterForest(
 /// so it may safely size shared per-chunk containers.
 template <typename MakeEmit>
 void ForestJoin(const xml::Document& doc,
-                const std::vector<xml::NodeId>& ancestors,
-                const std::vector<xml::NodeId>& descendants,
+                std::span<const xml::NodeId> ancestors,
+                std::span<const xml::NodeId> descendants,
                 util::ThreadPool* pool, util::ResourceGuard* guard,
                 size_t* num_chunks, MakeEmit&& make_emit) {
   size_t want = pool != nullptr ? pool->NumThreads() : 1;
@@ -188,8 +188,8 @@ std::vector<T> Concat(std::vector<std::vector<T>> parts) {
 }  // namespace
 
 std::vector<AncDescPair> StackStructuralJoin(
-    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool,
+    const xml::Document& doc, std::span<const xml::NodeId> ancestors,
+    std::span<const xml::NodeId> descendants, util::ThreadPool* pool,
     StructuralJoinStats* stats, util::ResourceGuard* guard) {
   size_t n = 0;
   std::vector<std::vector<AncDescPair>> parts;
@@ -204,8 +204,8 @@ std::vector<AncDescPair> StackStructuralJoin(
 }
 
 std::vector<AncDescPair> StackStructuralJoinParentChild(
-    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool,
+    const xml::Document& doc, std::span<const xml::NodeId> ancestors,
+    std::span<const xml::NodeId> descendants, util::ThreadPool* pool,
     StructuralJoinStats* stats, util::ResourceGuard* guard) {
   size_t n = 0;
   std::vector<std::vector<AncDescPair>> parts;
@@ -220,8 +220,8 @@ std::vector<AncDescPair> StackStructuralJoinParentChild(
 }
 
 std::vector<xml::NodeId> DescendantsWithAncestor(
-    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool,
+    const xml::Document& doc, std::span<const xml::NodeId> ancestors,
+    std::span<const xml::NodeId> descendants, util::ThreadPool* pool,
     StructuralJoinStats* stats, util::ResourceGuard* guard) {
   size_t n = 0;
   std::vector<std::vector<xml::NodeId>> parts;
@@ -245,8 +245,8 @@ std::vector<xml::NodeId> DescendantsWithAncestor(
 }
 
 std::vector<xml::NodeId> AncestorsWithDescendant(
-    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants, util::ThreadPool* pool,
+    const xml::Document& doc, std::span<const xml::NodeId> ancestors,
+    std::span<const xml::NodeId> descendants, util::ThreadPool* pool,
     StructuralJoinStats* stats, util::ResourceGuard* guard) {
   size_t n = 0;
   std::vector<std::vector<xml::NodeId>> parts;
@@ -264,8 +264,8 @@ std::vector<xml::NodeId> AncestorsWithDescendant(
 }
 
 std::vector<xml::NodeId> ChildrenWithParent(
-    const xml::Document& doc, const std::vector<xml::NodeId>& parents,
-    const std::vector<xml::NodeId>& children, util::ThreadPool* pool,
+    const xml::Document& doc, std::span<const xml::NodeId> parents,
+    std::span<const xml::NodeId> children, util::ThreadPool* pool,
     StructuralJoinStats* stats, util::ResourceGuard* guard) {
   size_t n = 0;
   std::vector<std::vector<xml::NodeId>> parts;
@@ -287,8 +287,8 @@ std::vector<xml::NodeId> ChildrenWithParent(
 }
 
 std::vector<xml::NodeId> ParentsWithChild(
-    const xml::Document& doc, const std::vector<xml::NodeId>& parents,
-    const std::vector<xml::NodeId>& children, util::ThreadPool* pool,
+    const xml::Document& doc, std::span<const xml::NodeId> parents,
+    std::span<const xml::NodeId> children, util::ThreadPool* pool,
     StructuralJoinStats* stats, util::ResourceGuard* guard) {
   size_t n = 0;
   std::vector<std::vector<xml::NodeId>> parts;

@@ -2,6 +2,7 @@
 #define BLOSSOMTREE_EXEC_STRUCTURAL_JOIN_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/resource_guard.h"
@@ -52,8 +53,8 @@ struct StructuralJoinStats {
 /// ancestor-descendant relationship in one pass, using a stack of nested
 /// ancestors. O(|anc| + |desc| + |output|).
 std::vector<AncDescPair> StackStructuralJoin(
-    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants,
+    const xml::Document& doc, std::span<const xml::NodeId> ancestors,
+    std::span<const xml::NodeId> descendants,
     util::ThreadPool* pool = nullptr,
     StructuralJoinStats* stats = nullptr,
     util::ResourceGuard* guard = nullptr);
@@ -61,8 +62,8 @@ std::vector<AncDescPair> StackStructuralJoin(
 /// \brief Parent-child variant: keeps only pairs with level(desc) ==
 /// level(anc) + 1.
 std::vector<AncDescPair> StackStructuralJoinParentChild(
-    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants,
+    const xml::Document& doc, std::span<const xml::NodeId> ancestors,
+    std::span<const xml::NodeId> descendants,
     util::ThreadPool* pool = nullptr,
     StructuralJoinStats* stats = nullptr,
     util::ResourceGuard* guard = nullptr);
@@ -71,28 +72,28 @@ std::vector<AncDescPair> StackStructuralJoinParentChild(
 /// that have some ancestor in `ancestors` (document order preserved), and
 /// the ancestors that contain some descendant.
 std::vector<xml::NodeId> DescendantsWithAncestor(
-    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants,
+    const xml::Document& doc, std::span<const xml::NodeId> ancestors,
+    std::span<const xml::NodeId> descendants,
     util::ThreadPool* pool = nullptr,
     StructuralJoinStats* stats = nullptr,
     util::ResourceGuard* guard = nullptr);
 std::vector<xml::NodeId> AncestorsWithDescendant(
-    const xml::Document& doc, const std::vector<xml::NodeId>& ancestors,
-    const std::vector<xml::NodeId>& descendants,
+    const xml::Document& doc, std::span<const xml::NodeId> ancestors,
+    std::span<const xml::NodeId> descendants,
     util::ThreadPool* pool = nullptr,
     StructuralJoinStats* stats = nullptr,
     util::ResourceGuard* guard = nullptr);
 
 /// \brief Parent-child semi-join variants (level-filtered).
 std::vector<xml::NodeId> ChildrenWithParent(
-    const xml::Document& doc, const std::vector<xml::NodeId>& parents,
-    const std::vector<xml::NodeId>& children,
+    const xml::Document& doc, std::span<const xml::NodeId> parents,
+    std::span<const xml::NodeId> children,
     util::ThreadPool* pool = nullptr,
     StructuralJoinStats* stats = nullptr,
     util::ResourceGuard* guard = nullptr);
 std::vector<xml::NodeId> ParentsWithChild(
-    const xml::Document& doc, const std::vector<xml::NodeId>& parents,
-    const std::vector<xml::NodeId>& children,
+    const xml::Document& doc, std::span<const xml::NodeId> parents,
+    std::span<const xml::NodeId> children,
     util::ThreadPool* pool = nullptr,
     StructuralJoinStats* stats = nullptr,
     util::ResourceGuard* guard = nullptr);

@@ -57,7 +57,8 @@ std::vector<xml::NodeId> TwigSemijoin::Candidates(VertexId v) {
     }
   } else {
     xml::TagId t = doc_->tags().Lookup(vx.tag);
-    out = doc_->TagIndex(t);
+    auto index = doc_->TagIndex(t);
+    out.assign(index.begin(), index.end());
   }
   // The edge from the virtual root: '/' pins the document root element.
   if (vx.parent != pattern::kNoVertex &&

@@ -81,7 +81,8 @@ void TwigStack::BuildStreams() {
       }
     } else {
       xml::TagId t = doc_->tags().Lookup(vx.tag);
-      nodes = doc_->TagIndex(t);
+      auto index = doc_->TagIndex(t);
+      nodes.assign(index.begin(), index.end());
     }
     // The query root connected to "~" by '/' must be the document root.
     bool must_be_doc_root =

@@ -64,9 +64,9 @@ bool CompareValues(std::string_view left, xpath::CompareOp op,
 }
 
 bool GeneralCompare(const xml::Document& doc,
-                    const std::vector<xml::NodeId>& left,
+                    std::span<const xml::NodeId> left,
                     xpath::CompareOp op,
-                    const std::vector<xml::NodeId>& right) {
+                    std::span<const xml::NodeId> right) {
   if (left.empty() || right.empty()) return false;
   // Materialize and parse each right-side value once. The inner loop used
   // to rebuild doc.StringValue(r) (and re-parse it) for every left node —
@@ -101,7 +101,7 @@ bool GeneralCompare(const xml::Document& doc,
 }
 
 bool GeneralCompareLiteral(const xml::Document& doc,
-                           const std::vector<xml::NodeId>& left,
+                           std::span<const xml::NodeId> left,
                            xpath::CompareOp op, std::string_view literal) {
   double rn = 0;
   bool r_num = ParseDouble(literal, &rn);
@@ -152,8 +152,8 @@ bool DeepEqualNodes(const xml::Document& doc, xml::NodeId a, xml::NodeId b) {
 }
 
 bool DeepEqualSequences(const xml::Document& doc,
-                        const std::vector<xml::NodeId>& a,
-                        const std::vector<xml::NodeId>& b) {
+                        std::span<const xml::NodeId> a,
+                        std::span<const xml::NodeId> b) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
     if (!DeepEqualNodes(doc, a[i], b[i])) return false;

@@ -2,6 +2,7 @@
 #define BLOSSOMTREE_EXEC_VALUE_OPS_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -28,13 +29,13 @@ bool CompareValues(std::string_view left, xpath::CompareOp op,
 /// of items satisfies `op` on their string values (untyped-data semantics).
 /// `left`/`right` are nodes of `doc`; literals are handled by the overload.
 bool GeneralCompare(const xml::Document& doc,
-                    const std::vector<xml::NodeId>& left,
+                    std::span<const xml::NodeId> left,
                     xpath::CompareOp op,
-                    const std::vector<xml::NodeId>& right);
+                    std::span<const xml::NodeId> right);
 
 /// \brief General comparison of a node sequence against a literal.
 bool GeneralCompareLiteral(const xml::Document& doc,
-                           const std::vector<xml::NodeId>& left,
+                           std::span<const xml::NodeId> left,
                            xpath::CompareOp op, std::string_view literal);
 
 /// \brief fn:deep-equal on two subtrees: same tag, same attribute set, and
@@ -44,8 +45,8 @@ bool DeepEqualNodes(const xml::Document& doc, xml::NodeId a, xml::NodeId b);
 /// \brief fn:deep-equal on two sequences (paper Example 2 relies on
 /// deep-equal((), ()) = true): equal lengths and pairwise deep-equal items.
 bool DeepEqualSequences(const xml::Document& doc,
-                        const std::vector<xml::NodeId>& a,
-                        const std::vector<xml::NodeId>& b);
+                        std::span<const xml::NodeId> a,
+                        std::span<const xml::NodeId> b);
 
 }  // namespace exec
 }  // namespace blossomtree

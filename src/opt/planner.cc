@@ -77,7 +77,8 @@ class TreePlanner {
               const std::vector<int>* merged_index, PatternTreePlan* plan,
               bool* used_pipelined, bool* used_bnlj,
               util::ThreadPool* pool, util::ResourceGuard* guard,
-              const CostModel* cost, exec::NokResultCache* result_cache)
+              const CostModel* cost, exec::NokResultCache* result_cache,
+              const storage::NodeStore* store)
       : doc_(doc),
         tree_(tree),
         decomp_(decomp),
@@ -90,7 +91,8 @@ class TreePlanner {
         pool_(pool),
         guard_(guard),
         cost_(cost),
-        result_cache_(result_cache) {}
+        result_cache_(result_cache),
+        store_(store) {}
 
   /// True when matches of `v`'s tag can never nest — the precondition for
   /// the pipelined join's merge discipline (Theorem 2 holds per tag: a
@@ -135,7 +137,7 @@ class TreePlanner {
     } else {
       auto scan = std::make_unique<NokScanOperator>(
           doc_, tree_, &decomp_->noks[nok_index], pool_, guard_,
-          result_cache_);
+          result_cache_, store_);
       plan_->scans.push_back(scan.get());
       scan->set_label("NokScan(" + NokLabel(nok_index) + ")");
       Indent(depth);
@@ -233,6 +235,7 @@ class TreePlanner {
   util::ResourceGuard* guard_;
   const CostModel* cost_;
   exec::NokResultCache* result_cache_;
+  const storage::NodeStore* store_;
 };
 
 }  // namespace
@@ -369,7 +372,7 @@ Result<QueryPlan> PlanQuery(const xml::Document* doc,
     TreePlanner builder(doc, tree, &plan.decomposition, strategy,
                         merged.get(), &merged_index, &tp, &used_pipelined,
                         &used_bnlj, options.pool, options.guard, cost.get(),
-                        options.result_cache);
+                        options.result_cache, options.store);
     BT_ASSIGN_OR_RETURN(tp.root, builder.Build(base, 1));
     tp.tops = tp.root->top_slots();
     plan.trees.push_back(std::move(tp));

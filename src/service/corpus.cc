@@ -11,7 +11,14 @@ CorpusDocument::CorpusDocument(std::string name,
       doc_(std::move(doc)),
       generation_(doc_->generation()) {}
 
-const storage::PageStore& CorpusDocument::store() const {
+CorpusDocument::CorpusDocument(std::string name,
+                               std::unique_ptr<storage::DiskStore> disk)
+    : name_(std::move(name)),
+      disk_(std::move(disk)),
+      generation_(disk_->generation()) {}
+
+const storage::NodeStore& CorpusDocument::store() const {
+  if (disk_ != nullptr) return *disk_;
   std::call_once(store_once_, [this] {
     store_ = std::make_unique<storage::PageStore>(*doc_);
   });
@@ -43,6 +50,26 @@ Status Corpus::Add(const std::string& name,
   // call_once inside Document::TagIndex.
   doc->TagIndex(0);
   auto entry = std::make_shared<CorpusDocument>(name, std::move(doc));
+  std::lock_guard<std::mutex> lock(mu_);
+  docs_[name] = std::move(entry);
+  return Status::OK();
+}
+
+Status Corpus::AddDisk(const std::string& name, const std::string& path,
+                       storage::DiskStoreOptions options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("corpus: document name must be non-empty");
+  }
+  if (!options.use_mmap) {
+    return Status::InvalidArgument(
+        "corpus: disk documents need the mapped mode (pread mode has no "
+        "document facade to query)");
+  }
+  BT_ASSIGN_OR_RETURN(std::unique_ptr<storage::DiskStore> disk,
+                      storage::DiskStore::Open(path, options));
+  // The facade's tag index is a zero-copy span over the persisted per-tag
+  // streams — nothing to pre-build here, unlike Add().
+  auto entry = std::make_shared<CorpusDocument>(name, std::move(disk));
   std::lock_guard<std::mutex> lock(mu_);
   docs_[name] = std::move(entry);
   return Status::OK();

@@ -9,6 +9,8 @@
 
 #include "engine/plan_cache.h"
 #include "exec/result_cache.h"
+#include "storage/disk_store.h"
+#include "storage/node_store.h"
 #include "storage/page_store.h"
 #include "util/cache.h"
 #include "util/status.h"
@@ -29,8 +31,15 @@ class CorpusDocument {
  public:
   CorpusDocument(std::string name, std::unique_ptr<xml::Document> doc);
 
+  /// \brief Disk-backed variant: the document is the DiskStore's zero-copy
+  /// facade over its mapped BTSX v2 image (never null; Corpus::AddDisk
+  /// rejects pread-mode stores, which have no facade).
+  CorpusDocument(std::string name, std::unique_ptr<storage::DiskStore> disk);
+
   const std::string& name() const { return name_; }
-  const xml::Document* doc() const { return doc_.get(); }
+  const xml::Document* doc() const {
+    return disk_ != nullptr ? disk_->document() : doc_.get();
+  }
 
   /// \brief The document's generation stamp (xml::Document::generation()):
   /// the identity every corpus-wide NoK result-cache entry is keyed by, so
@@ -38,14 +47,20 @@ class CorpusDocument {
   /// cached sub-result of the old build.
   uint64_t generation() const { return generation_; }
 
-  /// \brief The shared paged node store for this document, built on first
-  /// use and reused by every query/bench that wants the page-counting scan
-  /// substrate. Thread-safe; the store's own counters are atomic.
-  const storage::PageStore& store() const;
+  /// \brief True when this entry serves an out-of-core BTSX v2 file rather
+  /// than an in-RAM build.
+  bool disk_backed() const { return disk_ != nullptr; }
+
+  /// \brief The shared paged node store for this document: the DiskStore's
+  /// block-cached substrate for disk-backed entries, else an in-RAM
+  /// PageStore built on first use. Thread-safe; the store's own counters
+  /// are atomic and per-scan state lives in caller cursors.
+  const storage::NodeStore& store() const;
 
  private:
   std::string name_;
   std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<storage::DiskStore> disk_;
   uint64_t generation_ = 0;
   mutable std::once_flag store_once_;
   mutable std::unique_ptr<storage::PageStore> store_;
@@ -83,6 +98,16 @@ class Corpus {
   /// handles stay alive via shared ownership and the new build's fresh
   /// generation keys its cache entries apart from the old one's.
   Status Add(const std::string& name, std::unique_ptr<xml::Document> doc);
+
+  /// \brief Registers the BTSX v2 file at `path` under `name` without
+  /// parsing any XML: the file is opened O(open) as a DiskStore
+  /// (mmap-backed with a block-cache budget; see storage/disk_store.h) and
+  /// its zero-copy document facade serves queries exactly like an in-RAM
+  /// build — byte-identical results, fresh generation for cache identity.
+  /// `options.use_mmap` must be true: the scan-only pread mode has no
+  /// document facade to run queries over.
+  Status AddDisk(const std::string& name, const std::string& path,
+                 storage::DiskStoreOptions options = {});
 
   /// \brief Resolves a name to its current document; nullptr when absent.
   std::shared_ptr<const CorpusDocument> Get(const std::string& name) const;

@@ -210,6 +210,12 @@ void QueryService::RunQuery(const std::shared_ptr<QueryTicket>& ticket) {
   eo.collect_profile = options_.collect_profile;
   eo.shared_plan_cache = corpus_->plan_cache();
   eo.plan.result_cache = corpus_->result_cache();
+  // Scans of disk-backed documents touch nodes through the DiskStore's
+  // block cache so residency stays under its budget; in-RAM documents keep
+  // the plain document scan (their PageStore stays lazy, bench-only).
+  if (ticket->doc_->disk_backed()) {
+    eo.plan.store = &ticket->doc_->store();
+  }
   engine::BlossomTreeEngine engine(ticket->doc_->doc(), eo);
 
   bool cancelled_while_queued = false;

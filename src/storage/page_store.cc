@@ -5,38 +5,6 @@
 namespace blossomtree {
 namespace storage {
 
-namespace {
-
-/// Greedy balanced grouping of consecutive top-level subtrees
-/// [cuts[i], cuts[i+1]) into at most `max_partitions` contiguous ranges.
-/// `cuts` holds the NodeId where each top-level subtree starts (the first
-/// entry is the document root itself, which precedes its first child), and
-/// `total` is the number of nodes in the document.
-std::vector<NodeRange> GroupCuts(const std::vector<xml::NodeId>& cuts,
-                                 size_t total, size_t max_partitions) {
-  std::vector<NodeRange> out;
-  if (total == 0) return out;
-  xml::NodeId last = static_cast<xml::NodeId>(total - 1);
-  if (max_partitions <= 1 || cuts.size() <= 1) {
-    out.push_back({0, last});
-    return out;
-  }
-  size_t target = (total + max_partitions - 1) / max_partitions;
-  xml::NodeId begin = 0;
-  for (size_t i = 1; i < cuts.size(); ++i) {
-    // cuts[i] starts a new top-level subtree: a legal cut point.
-    size_t acc = cuts[i] - begin;
-    if (acc >= target && out.size() + 1 < max_partitions) {
-      out.push_back({begin, static_cast<xml::NodeId>(cuts[i] - 1)});
-      begin = cuts[i];
-    }
-  }
-  out.push_back({begin, last});
-  return out;
-}
-
-}  // namespace
-
 std::vector<NodeRange> PartitionSubtrees(const xml::Document& doc,
                                          size_t max_partitions) {
   util::TraceSpan span("storage", "PartitionSubtrees");
@@ -48,7 +16,7 @@ std::vector<NodeRange> PartitionSubtrees(const xml::Document& doc,
       cuts.push_back(c);
     }
   }
-  return GroupCuts(cuts, doc.NumNodes(), max_partitions);
+  return GroupSubtreeCuts(cuts, doc.NumNodes(), max_partitions);
 }
 
 std::vector<NodeRange> PageStore::Partition(size_t max_partitions) const {
@@ -72,7 +40,7 @@ std::vector<NodeRange> PageStore::Partition(size_t max_partitions) const {
               : xml::kNullNode;
     }
   }
-  return GroupCuts(cuts, records_.size(), max_partitions);
+  return GroupSubtreeCuts(cuts, records_.size(), max_partitions);
 }
 
 PageStore::PageStore(const xml::Document& doc, size_t page_bytes) {
@@ -80,12 +48,17 @@ PageStore::PageStore(const xml::Document& doc, size_t page_bytes) {
   nodes_per_page_ = page_bytes / sizeof(NodeRecord);
   if (nodes_per_page_ == 0) nodes_per_page_ = 1;
   records_.reserve(doc.NumNodes());
+  uint32_t text_ref = 0;
   for (xml::NodeId n = 0; n < doc.NumNodes(); ++n) {
     NodeRecord r;
     r.tag = doc.IsElement(n) ? doc.Tag(n) : xml::kNullTag;
     r.subtree_end = doc.SubtreeEnd(n);
     r.level = doc.Level(n);
-    r.text_ref = static_cast<uint32_t>(-1);
+    // Text refs number the text nodes in document order — the same
+    // numbering the BTSX v2 writer persists, so records from a PageStore
+    // and a DiskStore over the same document are bit-identical.
+    r.text_ref =
+        doc.IsElement(n) ? static_cast<uint32_t>(-1) : text_ref++;
     records_.push_back(r);
   }
   num_pages_ = (records_.size() + nodes_per_page_ - 1) / nodes_per_page_;

@@ -5,35 +5,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "storage/node_store.h"
 #include "xml/document.h"
 
 namespace blossomtree {
 namespace storage {
-
-/// \brief One fixed-width node record in the paged store.
-///
-/// The NoK paper's succinct storage keeps the tree as a document-order
-/// sequence with subtree extents; this record is the decoded equivalent:
-/// everything a sequential-scan NoK matcher needs to navigate via
-/// first-child / following-sibling without touching the DOM.
-struct NodeRecord {
-  xml::TagId tag;          ///< kNullTag for text nodes.
-  xml::NodeId subtree_end; ///< Largest NodeId in this node's subtree.
-  uint32_t level;          ///< Depth (root = 0).
-  uint32_t text_ref;       ///< Index into the text table, or UINT32_MAX.
-};
-
-/// \brief A contiguous, inclusive range [begin, end] of NodeIds — one
-/// partition of a document for intra-query parallel scanning.
-struct NodeRange {
-  xml::NodeId begin;
-  xml::NodeId end;
-
-  size_t size() const { return static_cast<size_t>(end) - begin + 1; }
-  bool operator==(const NodeRange& o) const {
-    return begin == o.begin && end == o.end;
-  }
-};
 
 /// \brief Splits a document into at most `max_partitions` contiguous node
 /// ranges, cutting only at *top-level subtree boundaries* — the subtrees
@@ -49,82 +25,61 @@ struct NodeRange {
 std::vector<NodeRange> PartitionSubtrees(const xml::Document& doc,
                                          size_t max_partitions);
 
-/// \brief A document-order, page-partitioned node store with access counting.
+/// \brief A document-order, page-partitioned in-RAM node store with access
+/// counting.
 ///
 /// Models the paper's secondary-storage scans: every page touched is counted,
 /// so benches can report scan/I-O proxies (e.g. merged-NoK saves scans;
-/// BNLJ touches only the outer match's subtree range). A one-page "current
-/// page" cache mimics a sequential reader: a linear scan of N nodes costs
-/// ~N / nodes_per_page page reads, while random re-reads cost a page each.
-class PageStore {
+/// BNLJ touches only the outer match's subtree range). The one-page
+/// sequential-reader cache lives in the caller's ScanCursor — one per scan —
+/// so a linear scan of N nodes costs ~N / nodes_per_page page reads, random
+/// re-reads cost a page each, and concurrent scans over one shared store
+/// (the service::CorpusDocument regime) each account their own reads
+/// exactly: totals are the interleaving-independent sum of per-cursor
+/// counts, not a function of how readers happened to ping-pong one shared
+/// "current page" slot.
+class PageStore : public NodeStore {
  public:
   /// \brief Builds the store from a finished document.
   /// \param page_bytes page size in bytes (default 4 KiB).
   explicit PageStore(const xml::Document& doc, size_t page_bytes = 4096);
 
-  size_t NumNodes() const { return records_.size(); }
-  size_t NumPages() const { return num_pages_; }
-  size_t NodesPerPage() const { return nodes_per_page_; }
+  size_t NumNodes() const override { return records_.size(); }
+  size_t NumPages() const override { return num_pages_; }
+  size_t NodesPerPage() const override { return nodes_per_page_; }
+  uint64_t generation() const override { return generation_; }
 
-  /// \brief Generation of the source document at construction time (see
-  /// xml::Document::generation()): result-cache keys derived from a store
-  /// carry the same invalidation identity as ones derived from the
-  /// document itself.
-  uint64_t generation() const { return generation_; }
-
-  /// \brief Fetches the record for `n`, counting a page read on page switch.
-  ///
-  /// The counters are relaxed atomics so one store can be shared read-only
-  /// across a service's concurrent queries (service::CorpusDocument): the
-  /// single-reader page-read totals stay exact and deterministic, while
-  /// concurrent readers get a race-free (if interleaving-dependent)
-  /// aggregate — acceptable for an I/O *proxy* metric.
-  const NodeRecord& Get(xml::NodeId n) const {
+  /// \brief Fetches the record for `n`, counting a page read on the
+  /// cursor's page switch (aggregated into the store-wide total).
+  NodeRecord Get(xml::NodeId n, ScanCursor* cursor) const override {
     size_t page = n / nodes_per_page_;
-    if (page != current_page_.load(std::memory_order_relaxed)) {
-      current_page_.store(page, std::memory_order_relaxed);
+    if (page != cursor->page) {
+      cursor->page = page;
+      ++cursor->reads;
       page_reads_.fetch_add(1, std::memory_order_relaxed);
     }
     return records_[n];
   }
 
-  /// \brief Navigation in document order, derived from subtree extents.
-  /// First child is n+1 when the subtree extends past n.
-  xml::NodeId FirstChild(xml::NodeId n) const {
-    const NodeRecord& r = Get(n);
-    return r.subtree_end > n ? n + 1 : xml::kNullNode;
-  }
-
-  /// \brief Following sibling = node just past this subtree, if it is deeper
-  /// than or at the same level under the same parent.
-  xml::NodeId NextSibling(xml::NodeId n) const {
-    const NodeRecord& r = Get(n);
-    xml::NodeId next = r.subtree_end + 1;
-    if (next >= records_.size()) return xml::kNullNode;
-    const NodeRecord& nr = Get(next);
-    return nr.level == r.level ? next : xml::kNullNode;
-  }
-
   // -- I/O accounting --------------------------------------------------------
 
-  uint64_t PageReads() const {
+  uint64_t PageReads() const override {
     return page_reads_.load(std::memory_order_relaxed);
   }
-  void ResetCounters() const {
+  void ResetCounters() const override {
     page_reads_.store(0, std::memory_order_relaxed);
-    current_page_.store(static_cast<size_t>(-1), std::memory_order_relaxed);
   }
 
   /// \brief Partitions the stored document into at most `max_partitions`
   /// contiguous node ranges cut at top-level subtree boundaries (see
-  /// PartitionSubtrees below), using the store's own records.
-  std::vector<NodeRange> Partition(size_t max_partitions) const;
+  /// PartitionSubtrees above), using the store's own records. Does not
+  /// count page reads: partitioning is planning, not scan I/O.
+  std::vector<NodeRange> Partition(size_t max_partitions) const override;
 
  private:
   std::vector<NodeRecord> records_;
   size_t nodes_per_page_;
   size_t num_pages_;
-  mutable std::atomic<size_t> current_page_{static_cast<size_t>(-1)};
   mutable std::atomic<uint64_t> page_reads_{0};
   uint64_t generation_ = 0;  ///< Copied from the source document.
 };

@@ -1,7 +1,7 @@
 #include "storage/succinct.h"
 
 #include <fstream>
-#include <sstream>
+#include <string>
 #include <vector>
 
 #include "util/varint.h"
@@ -117,6 +117,11 @@ Result<std::unique_ptr<xml::Document>> DecodeSuccinct(std::string_view data) {
   if (!GetVarint(data, &pos, &num_tags)) {
     return Status::InvalidArgument("truncated tag dictionary");
   }
+  // Each tag costs at least one byte of length prefix, so a count beyond
+  // the remaining input is hostile — reject it before reserving.
+  if (num_tags > data.size() - pos) {
+    return Status::InvalidArgument("implausible tag count");
+  }
   std::vector<std::string> tags;
   tags.reserve(num_tags);
   for (uint64_t i = 0; i < num_tags; ++i) {
@@ -130,8 +135,10 @@ Result<std::unique_ptr<xml::Document>> DecodeSuccinct(std::string_view data) {
   if (!GetVarint(data, &pos, &num_events)) {
     return Status::InvalidArgument("truncated event count");
   }
-  uint64_t event_bytes = (num_events + 3) / 4;
-  if (pos + event_bytes > data.size()) {
+  // Events pack four to a byte; this ceiling form cannot overflow for
+  // adversarial 64-bit event counts the way (num_events + 3) / 4 can.
+  uint64_t event_bytes = num_events / 4 + (num_events % 4 != 0 ? 1 : 0);
+  if (event_bytes > data.size() - pos) {
     return Status::InvalidArgument("truncated event stream");
   }
   EventReader events(data.substr(pos, event_bytes), num_events);
@@ -186,6 +193,14 @@ Result<std::unique_ptr<xml::Document>> DecodeSuccinct(std::string_view data) {
   if (depth != 0) {
     return Status::InvalidArgument("unbalanced event stream");
   }
+  // Every payload byte must be consumed. Trailing bytes mean a corrupt or
+  // concatenated file, which used to "round-trip" silently — the decoder
+  // would hand back a valid-looking document built from a prefix.
+  if (pos != data.size()) {
+    return Status::InvalidArgument(
+        "trailing garbage after BTSX payload (" +
+        std::to_string(data.size() - pos) + " bytes)");
+  }
   BT_RETURN_NOT_OK(doc->Finish());
   return doc;
 }
@@ -202,9 +217,23 @@ Status SaveDocument(const xml::Document& doc, const std::string& path) {
 Result<std::unique_ptr<xml::Document>> LoadDocument(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  std::string data = ss.str();
+  // Size the buffer up front and read once. The previous rdbuf()-into-
+  // ostringstream route buffered the file twice (stream buffer + final
+  // string), doubling peak memory on large documents, and could not tell a
+  // short read from success.
+  in.seekg(0, std::ios::end);
+  std::streamoff len = in.tellg();
+  if (len < 0) {
+    return Status::IOError("cannot determine size of '" + path + "'");
+  }
+  in.seekg(0, std::ios::beg);
+  std::string data(static_cast<size_t>(len), '\0');
+  in.read(data.data(), len);
+  if (in.gcount() != len) {
+    return Status::IOError("short read from '" + path + "': got " +
+                           std::to_string(in.gcount()) + " of " +
+                           std::to_string(len) + " bytes");
+  }
   return DecodeSuccinct(data);
 }
 

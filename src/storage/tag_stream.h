@@ -2,7 +2,7 @@
 #define BLOSSOMTREE_STORAGE_TAG_STREAM_H_
 
 #include <cstdint>
-#include <vector>
+#include <span>
 
 #include "xml/document.h"
 
@@ -17,12 +17,12 @@ namespace storage {
 class TagStream {
  public:
   TagStream(const xml::Document* doc, xml::TagId tag)
-      : doc_(doc), nodes_(&doc->TagIndex(tag)) {}
+      : doc_(doc), nodes_(doc->TagIndex(tag)) {}
 
-  bool AtEnd() const { return pos_ >= nodes_->size(); }
+  bool AtEnd() const { return pos_ >= nodes_.size(); }
 
   /// \brief Current node. Undefined when AtEnd().
-  xml::NodeId Node() const { return (*nodes_)[pos_]; }
+  xml::NodeId Node() const { return nodes_[pos_]; }
   xml::NodeId Start() const { return Node(); }
   xml::NodeId End() const { return doc_->SubtreeEnd(Node()); }
   uint32_t Level() const { return doc_->Level(Node()); }
@@ -36,10 +36,10 @@ class TagStream {
   /// search; models an index seek). Counts one consumed entry.
   void SkipTo(xml::NodeId target) {
     size_t lo = pos_;
-    size_t hi = nodes_->size();
+    size_t hi = nodes_.size();
     while (lo < hi) {
       size_t mid = (lo + hi) / 2;
-      if ((*nodes_)[mid] < target) {
+      if (nodes_[mid] < target) {
         lo = mid + 1;
       } else {
         hi = mid;
@@ -50,12 +50,12 @@ class TagStream {
   }
 
   void Rewind() { pos_ = 0; }
-  size_t size() const { return nodes_->size(); }
+  size_t size() const { return nodes_.size(); }
   uint64_t Consumed() const { return consumed_; }
 
  private:
   const xml::Document* doc_;
-  const std::vector<xml::NodeId>* nodes_;
+  std::span<const xml::NodeId> nodes_;
   size_t pos_ = 0;
   uint64_t consumed_ = 0;
 };

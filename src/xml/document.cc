@@ -6,6 +6,18 @@
 namespace blossomtree {
 namespace xml {
 
+namespace {
+
+/// Process-wide generation counter shared by Finish() and AdoptExternal():
+/// never reused, so every finished/adopted document has a distinct cache
+/// identity (DESIGN.md §11).
+uint64_t NextGeneration() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 TagId TagDictionary::Intern(std::string_view name) {
   auto it = ids_.find(std::string(name));
   if (it != ids_.end()) return it->second;
@@ -103,22 +115,66 @@ Status Document::Finish() {
   // Process-wide, never reused: identical bytes re-parsed into a new
   // Document get a new generation, which is what invalidates NoK result
   // cache entries keyed to the old object (DESIGN.md §11).
-  static std::atomic<uint64_t> next_generation{1};
-  generation_ = next_generation.fetch_add(1, std::memory_order_relaxed);
+  generation_ = NextGeneration();
+  return Status::OK();
+}
+
+Status Document::AdoptExternal(ExternalLayout layout) {
+  if (!kind_.empty() || generation_ != 0 || ext_.records != nullptr) {
+    return Status::Internal("AdoptExternal on a non-empty document");
+  }
+  if (layout.num_nodes > 0 &&
+      (layout.records == nullptr || layout.parent == nullptr)) {
+    return Status::InvalidArgument("AdoptExternal: missing node arrays");
+  }
+  if (!layout.tag_names.empty() &&
+      (layout.tag_stream_offsets == nullptr ||
+       layout.tag_recursion == nullptr)) {
+    return Status::InvalidArgument("AdoptExternal: missing per-tag arrays");
+  }
+  if (layout.num_text_spans > 0 && layout.text_spans == nullptr) {
+    return Status::InvalidArgument("AdoptExternal: missing text spans");
+  }
+  if ((layout.num_attrs > 0 && layout.attrs == nullptr) ||
+      (layout.num_attr_owners > 0 && layout.attr_owners == nullptr)) {
+    return Status::InvalidArgument("AdoptExternal: missing attribute arrays");
+  }
+  // Intern the persisted dictionary in TagId order, so on-disk TagIds and
+  // in-memory TagIds coincide and the per-tag streams index directly.
+  for (const std::string& name : layout.tag_names) tags_.Intern(name);
+  if (tags_.size() != layout.tag_names.size()) {
+    return Status::InvalidArgument(
+        "AdoptExternal: duplicate names in tag dictionary");
+  }
+  num_elements_ = layout.num_elements;
+  max_depth_ = layout.max_depth;
+  avg_depth_ = layout.avg_depth;
+  max_recursion_ = layout.max_recursion;
+  ext_ = std::move(layout);
+  // Names now live in tags_; keep the layout copy from doubling memory.
+  ext_.tag_names.clear();
+  ext_.tag_names.shrink_to_fit();
+  generation_ = NextGeneration();
   return Status::OK();
 }
 
 std::string_view Document::Text(NodeId n) const {
+  if (ext_.records != nullptr) {
+    uint32_t ref = ext_.records[n].text_ref;
+    if (ref == static_cast<uint32_t>(-1)) return {};
+    const ExternalTextSpan& span = ext_.text_spans[ref];
+    return std::string_view(ext_.text_pool + span.offset, span.length);
+  }
   const auto& span = text_span_[n];
   return std::string_view(text_pool_).substr(span.first, span.second);
 }
 
 std::string Document::StringValue(NodeId n) const {
-  if (kind_[n] == NodeKind::kText) return std::string(Text(n));
+  if (Kind(n) == NodeKind::kText) return std::string(Text(n));
   std::string out;
-  NodeId end = subtree_end_[n];
+  NodeId end = SubtreeEnd(n);
   for (NodeId i = n; i <= end; ++i) {
-    if (kind_[i] == NodeKind::kText) {
+    if (Kind(i) == NodeKind::kText) {
       auto t = Text(i);
       out.append(t.data(), t.size());
     }
@@ -126,14 +182,37 @@ std::string Document::StringValue(NodeId n) const {
   return out;
 }
 
+const ExternalAttrOwner* Document::FindExternalAttrs(NodeId n) const {
+  const ExternalAttrOwner* begin = ext_.attr_owners;
+  const ExternalAttrOwner* end = begin + ext_.num_attr_owners;
+  const ExternalAttrOwner* it = std::lower_bound(
+      begin, end, n,
+      [](const ExternalAttrOwner& o, NodeId node) { return o.node < node; });
+  return (it != end && it->node == n) ? it : nullptr;
+}
+
 std::vector<std::pair<std::string_view, std::string_view>>
 Document::Attributes(NodeId n) const {
   std::vector<std::pair<std::string_view, std::string_view>> out;
-  auto it = attr_range_.find(n);
-  if (it == attr_range_.end()) return out;
-  std::string_view pool(text_pool_);
-  for (uint32_t i = it->second.first; i < it->second.second; ++i) {
-    const Attribute& a = attrs_[i];
+  uint32_t first = 0;
+  uint32_t last = 0;
+  std::string_view pool;
+  if (ext_.records != nullptr) {
+    const ExternalAttrOwner* owner = FindExternalAttrs(n);
+    if (owner == nullptr) return out;
+    first = owner->first;
+    last = owner->last;
+    pool = std::string_view(ext_.text_pool, ext_.text_pool_bytes);
+  } else {
+    auto it = attr_range_.find(n);
+    if (it == attr_range_.end()) return out;
+    first = it->second.first;
+    last = it->second.second;
+    pool = std::string_view(text_pool_);
+  }
+  const Attribute* attrs = ext_.records != nullptr ? ext_.attrs : attrs_.data();
+  for (uint32_t i = first; i < last; ++i) {
+    const Attribute& a = attrs[i];
     out.emplace_back(pool.substr(a.name_offset, a.name_len),
                      pool.substr(a.value_offset, a.value_len));
   }
@@ -142,11 +221,25 @@ Document::Attributes(NodeId n) const {
 
 bool Document::AttributeValue(NodeId n, std::string_view name,
                               std::string_view* value) const {
-  auto it = attr_range_.find(n);
-  if (it == attr_range_.end()) return false;
-  std::string_view pool(text_pool_);
-  for (uint32_t i = it->second.first; i < it->second.second; ++i) {
-    const Attribute& a = attrs_[i];
+  uint32_t first = 0;
+  uint32_t last = 0;
+  std::string_view pool;
+  if (ext_.records != nullptr) {
+    const ExternalAttrOwner* owner = FindExternalAttrs(n);
+    if (owner == nullptr) return false;
+    first = owner->first;
+    last = owner->last;
+    pool = std::string_view(ext_.text_pool, ext_.text_pool_bytes);
+  } else {
+    auto it = attr_range_.find(n);
+    if (it == attr_range_.end()) return false;
+    first = it->second.first;
+    last = it->second.second;
+    pool = std::string_view(text_pool_);
+  }
+  const Attribute* attrs = ext_.records != nullptr ? ext_.attrs : attrs_.data();
+  for (uint32_t i = first; i < last; ++i) {
+    const Attribute& a = attrs[i];
     if (pool.substr(a.name_offset, a.name_len) == name) {
       *value = pool.substr(a.value_offset, a.value_len);
       return true;
@@ -155,7 +248,14 @@ bool Document::AttributeValue(NodeId n, std::string_view name,
   return false;
 }
 
-const std::vector<NodeId>& Document::TagIndex(TagId t) const {
+std::span<const NodeId> Document::TagIndex(TagId t) const {
+  if (ext_.records != nullptr) {
+    // Zero-copy view over the persisted per-tag stream — no build pass.
+    if (t == kNullTag || t >= tags_.size()) return {};
+    uint64_t begin = ext_.tag_stream_offsets[t];
+    uint64_t end = ext_.tag_stream_offsets[t + 1];
+    return {ext_.tag_streams + begin, static_cast<size_t>(end - begin)};
+  }
   // Built at most once even under concurrent callers: documents are shared
   // read-only across a service's concurrent queries, and the pre-PR 6
   // unguarded lazy build was a data race in that regime.
@@ -165,8 +265,7 @@ const std::vector<NodeId>& Document::TagIndex(TagId t) const {
       if (kind_[n] == NodeKind::kElement) tag_index_[tag_[n]].push_back(n);
     }
   });
-  static const std::vector<NodeId> kEmpty;
-  if (t == kNullTag || t >= tag_index_.size()) return kEmpty;
+  if (t == kNullTag || t >= tag_index_.size()) return {};
   return tag_index_[t];
 }
 
@@ -215,6 +314,9 @@ uint32_t SiblingRank(const Document& doc, NodeId n, std::string_view tag) {
 }
 
 size_t Document::StructureBytes() const {
+  if (ext_.records != nullptr) {
+    return ext_.num_nodes * (sizeof(PackedNodeRecord) + sizeof(NodeId));
+  }
   return kind_.size() * (sizeof(NodeKind) + sizeof(TagId) + 4 * sizeof(NodeId) +
                          sizeof(uint32_t));
 }

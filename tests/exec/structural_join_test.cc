@@ -16,7 +16,8 @@ std::unique_ptr<xml::Document> Parse(std::string_view s) {
 
 std::vector<xml::NodeId> TagNodes(const xml::Document& doc,
                                   const std::string& tag) {
-  return doc.TagIndex(doc.tags().Lookup(tag));
+  auto index = doc.TagIndex(doc.tags().Lookup(tag));
+  return {index.begin(), index.end()};
 }
 
 TEST(StructuralJoinTest, BasicAncDesc) {

@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "xml/parser.h"
 
 namespace blossomtree {
 namespace exec {
 namespace {
+
+using Seq = std::vector<xml::NodeId>;
 
 using xpath::CompareOp;
 
@@ -50,8 +54,8 @@ TEST(GeneralCompareTest, ExistentialSemantics) {
   // Some pair unequal too — XQuery general comparison allows both.
   EXPECT_TRUE(GeneralCompare(*doc, ks, CompareOp::kNeq, js));
   // Empty sequence never compares.
-  EXPECT_FALSE(GeneralCompare(*doc, {}, CompareOp::kEq, js));
-  EXPECT_FALSE(GeneralCompare(*doc, ks, CompareOp::kEq, {}));
+  EXPECT_FALSE(GeneralCompare(*doc, Seq{}, CompareOp::kEq, js));
+  EXPECT_FALSE(GeneralCompare(*doc, ks, CompareOp::kEq, Seq{}));
 }
 
 TEST(GeneralCompareTest, LiteralVariant) {
@@ -159,24 +163,26 @@ TEST(DeepEqualTest, DeepChainsDoNotOverflowStack) {
 TEST(DeepEqualSequencesTest, EmptyEqualsEmpty) {
   // The property paper Example 2 relies on.
   auto doc = Parse("<r/>");
-  EXPECT_TRUE(DeepEqualSequences(*doc, {}, {}));
+  EXPECT_TRUE(DeepEqualSequences(*doc, Seq{}, Seq{}));
 }
 
 TEST(DeepEqualSequencesTest, LengthMismatch) {
   auto doc = Parse("<r><a/><a/></r>");
   auto as = doc->TagIndex(doc->tags().Lookup("a"));
-  EXPECT_FALSE(DeepEqualSequences(*doc, {as[0]}, {}));
-  EXPECT_FALSE(DeepEqualSequences(*doc, {as[0]}, {as[0], as[1]}));
+  EXPECT_FALSE(DeepEqualSequences(*doc, Seq{as[0]}, Seq{}));
+  EXPECT_FALSE(DeepEqualSequences(*doc, Seq{as[0]}, Seq{as[0], as[1]}));
 }
 
 TEST(DeepEqualSequencesTest, PairwiseSemantics) {
   auto doc = Parse("<r><a>1</a><a>1</a><a>2</a></r>");
   auto as = doc->TagIndex(doc->tags().Lookup("a"));
-  EXPECT_TRUE(DeepEqualSequences(*doc, {as[0]}, {as[1]}));
-  EXPECT_FALSE(DeepEqualSequences(*doc, {as[0]}, {as[2]}));
-  EXPECT_TRUE(DeepEqualSequences(*doc, {as[0], as[2]}, {as[1], as[2]}));
+  EXPECT_TRUE(DeepEqualSequences(*doc, Seq{as[0]}, Seq{as[1]}));
+  EXPECT_FALSE(DeepEqualSequences(*doc, Seq{as[0]}, Seq{as[2]}));
+  EXPECT_TRUE(
+      DeepEqualSequences(*doc, Seq{as[0], as[2]}, Seq{as[1], as[2]}));
   // Order matters.
-  EXPECT_FALSE(DeepEqualSequences(*doc, {as[0], as[2]}, {as[2], as[1]}));
+  EXPECT_FALSE(
+      DeepEqualSequences(*doc, Seq{as[0], as[2]}, Seq{as[2], as[1]}));
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include "flwor/parser.h"
+#include "storage/btsx2.h"
+#include "storage/succinct.h"
 #include "util/resource_guard.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -58,6 +60,7 @@ TEST(FuzzRegressionTest, CorpusIsNonEmpty) {
   EXPECT_FALSE(InputsIn("xml").empty());
   EXPECT_FALSE(InputsIn("xpath").empty());
   EXPECT_FALSE(InputsIn("flwor").empty());
+  EXPECT_FALSE(InputsIn("btsx").empty());
 }
 
 // Every input must come back with a Status — OK or error — and never crash.
@@ -87,6 +90,69 @@ TEST(FuzzRegressionTest, ReplayAllFlworInputs) {
     auto expr = flwor::ParseQuery(ReadFile(p), QueryFuzzLimits());
     (void)expr;
   }
+}
+
+// Mirror of fuzz_btsx.cc: every input through both BTSX decoders. Inputs
+// that decode must re-encode stably; v2 images that pass deep validation
+// must adopt and serialize.
+TEST(FuzzRegressionTest, ReplayAllBtsxInputs) {
+  for (const fs::path& p : InputsIn("btsx")) {
+    SCOPED_TRACE(p.filename().string());
+    std::string input = ReadFile(p);
+    auto v1 = storage::DecodeSuccinct(input);
+    if (v1.ok()) {
+      std::string first = xml::Serialize(**v1);
+      auto again = storage::DecodeSuccinct(storage::EncodeSuccinct(**v1));
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(xml::Serialize(**again), first);
+    }
+    auto v2 = storage::MapBtsx2(input);
+    if (v2.ok() && storage::ValidateBtsx2Deep(*v2).ok()) {
+      xml::Document adopted;
+      ASSERT_TRUE(adopted.AdoptExternal(v2->ToLayout()).ok());
+      EXPECT_FALSE(xml::Serialize(adopted).empty());
+    }
+  }
+}
+
+// The v1 decoder once accepted arbitrary bytes after the event payloads,
+// so a corrupt or concatenated file round-tripped silently as a prefix
+// document.
+TEST(FuzzRegressionTest, BtsxTrailingGarbageRejected) {
+  auto r = storage::DecodeSuccinct(
+      ReadFile(fs::path(BLOSSOMTREE_FUZZ_DIR) /
+               "regressions/btsx/v1_trailing_garbage.btsx"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// A 2^64-ish tag count once reached vector::reserve and threw
+// std::length_error instead of returning a Status.
+TEST(FuzzRegressionTest, BtsxHostileTagCountRejected) {
+  auto r = storage::DecodeSuccinct(
+      ReadFile(fs::path(BLOSSOMTREE_FUZZ_DIR) /
+               "regressions/btsx/v1_hostile_tag_count.btsx"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// (num_events + 3) / 4 once overflowed for a 64-bit event count, passing
+// the bounds check with a tiny byte length.
+TEST(FuzzRegressionTest, BtsxEventCountOverflowRejected) {
+  auto r = storage::DecodeSuccinct(
+      ReadFile(fs::path(BLOSSOMTREE_FUZZ_DIR) /
+               "regressions/btsx/v1_event_count_overflow.btsx"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// MapBtsx2 once ignored bytes after the last section, accepting
+// concatenated images.
+TEST(FuzzRegressionTest, Btsx2TrailingBytesRejected) {
+  auto r = storage::MapBtsx2(
+      ReadFile(fs::path(BLOSSOMTREE_FUZZ_DIR) /
+               "regressions/btsx/v2_trailing_bytes.btsx2"));
+  EXPECT_FALSE(r.ok());
 }
 
 // A stray ']' in the internal subset once drove the bracket counter

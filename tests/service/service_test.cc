@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "datagen/datagen.h"
 #include "engine/engine.h"
 #include "service/corpus.h"
+#include "storage/btsx2.h"
 #include "service/query_service.h"
 #include "util/status.h"
 
@@ -90,8 +92,8 @@ TEST(ServiceCorpusTest, SharedPageStoreIsBuiltOnceAndCarriesGeneration) {
   Corpus corpus;
   ASSERT_TRUE(corpus.Add("lib", LibraryDoc()).ok());
   auto doc = corpus.Get("lib");
-  const storage::PageStore& s1 = doc->store();
-  const storage::PageStore& s2 = doc->store();
+  const storage::NodeStore& s1 = doc->store();
+  const storage::NodeStore& s2 = doc->store();
   EXPECT_EQ(&s1, &s2);
   EXPECT_EQ(s1.generation(), doc->generation());
   EXPECT_EQ(s1.NumNodes(), doc->doc()->NumNodes());
@@ -108,6 +110,48 @@ TEST(ServiceCorpusTest, CachesAreOffByDefaultAndOnWhenConfigured) {
   Corpus cached(opts);
   EXPECT_NE(cached.plan_cache(), nullptr);
   EXPECT_NE(cached.result_cache(), nullptr);
+}
+
+TEST(ServiceCorpusTest, AddDiskServesBtsx2WithoutParsing) {
+  // Ingest once, register the file, and the disk-backed document answers
+  // queries byte-identically to the in-RAM build it came from.
+  auto ram = LibraryDoc();
+  std::string path = ::testing::TempDir() + "/bt_service_disk.btsx2";
+  ASSERT_TRUE(storage::WriteBtsx2(*ram, path).ok());
+
+  Corpus corpus;
+  ASSERT_TRUE(corpus.AddDisk("lib", path).ok());
+  auto doc = corpus.Get("lib");
+  ASSERT_NE(doc, nullptr);
+  EXPECT_TRUE(doc->disk_backed());
+  EXPECT_EQ(doc->doc()->NumNodes(), ram->NumNodes());
+  EXPECT_EQ(doc->generation(), doc->doc()->generation());
+  EXPECT_NE(doc->generation(), 0u);
+  // The store() substrate is the DiskStore itself.
+  EXPECT_EQ(doc->store().NumNodes(), ram->NumNodes());
+
+  QueryService svc(&corpus, {});
+  auto session = svc.CreateSession("tenant-a");
+  auto got = svc.Execute(*session, "lib", kTitles);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+
+  engine::BlossomTreeEngine ref(ram.get());
+  auto expected = ref.EvaluateQuery(kTitles);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(*got, *expected);
+  std::remove(path.c_str());
+}
+
+TEST(ServiceCorpusTest, AddDiskRejectsMissingFileAndPreadMode) {
+  Corpus corpus;
+  EXPECT_FALSE(corpus.AddDisk("x", "/nonexistent/f.btsx2").ok());
+  auto ram = LibraryDoc();
+  std::string path = ::testing::TempDir() + "/bt_service_pread.btsx2";
+  ASSERT_TRUE(storage::WriteBtsx2(*ram, path).ok());
+  storage::DiskStoreOptions opts;
+  opts.use_mmap = false;  // No document facade: nothing to query.
+  EXPECT_FALSE(corpus.AddDisk("x", path, opts).ok());
+  std::remove(path.c_str());
 }
 
 // -- QueryService: execution --------------------------------------------------

@@ -1,0 +1,352 @@
+#include "storage/disk_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "engine/engine.h"
+#include "storage/btsx2.h"
+#include "storage/page_store.h"
+#include "util/thread_pool.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace blossomtree {
+namespace storage {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+/// Writes `doc` as BTSX v2 into TempDir and returns the path.
+std::string WriteTemp(const xml::Document& doc, const std::string& tag) {
+  std::string path = ::testing::TempDir() + "/bt_disk_" + tag + ".btsx2";
+  Status st = WriteBtsx2(doc, path);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return path;
+}
+
+/// Exhaustive facade comparison: every accessor the engine reads, at every
+/// node, must agree between the in-RAM build and the mapped view.
+void ExpectFacadeParity(const xml::Document& ram, const xml::Document& disk) {
+  ASSERT_EQ(disk.NumNodes(), ram.NumNodes());
+  ASSERT_EQ(disk.NumElements(), ram.NumElements());
+  EXPECT_EQ(disk.MaxDepth(), ram.MaxDepth());
+  EXPECT_EQ(disk.tags().size(), ram.tags().size());
+  for (xml::NodeId n = 0; n < ram.NumNodes(); ++n) {
+    ASSERT_EQ(disk.Kind(n), ram.Kind(n)) << "node " << n;
+    ASSERT_EQ(disk.Parent(n), ram.Parent(n)) << "node " << n;
+    ASSERT_EQ(disk.FirstChild(n), ram.FirstChild(n)) << "node " << n;
+    ASSERT_EQ(disk.NextSibling(n), ram.NextSibling(n)) << "node " << n;
+    ASSERT_EQ(disk.SubtreeEnd(n), ram.SubtreeEnd(n)) << "node " << n;
+    ASSERT_EQ(disk.Level(n), ram.Level(n)) << "node " << n;
+    if (ram.IsElement(n)) {
+      ASSERT_EQ(disk.Tag(n), ram.Tag(n)) << "node " << n;
+      ASSERT_EQ(disk.TagName(n), ram.TagName(n)) << "node " << n;
+      auto da = disk.Attributes(n);
+      auto ra = ram.Attributes(n);
+      ASSERT_EQ(da.size(), ra.size()) << "node " << n;
+      for (size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(da[i].first, ra[i].first) << "node " << n;
+        EXPECT_EQ(da[i].second, ra[i].second) << "node " << n;
+      }
+    } else {
+      ASSERT_EQ(disk.Text(n), ram.Text(n)) << "node " << n;
+    }
+  }
+  for (xml::TagId t = 0; t < ram.tags().size(); ++t) {
+    auto di = disk.TagIndex(t);
+    auto ri = ram.TagIndex(t);
+    ASSERT_EQ(di.size(), ri.size()) << "tag " << t;
+    for (size_t i = 0; i < ri.size(); ++i) {
+      ASSERT_EQ(di[i], ri[i]) << "tag " << t << " entry " << i;
+    }
+    EXPECT_EQ(disk.TagRecursionDegree(t), ram.TagRecursionDegree(t));
+  }
+  // Serialization is the end-to-end identity check: byte-identical XML.
+  EXPECT_EQ(xml::Serialize(disk), xml::Serialize(ram));
+}
+
+TEST(DiskStoreTest, OpensAndServesFacade) {
+  auto doc = Parse(
+      "<lib genre=\"all\"><book id=\"1\"><t>A</t></book>mixed"
+      "<book id=\"2\"><t>B</t><t>C</t></book></lib>");
+  std::string path = WriteTemp(*doc, "facade");
+  DiskStoreOptions opts;
+  opts.full_validation = true;
+  auto store = DiskStore::Open(path, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_NE((*store)->document(), nullptr);
+  EXPECT_TRUE((*store)->document()->external());
+  ExpectFacadeParity(*doc, *(*store)->document());
+  // The on-disk stamp is the ingest-time generation; the adopted facade
+  // carries a fresh one (cache identities never collide across opens).
+  EXPECT_EQ((*store)->on_disk_generation(), doc->generation());
+  EXPECT_NE((*store)->generation(), doc->generation());
+  std::remove(path.c_str());
+}
+
+class DiskStoreDatasetTest
+    : public ::testing::TestWithParam<datagen::Dataset> {};
+
+TEST_P(DiskStoreDatasetTest, FacadeParityOnGeneratedData) {
+  datagen::GenOptions o;
+  o.scale = 0.02;
+  auto doc = datagen::GenerateDataset(GetParam(), o);
+  std::string path =
+      WriteTemp(*doc, std::string("ds_") + datagen::DatasetName(GetParam()));
+  DiskStoreOptions opts;
+  opts.full_validation = true;
+  auto store = DiskStore::Open(path, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ExpectFacadeParity(*doc, *(*store)->document());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DiskStoreDatasetTest,
+                         ::testing::ValuesIn(datagen::AllDatasets()),
+                         [](const auto& info) {
+                           return std::string(
+                               datagen::DatasetName(info.param));
+                         });
+
+TEST(DiskStoreTest, QueriesAreByteIdenticalToRam) {
+  datagen::GenOptions o;
+  o.scale = 0.05;
+  auto doc = datagen::GenerateDataset(datagen::Dataset::kD5Dblp, o);
+  std::string path = WriteTemp(*doc, "queries");
+  auto store = DiskStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const char* queries[] = {
+      "//article/author",
+      "//phdthesis[year]/title",
+      "for $a in //article where exists($a/year) return "
+      "<hit>{$a/title}</hit>",
+  };
+  for (const char* q : queries) {
+    engine::BlossomTreeEngine ram_engine(doc.get());
+    engine::EngineOptions eo;
+    eo.plan.store = store->get();
+    engine::BlossomTreeEngine disk_engine((*store)->document(), eo);
+    auto ram_r = ram_engine.EvaluateQuery(q);
+    auto disk_r = disk_engine.EvaluateQuery(q);
+    ASSERT_TRUE(ram_r.ok()) << ram_r.status().ToString();
+    ASSERT_TRUE(disk_r.ok()) << disk_r.status().ToString();
+    EXPECT_EQ(*disk_r, *ram_r) << q;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskStoreTest, RecordsMatchPageStoreBitForBit) {
+  datagen::GenOptions o;
+  o.scale = 0.02;
+  auto doc = datagen::GenerateDataset(datagen::Dataset::kD1Recursive, o);
+  std::string path = WriteTemp(*doc, "records");
+  DiskStoreOptions opts;
+  opts.block_bytes = 4096;
+  auto store = DiskStore::Open(path, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  PageStore pages(*doc, /*page_bytes=*/4096);
+  ASSERT_EQ((*store)->NumNodes(), pages.NumNodes());
+  ASSERT_EQ((*store)->NumPages(), pages.NumPages());
+  ASSERT_EQ((*store)->NodesPerPage(), pages.NodesPerPage());
+  ScanCursor dc;
+  ScanCursor pc;
+  for (xml::NodeId n = 0; n < pages.NumNodes(); ++n) {
+    NodeRecord a = (*store)->Get(n, &dc);
+    NodeRecord b = pages.Get(n, &pc);
+    ASSERT_EQ(std::memcmp(&a, &b, sizeof a), 0) << "node " << n;
+  }
+  // Identical access pattern at identical granularity: identical reads.
+  EXPECT_EQ(dc.reads, pc.reads);
+  EXPECT_EQ(dc.reads, (*store)->NumPages());
+  // Partitioning decisions go through the same subtree-cut grouping.
+  for (size_t k : {1u, 2u, 4u, 7u}) {
+    auto dparts = (*store)->Partition(k);
+    auto pparts = pages.Partition(k);
+    ASSERT_EQ(dparts.size(), pparts.size()) << "k=" << k;
+    for (size_t i = 0; i < pparts.size(); ++i) {
+      EXPECT_TRUE(dparts[i] == pparts[i]) << "k=" << k << " part " << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskStoreTest, PreadModeServesScansWithoutMapping) {
+  datagen::GenOptions o;
+  o.scale = 0.02;
+  auto doc = datagen::GenerateDataset(datagen::Dataset::kD2Address, o);
+  std::string path = WriteTemp(*doc, "pread");
+  DiskStoreOptions opts;
+  opts.use_mmap = false;
+  opts.block_bytes = 4096;
+  auto store = DiskStore::Open(path, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->document(), nullptr);
+  EXPECT_FALSE((*store)->mmap_backed());
+  // The scan API still serves exact records, block by block.
+  PageStore pages(*doc, 4096);
+  ScanCursor dc;
+  ScanCursor pc;
+  for (xml::NodeId n = 0; n < pages.NumNodes(); ++n) {
+    NodeRecord a = (*store)->Get(n, &dc);
+    NodeRecord b = pages.Get(n, &pc);
+    ASSERT_EQ(std::memcmp(&a, &b, sizeof a), 0) << "node " << n;
+  }
+  // Derived navigation works straight off the record stream.
+  ScanCursor nav;
+  for (xml::NodeId n = 0; n < doc->NumNodes(); ++n) {
+    ASSERT_EQ((*store)->FirstChild(n, &nav), doc->FirstChild(n));
+    ASSERT_EQ((*store)->NextSibling(n, &nav), doc->NextSibling(n));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskStoreTest, BlockCacheRespectsBudget) {
+  datagen::GenOptions o;
+  o.scale = 0.05;
+  auto doc = datagen::GenerateDataset(datagen::Dataset::kD5Dblp, o);
+  std::string path = WriteTemp(*doc, "budget");
+  DiskStoreOptions opts;
+  opts.use_mmap = false;  // pread mode: cached blocks are real heap bytes.
+  opts.block_bytes = 4096;
+  // A budget far below the record section: eviction must kick in.
+  opts.cache_budget_bytes = 4 * 4096;
+  auto store = DiskStore::Open(path, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_GT((*store)->RecordBytes(), opts.cache_budget_bytes);
+  ScanCursor cur;
+  for (xml::NodeId n = 0; n < (*store)->NumNodes(); ++n) {
+    (*store)->Get(n, &cur);
+    util::CacheStats stats = (*store)->BlockCacheStats();
+    ASSERT_LE(stats.bytes, (*store)->budget_bytes());
+  }
+  util::CacheStats stats = (*store)->BlockCacheStats();
+  EXPECT_GT(stats.evictions, 0u);
+  // One sequential pass over more blocks than fit: every block was read.
+  EXPECT_EQ(cur.reads, (*store)->NumPages());
+  std::remove(path.c_str());
+}
+
+TEST(DiskStoreTest, ProgressesWithBudgetSmallerThanOneBlock) {
+  auto doc = Parse("<a><b/><b/><b/><b/></a>");
+  std::string path = WriteTemp(*doc, "tiny_budget");
+  DiskStoreOptions opts;
+  opts.use_mmap = false;
+  opts.cache_budget_bytes = 1;  // Nothing can stay resident.
+  auto store = DiskStore::Open(path, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ScanCursor cur;
+  for (xml::NodeId n = 0; n < (*store)->NumNodes(); ++n) {
+    NodeRecord r = (*store)->Get(n, &cur);
+    EXPECT_EQ(r.subtree_end, doc->SubtreeEnd(n));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskStoreTest, OpenRejectsMissingAndGarbageFiles) {
+  EXPECT_FALSE(DiskStore::Open("/nonexistent/corpus.btsx2").ok());
+
+  std::string path = ::testing::TempDir() + "/bt_disk_garbage.btsx2";
+  std::ofstream(path, std::ios::binary) << "this is not a BTSX2 file";
+  EXPECT_FALSE(DiskStore::Open(path).ok());
+  DiskStoreOptions pread;
+  pread.use_mmap = false;
+  EXPECT_FALSE(DiskStore::Open(path, pread).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DiskStoreTest, OpenRejectsTruncatedFile) {
+  auto doc = Parse("<a><b>text</b><c x=\"1\"/></a>");
+  auto encoded = EncodeBtsx2(*doc);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  std::string path = ::testing::TempDir() + "/bt_disk_trunc.btsx2";
+  // Cut the file short of the last section: Open must fail cleanly.
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << encoded->substr(0, encoded->size() - 8);
+  auto r = DiskStore::Open(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DiskStoreTest, DeepValidationCatchesBitFlips) {
+  auto doc = Parse("<a><b>t</b><c k=\"v\"/><b/></a>");
+  auto encoded = EncodeBtsx2(*doc);
+  ASSERT_TRUE(encoded.ok());
+  // Flipping any byte must never crash Open: it either fails validation or
+  // yields some self-consistent view (flips in text payloads, say).
+  std::string path = ::testing::TempDir() + "/bt_disk_flip.btsx2";
+  DiskStoreOptions opts;
+  opts.full_validation = true;
+  for (size_t i = 0; i < encoded->size(); i += 3) {
+    std::string corrupt = *encoded;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x5A);
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << corrupt;
+    auto r = DiskStore::Open(path, opts);
+    if (r.ok()) {
+      EXPECT_EQ((*r)->NumNodes(), (*r)->document()->NumNodes());
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskStoreTest, EmptyDocumentRoundTrips) {
+  xml::Document doc;
+  ASSERT_TRUE(doc.Finish().ok());
+  std::string path = WriteTemp(doc, "empty");
+  DiskStoreOptions opts;
+  opts.full_validation = true;
+  auto store = DiskStore::Open(path, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->NumNodes(), 0u);
+  EXPECT_TRUE((*store)->document()->empty());
+  std::remove(path.c_str());
+}
+
+TEST(DiskStoreTest, ConcurrentScansSeeIdenticalRecords) {
+  datagen::GenOptions o;
+  o.scale = 0.03;
+  auto doc = datagen::GenerateDataset(datagen::Dataset::kD4Treebank, o);
+  std::string path = WriteTemp(*doc, "concurrent");
+  DiskStoreOptions opts;
+  opts.use_mmap = false;
+  opts.block_bytes = 4096;
+  opts.cache_budget_bytes = 8 * 4096;  // Force churn under contention.
+  auto store = DiskStore::Open(path, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  PageStore pages(*doc, 4096);
+  util::ThreadPool pool(4);
+  std::vector<int> ok(4, 0);
+  std::vector<uint64_t> reads(4, 0);
+  pool.ParallelFor(4, [&](size_t t) {
+    ScanCursor cur;
+    ScanCursor pc;
+    bool good = true;
+    for (xml::NodeId n = 0; n < (*store)->NumNodes(); ++n) {
+      NodeRecord a = (*store)->Get(n, &cur);
+      NodeRecord b = pages.Get(n, &pc);
+      if (std::memcmp(&a, &b, sizeof a) != 0) good = false;
+    }
+    ok[t] = good ? 1 : 0;
+    reads[t] = cur.reads;
+  });
+  for (size_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(ok[t], 1) << "thread " << t;
+    // Per-scan read accounting is interleaving-independent: every reader
+    // pays exactly one pass regardless of who else is scanning.
+    EXPECT_EQ(reads[t], (*store)->NumPages()) << "thread " << t;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace blossomtree

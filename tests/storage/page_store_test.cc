@@ -18,27 +18,32 @@ std::unique_ptr<xml::Document> Parse(std::string_view s) {
 TEST(PageStoreTest, RecordsMirrorDocument) {
   auto doc = Parse("<a><b><d/></b><c/></a>");
   PageStore store(*doc);
+  ScanCursor cur;
   ASSERT_EQ(store.NumNodes(), 4u);
-  EXPECT_EQ(store.Get(0).subtree_end, doc->SubtreeEnd(0));
-  EXPECT_EQ(store.Get(1).level, 1u);
-  EXPECT_EQ(store.Get(0).tag, doc->Tag(0));
+  EXPECT_EQ(store.Get(0, &cur).subtree_end, doc->SubtreeEnd(0));
+  EXPECT_EQ(store.Get(1, &cur).level, 1u);
+  EXPECT_EQ(store.Get(0, &cur).tag, doc->Tag(0));
 }
 
 TEST(PageStoreTest, NavigationMatchesDocument) {
   auto doc = Parse("<a><b><d/><e/></b><c/></a>");
   PageStore store(*doc);
+  ScanCursor cur;
   for (xml::NodeId n = 0; n < doc->NumNodes(); ++n) {
-    EXPECT_EQ(store.FirstChild(n), doc->FirstChild(n)) << "node " << n;
-    EXPECT_EQ(store.NextSibling(n), doc->NextSibling(n)) << "node " << n;
+    EXPECT_EQ(store.FirstChild(n, &cur), doc->FirstChild(n)) << "node " << n;
+    EXPECT_EQ(store.NextSibling(n, &cur), doc->NextSibling(n))
+        << "node " << n;
   }
 }
 
 TEST(PageStoreTest, NavigationWithTextNodes) {
   auto doc = Parse("<a><b>t1</b>t2<c/></a>");
   PageStore store(*doc);
+  ScanCursor cur;
   for (xml::NodeId n = 0; n < doc->NumNodes(); ++n) {
-    EXPECT_EQ(store.FirstChild(n), doc->FirstChild(n)) << "node " << n;
-    EXPECT_EQ(store.NextSibling(n), doc->NextSibling(n)) << "node " << n;
+    EXPECT_EQ(store.FirstChild(n, &cur), doc->FirstChild(n)) << "node " << n;
+    EXPECT_EQ(store.NextSibling(n, &cur), doc->NextSibling(n))
+        << "node " << n;
   }
 }
 
@@ -49,19 +54,22 @@ TEST(PageStoreTest, SequentialScanCostsOnePassOfPages) {
   ASSERT_EQ(store.NodesPerPage(), 4u);
   ASSERT_EQ(store.NumPages(), 2u);
   store.ResetCounters();
+  ScanCursor cur;
   for (xml::NodeId n = 0; n < store.NumNodes(); ++n) {
-    store.Get(n);
+    store.Get(n, &cur);
   }
   EXPECT_EQ(store.PageReads(), 2u);
+  EXPECT_EQ(cur.reads, 2u);
 }
 
 TEST(PageStoreTest, RandomAccessCostsPerJump) {
   auto doc = Parse("<a><b/><b/><b/><b/><b/><b/><b/></a>");
   PageStore store(*doc, 64);
   store.ResetCounters();
-  store.Get(0);  // page 0
-  store.Get(7);  // page 1
-  store.Get(0);  // page 0 again
+  ScanCursor cur;
+  store.Get(0, &cur);  // page 0
+  store.Get(7, &cur);  // page 1
+  store.Get(0, &cur);  // page 0 again
   EXPECT_EQ(store.PageReads(), 3u);
 }
 
@@ -73,10 +81,11 @@ TEST(PageStoreTest, NavigationMatchesDocumentOnGeneratedData) {
     o.scale = 0.01;
     auto doc = blossomtree::datagen::GenerateDataset(d, o);
     PageStore store(*doc);
+    ScanCursor cur;
     for (xml::NodeId n = 0; n < doc->NumNodes(); ++n) {
-      ASSERT_EQ(store.FirstChild(n), doc->FirstChild(n))
+      ASSERT_EQ(store.FirstChild(n, &cur), doc->FirstChild(n))
           << blossomtree::datagen::DatasetName(d) << " node " << n;
-      ASSERT_EQ(store.NextSibling(n), doc->NextSibling(n))
+      ASSERT_EQ(store.NextSibling(n, &cur), doc->NextSibling(n))
           << blossomtree::datagen::DatasetName(d) << " node " << n;
     }
   }
@@ -86,10 +95,31 @@ TEST(PageStoreTest, RepeatedSamePageIsCached) {
   auto doc = Parse("<a><b/><b/></a>");
   PageStore store(*doc, 4096);
   store.ResetCounters();
-  store.Get(0);
-  store.Get(1);
-  store.Get(2);
+  ScanCursor cur;
+  store.Get(0, &cur);
+  store.Get(1, &cur);
+  store.Get(2, &cur);
   EXPECT_EQ(store.PageReads(), 1u);
+}
+
+TEST(PageStoreTest, ConcurrentScansCountReadsIndependently) {
+  // Two interleaved sequential readers each pay one pass of page reads:
+  // the one-page "current page" state is per-cursor, not shared store
+  // state, so the aggregate is exactly the sum of the per-scan counts no
+  // matter how the reads interleave.
+  auto doc = Parse("<a><b/><b/><b/><b/><b/><b/><b/></a>");
+  PageStore store(*doc, /*page_bytes=*/64);
+  ASSERT_EQ(store.NumPages(), 2u);
+  store.ResetCounters();
+  ScanCursor c1;
+  ScanCursor c2;
+  for (xml::NodeId n = 0; n < store.NumNodes(); ++n) {
+    store.Get(n, &c1);
+    store.Get(n, &c2);
+  }
+  EXPECT_EQ(c1.reads, 2u);
+  EXPECT_EQ(c2.reads, 2u);
+  EXPECT_EQ(store.PageReads(), c1.reads + c2.reads);
 }
 
 TEST(PageStoreTest, PartitionEmptyDocumentIsSafe) {

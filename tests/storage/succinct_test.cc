@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 #include "datagen/datagen.h"
 #include "xml/parser.h"
@@ -112,6 +113,35 @@ TEST(SuccinctTest, RejectsTruncation) {
     auto r = DecodeSuccinct(std::string_view(encoded).substr(0, len));
     EXPECT_FALSE(r.ok()) << "prefix length " << len;
   }
+}
+
+TEST(SuccinctTest, RejectsTrailingGarbage) {
+  // Regression: DecodeSuccinct used to stop at event exhaustion and accept
+  // any trailing bytes, so corrupt or concatenated files round-tripped
+  // silently as a prefix document.
+  auto doc = Parse("<a><b>text</b><c/></a>");
+  std::string encoded = EncodeSuccinct(*doc);
+  auto r = DecodeSuccinct(encoded + "junk");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(DecodeSuccinct(encoded + std::string(1, '\0')).ok());
+  EXPECT_FALSE(DecodeSuccinct(encoded + encoded).ok());
+  // The exact encoding still round-trips.
+  EXPECT_TRUE(DecodeSuccinct(encoded).ok());
+}
+
+TEST(SuccinctTest, LoadRejectsFileWithTrailingGarbage) {
+  auto doc = Parse("<a><b>x</b></a>");
+  std::string path = ::testing::TempDir() + "/bt_succinct_trailing.btsx";
+  ASSERT_TRUE(SaveDocument(*doc, path).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "trailing";
+  }
+  auto r = LoadDocument(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
 }
 
 TEST(SuccinctTest, RejectsCorruptTagId) {
