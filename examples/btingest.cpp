@@ -6,14 +6,19 @@
 // XML parse and no index build.
 //
 // Usage:
-//   btingest input.xml output.btsx2 [--verify]
-//   btingest --gen=d5 [--scale=S] [--seed=N] output.btsx2 [--verify]
+//   btingest input.xml output.btsx2 [--verify] [--index]
+//   btingest --gen=d5 [--scale=S] [--seed=N] output.btsx2 [--verify] [--index]
 //
 //   --gen=dN    generate dataset d1..d5 instead of parsing an XML file
 //   --scale=S   generator size multiplier (default 1.0)
 //   --seed=N    generator seed (default 42)
 //   --verify    re-map the written file and run the full O(n) consistency
 //               check (storage::ValidateBtsx2Deep) before declaring success
+//   --index     also build the structural index (path summary, tag posting
+//               lists, value index; DESIGN.md §14) and write it as the
+//               output's `.btsi` sidecar. Stamped with the corpus file's
+//               generation, so re-ingesting without --index leaves a stale
+//               sidecar that every open correctly ignores.
 //
 // The output stamps the source document's generation as the on-disk
 // version; every open of the file adopts it under a fresh in-process
@@ -25,6 +30,8 @@
 #include <string>
 
 #include "datagen/datagen.h"
+#include "index/btsi.h"
+#include "index/structural_index.h"
 #include "storage/btsx2.h"
 #include "storage/disk_store.h"
 #include "xml/parser.h"
@@ -35,9 +42,9 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: btingest input.xml output.btsx2 [--verify]\n"
+               "usage: btingest input.xml output.btsx2 [--verify] [--index]\n"
                "       btingest --gen=d1..d5 [--scale=S] [--seed=N] "
-               "output.btsx2 [--verify]\n");
+               "output.btsx2 [--verify] [--index]\n");
   return 2;
 }
 
@@ -49,6 +56,7 @@ int main(int argc, char** argv) {
   std::string gen;
   datagen::GenOptions gopts;
   bool verify = false;
+  bool build_index = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -60,6 +68,8 @@ int main(int argc, char** argv) {
       gopts.seed = std::strtoull(arg + 7, nullptr, 10);
     } else if (std::strcmp(arg, "--verify") == 0) {
       verify = true;
+    } else if (std::strcmp(arg, "--index") == 0) {
+      build_index = true;
     } else if (std::strncmp(arg, "--", 2) == 0) {
       return Usage();
     } else if (gen.empty() && input.empty() && output.empty() && i + 1 < argc) {
@@ -107,6 +117,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::string sidecar;
+  if (build_index) {
+    auto idx = index::StructuralIndex::Build(*doc);
+    sidecar = index::BtsiSidecarPath(output);
+    st = index::WriteBtsi(*idx, sidecar);
+    if (!st.ok()) {
+      std::fprintf(stderr, "btingest: index %s: %s\n", sidecar.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
   if (verify) {
     storage::DiskStoreOptions dopts;
     dopts.full_validation = true;
@@ -116,12 +138,18 @@ int main(int argc, char** argv) {
                    store.status().ToString().c_str());
       return 1;
     }
+    if (build_index && (*store)->index() == nullptr) {
+      std::fprintf(stderr,
+                   "btingest: verify %s: sidecar did not load back\n",
+                   sidecar.c_str());
+      return 1;
+    }
   }
 
   std::fprintf(stderr,
-               "btingest: %s: %zu nodes, %zu tags, generation %llu%s\n",
+               "btingest: %s: %zu nodes, %zu tags, generation %llu%s%s\n",
                output.c_str(), doc->NumNodes(), doc->tags().size(),
                static_cast<unsigned long long>(doc->generation()),
-               verify ? " (verified)" : "");
+               build_index ? " (+index)" : "", verify ? " (verified)" : "");
   return 0;
 }

@@ -133,7 +133,13 @@ int main(int argc, char** argv) {
       std::string name, file;
       in >> name >> file;
       Status st = corpus.AddDisk(name, file);
-      std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+      if (st.ok()) {
+        auto entry = corpus.Get(name);
+        bool indexed = entry != nullptr && entry->index() != nullptr;
+        std::printf("ok%s\n", indexed ? " (structural index attached)" : "");
+      } else {
+        std::printf("%s\n", st.ToString().c_str());
+      }
     } else if (cmd == "drop") {
       std::string name;
       in >> name;

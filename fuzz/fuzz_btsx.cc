@@ -1,14 +1,16 @@
-// libFuzzer harness for both BTSX decoders: any input must either decode
-// into a well-formed document or fail with a clean Status — never crash,
-// throw, leak, or trip ASan/UBSan. Inputs that decode must re-encode
-// stably (decode → encode → decode reproduces the same serialization),
-// and a v2 image that passes deep validation must adopt into a document
-// whose serialization round-trips.
+// libFuzzer harness for the BTSX file family's decoders: any input must
+// either decode into a well-formed document (or structural index) or fail
+// with a clean Status — never crash, throw, leak, or trip ASan/UBSan.
+// Inputs that decode must re-encode stably (decode → encode → decode
+// reproduces the same serialization), and a v2 image that passes deep
+// validation must adopt into a document whose serialization round-trips.
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
 
+#include "index/btsi.h"
+#include "index/structural_index.h"
 #include "storage/btsx2.h"
 #include "storage/succinct.h"
 #include "xml/document.h"
@@ -41,6 +43,18 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
         std::string text = blossomtree::xml::Serialize(adopted);
         (void)text;
       }
+    }
+  }
+
+  // BTSI: the structural-index sidecar. An accepted image must re-encode
+  // to the identical byte string — the encoder is canonical, so any
+  // accepted-but-unstable input means the validator missed a degree of
+  // freedom it should have pinned.
+  auto idx = blossomtree::index::DecodeBtsi(input);
+  if (idx.ok()) {
+    auto bytes = blossomtree::index::EncodeBtsi(**idx);
+    if (!bytes.ok() || *bytes != input) {
+      __builtin_trap();  // Round-trip instability is a bug.
     }
   }
   return 0;

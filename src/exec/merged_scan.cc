@@ -13,8 +13,10 @@ MergedNokScan::MergedNokScan(const xml::Document* doc,
   for (const pattern::NokTree* nok : noks) {
     matchers_.push_back(std::make_unique<NokMatcher>(doc, tree, nok));
     matchers_.back()->set_guard(guard);
-    virtual_root_.push_back(tree->vertex(nok->root).IsVirtualRoot());
-    root_tag_.push_back(tree->vertex(nok->root).tag);
+    const pattern::Vertex& root = tree->vertex(nok->root);
+    virtual_root_.push_back(root.IsVirtualRoot());
+    match_any_.push_back(root.MatchesAnyTag() || root.IsVirtualRoot());
+    root_tag_.push_back(root.tag);
   }
   results_.resize(matchers_.size());
 }
@@ -33,19 +35,23 @@ void MergedNokScan::Run() {
       results_[i].push_back(std::move(nl));
     }
   }
-  // Dispatch table: which matchers can start at a given tag. Wildcard-
-  // rooted NoKs are probed on every element (the NFA's always-active
-  // states); concrete roots only fire on their own tag.
+  // Dispatch table: which matchers can start at a given tag. Match-any
+  // roots ("*", and defensively any other non-concrete root tag such as
+  // "~") are probed on every element (the NFA's always-active states);
+  // concrete roots only fire on their own tag. Dispatching a match-any
+  // root through tags().Lookup() would resolve to kNullTag and silently
+  // drop the NoK, so anything non-concrete goes to the wildcard set —
+  // probe() re-applies RootTest, so over-dispatch is safe, under-dispatch
+  // is not.
   std::vector<std::vector<size_t>> by_tag(doc_->tags().size());
   std::vector<size_t> wildcard;
   for (size_t i = 0; i < matchers_.size(); ++i) {
     if (virtual_root_[i]) continue;
-    const std::string& tag = root_tag_[i];
-    if (tag == "*") {
+    if (match_any_[i]) {
       wildcard.push_back(i);
       continue;
     }
-    xml::TagId t = doc_->tags().Lookup(tag);
+    xml::TagId t = doc_->tags().Lookup(root_tag_[i]);
     if (t != xml::kNullTag) by_tag[t].push_back(i);
   }
   // One shared pass: each node is fetched once, the NoKs whose root can

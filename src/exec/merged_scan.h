@@ -96,6 +96,7 @@ class MergedNokScan {
   util::ResourceGuard* guard_;
   std::vector<std::unique_ptr<NokMatcher>> matchers_;
   std::vector<bool> virtual_root_;
+  std::vector<bool> match_any_;
   std::vector<std::string> root_tag_;
   std::vector<std::vector<nestedlist::NestedList>> results_;
   uint64_t nodes_scanned_ = 0;

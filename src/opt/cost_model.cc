@@ -19,7 +19,12 @@ bool IsConcreteTag(const pattern::Vertex& v) {
 
 }  // namespace
 
-CostModel::CostModel(const xml::Document* doc) : doc_(doc) {
+CostModel::CostModel(const xml::Document* doc,
+                     const index::StructuralIndex* index)
+    : doc_(doc), index_(index) {
+  // A structurally stale index would size probes against the wrong
+  // dictionary; fall back to the fixed selectivity rather than misestimate.
+  if (index_ != nullptr && !index_->Matches(*doc)) index_ = nullptr;
   avg_subtree_.assign(doc->tags().size(), 1.0);
   for (xml::TagId t = 0; t < doc->tags().size(); ++t) {
     const auto& nodes = doc->TagIndex(t);
@@ -53,13 +58,25 @@ double CostModel::AvgSubtreeSize(const std::string& tag) const {
   return avg_subtree_[t];
 }
 
+double CostModel::ValueSelectivity(const pattern::Vertex& v) const {
+  if (!v.value) return 1.0;
+  if (index_ != nullptr && IsConcreteTag(v)) {
+    xml::TagId t = doc_->tags().Lookup(v.tag);
+    if (t != xml::kNullTag) {
+      return index_->EstimateValueSelectivity(t, v.value->op,
+                                              v.value->literal);
+    }
+  }
+  return kValueSelectivity;
+}
+
 double CostModel::EstimateVertexMatches(const pattern::BlossomTree& tree,
                                         pattern::VertexId v) const {
   const pattern::Vertex& vx = tree.vertex(v);
   double base = vx.IsVirtualRoot() ? 1.0 : TagCount(vx.tag);
   if (base == 0) return 0;
   double selectivity = 1.0;
-  if (vx.value) selectivity *= kValueSelectivity;
+  if (vx.value) selectivity *= ValueSelectivity(vx);
   if (vx.position > 0) selectivity *= 0.5;
   double n = std::max<double>(1.0, static_cast<double>(doc_->NumElements()));
   for (pattern::VertexId c : vx.children) {

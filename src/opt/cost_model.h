@@ -31,13 +31,23 @@ struct CostEstimate {
 /// and fast (one pass over the tag indexes at construction).
 class CostModel {
  public:
-  explicit CostModel(const xml::Document* doc);
+  /// \param index optional structural index over `doc` (DESIGN.md §14):
+  ///        when set, value-constraint selectivities come from the value
+  ///        index (exact counts for answerable equality probes, order
+  ///        statistics for ranges) instead of the fixed 0.1 guess.
+  explicit CostModel(const xml::Document* doc,
+                     const index::StructuralIndex* index = nullptr);
 
   /// \brief Elements matching a tag test ("*" = all elements).
   double TagCount(const std::string& tag) const;
 
   /// \brief Average subtree size (in nodes) of elements with this tag.
   double AvgSubtreeSize(const std::string& tag) const;
+
+  /// \brief Selectivity of a vertex's value constraint, in (0, 1]: from the
+  /// attached index when it can size the probe, 0.1 otherwise (the
+  /// pre-index fixed factor). 1.0 for unconstrained vertices.
+  double ValueSelectivity(const pattern::Vertex& v) const;
 
   /// \brief Estimated matches of the pattern subtree rooted at `v`
   /// (existence predicates reduce by containment selectivity; value
@@ -63,7 +73,8 @@ class CostModel {
 
  private:
   const xml::Document* doc_;
-  std::vector<double> avg_subtree_;  ///< Per TagId.
+  const index::StructuralIndex* index_;  ///< Optional, borrowed.
+  std::vector<double> avg_subtree_;      ///< Per TagId.
 };
 
 /// \brief The optimizer's recommendation for a path query.

@@ -6,6 +6,7 @@
 #include "exec/joins.h"
 #include "nestedlist/ops.h"
 #include "opt/cost_model.h"
+#include "pattern/paths.h"
 #include "util/trace.h"
 
 namespace blossomtree {
@@ -53,7 +54,7 @@ double EstimateNokMatches(const CostModel& model,
     double base = ux.IsVirtualRoot() ? 1.0 : model.TagCount(ux.tag);
     if (base == 0) return 0;
     double selectivity = 1.0;
-    if (ux.value) selectivity *= 0.1;
+    if (ux.value) selectivity *= model.ValueSelectivity(ux);
     if (ux.position > 0) selectivity *= 0.5;
     double n = std::max(1.0, num_elements);
     for (pattern::VertexId c : ux.children) {
@@ -68,13 +69,98 @@ double EstimateNokMatches(const CostModel& model,
   return est(v);
 }
 
+/// The planner's access-path decision for one NoK (DESIGN.md §14).
+struct NokAccessPath {
+  enum class Kind {
+    kScan,  ///< Sequential (or merged) NoK scan — the default.
+    kSeek,  ///< IndexSeek over a candidate list from the structural index.
+    kEmpty  ///< Provably empty (DataGuide / absent tag): seek zero
+            ///< candidates, scan nothing.
+  };
+  Kind kind = Kind::kScan;
+  std::vector<xml::NodeId> candidates;  ///< For kSeek; empty for kEmpty.
+  std::string detail;                   ///< EXPLAIN annotation.
+};
+
+/// Costs index-seek against sequential scan per NoK root using the index's
+/// real posting-list cardinalities, and short-circuits NoKs whose mandatory
+/// paths the DataGuide rules out. Every choice is result-preserving: seeks
+/// re-verify candidates with the full matcher, and kEmpty is only chosen on
+/// a structural *proof* of emptiness.
+std::vector<NokAccessPath> ChooseAccessPaths(
+    const xml::Document* doc, const pattern::BlossomTree* tree,
+    const Decomposition& d, const index::StructuralIndex* index) {
+  std::vector<NokAccessPath> out(d.noks.size());
+  if (index == nullptr || !index->Matches(*doc)) return out;
+  for (size_t i = 0; i < d.noks.size(); ++i) {
+    const pattern::NokTree& nok = d.noks[i];
+    const pattern::Vertex& root = tree->vertex(nok.root);
+    NokAccessPath& ap = out[i];
+    bool attr_root = !root.tag.empty() && root.tag[0] == '@';
+    // DataGuide short-circuit: if the NoK's mandatory child-axis paths
+    // cannot all embed at one guide node, no document node matches —
+    // whatever the value or positional constraints say. Attribute-rooted
+    // NoKs bypass the guide (attributes are element side data, not paths).
+    if (!attr_root &&
+        !index->CanMatchPaths(pattern::ExtractMandatoryPaths(*tree, nok))) {
+      ap.kind = NokAccessPath::Kind::kEmpty;
+      ap.detail = "guide: no such path";
+      continue;
+    }
+    if (root.IsVirtualRoot() || root.MatchesAnyTag() || attr_root) {
+      continue;  // No posting list to seek ("~" matches at most once).
+    }
+    xml::TagId t = doc->tags().Lookup(root.tag);
+    if (t == xml::kNullTag) {
+      ap.kind = NokAccessPath::Kind::kEmpty;
+      ap.detail = "tag absent";
+      continue;
+    }
+    // Candidate set: an exact value-index equality run when the root
+    // carries an answerable `= literal` predicate, else the tag's posting
+    // list. Both are provable supersets of the NoK's match roots.
+    std::vector<xml::NodeId> candidates;
+    std::string source;
+    if (root.value && root.value->op == xpath::CompareOp::kEq) {
+      index::EqualitySeek seek = index->SeekEquality(t, root.value->literal);
+      if (seek.usable) {
+        candidates = std::move(seek.nodes);
+        source = "value-eq";
+      }
+    }
+    if (source.empty()) {
+      auto postings = index->Postings(t);
+      candidates.reserve(postings.size());
+      for (const index::PostingEntry& e : postings) {
+        candidates.push_back(e.node);
+      }
+      source = "postings";
+    }
+    // Seek cost: each probe verifies one candidate subtree (~avg_subtree
+    // node visits). Scan cost: one root test per document node. Real
+    // cardinalities on both sides — no fixed selectivity guess.
+    double probe = 1.0 + index->Stats(t).avg_subtree;
+    double seek_cost = static_cast<double>(candidates.size()) * probe;
+    double scan_cost = static_cast<double>(doc->NumNodes());
+    if (seek_cost < scan_cost) {
+      ap.kind = NokAccessPath::Kind::kSeek;
+      ap.candidates = std::move(candidates);
+      ap.detail =
+          source + ", " + std::to_string(ap.candidates.size()) + " candidates";
+    }
+  }
+  return out;
+}
+
 /// Recursive plan builder for the NoK-join tree under `nok_index`.
 class TreePlanner {
  public:
   TreePlanner(const xml::Document* doc, const pattern::BlossomTree* tree,
               const Decomposition* decomp, JoinStrategy strategy,
               exec::MergedNokScan* merged,
-              const std::vector<int>* merged_index, PatternTreePlan* plan,
+              const std::vector<int>* merged_index,
+              const std::vector<NokAccessPath>* access,
+              PatternTreePlan* plan,
               bool* used_pipelined, bool* used_bnlj,
               util::ThreadPool* pool, util::ResourceGuard* guard,
               const CostModel* cost, exec::NokResultCache* result_cache,
@@ -85,6 +171,7 @@ class TreePlanner {
         strategy_(strategy),
         merged_(merged),
         merged_index_(merged_index),
+        access_(access),
         plan_(plan),
         used_pipelined_(used_pipelined),
         used_bnlj_(used_bnlj),
@@ -128,7 +215,21 @@ class TreePlanner {
           static_cast<double>(doc_->NumElements()),
           decomp_->noks[nok_index].root);
     }
-    if (merged_ != nullptr) {
+    const NokAccessPath& ap = (*access_)[nok_index];
+    if (ap.kind != NokAccessPath::Kind::kScan) {
+      auto seek = std::make_unique<exec::IndexSeekOperator>(
+          doc_, tree_, &decomp_->noks[nok_index], ap.candidates, guard_,
+          store_);
+      plan_->seeks.push_back(seek.get());
+      std::string label = "IndexSeek(" + NokLabel(nok_index) + ")";
+      seek->set_label(label);
+      Indent(depth);
+      plan_->explain += label + " [";
+      plan_->explain +=
+          ap.kind == NokAccessPath::Kind::kEmpty ? "empty: " : "";
+      plan_->explain += ap.detail + "]\n";
+      op = std::move(seek);
+    } else if (merged_ != nullptr && (*merged_index_)[nok_index] >= 0) {
       op = merged_->MakeOperator(
           static_cast<size_t>((*merged_index_)[nok_index]));
       op->set_label("MergedNokView(" + NokLabel(nok_index) + ")");
@@ -228,6 +329,7 @@ class TreePlanner {
   JoinStrategy strategy_;
   exec::MergedNokScan* merged_;
   const std::vector<int>* merged_index_;
+  const std::vector<NokAccessPath>* access_;
   PatternTreePlan* plan_;
   bool* used_pipelined_;
   bool* used_bnlj_;
@@ -339,7 +441,46 @@ Result<QueryPlan> PlanQuery(const xml::Document* doc,
     }
   }
 
-  // Optional merged single scan across every NoK in the plan.
+  // Per-NoK access paths: the cost-based seek-vs-scan choice plus DataGuide
+  // emptiness proofs, decided before the merged scan so indexed NoKs never
+  // join (or pay for) the eager merged pass.
+  std::vector<NokAccessPath> access =
+      ChooseAccessPaths(doc, tree, d, options.index);
+
+  // Emptiness composes: a mandatory (kFor) //-edge to a provably-empty
+  // inner NoK empties the join, so an empty proof anywhere below the base
+  // empties the whole pattern tree — mark every reachable NoK kEmpty and
+  // the plan runs with zero scanned nodes.
+  {
+    std::function<bool(uint32_t)> composed_empty = [&](uint32_t n) -> bool {
+      if (access[n].kind == NokAccessPath::Kind::kEmpty) return true;
+      for (const Connection& c : d.connections) {
+        if (d.NokOf(c.from) != n) continue;
+        if (c.mode != pattern::EdgeMode::kLet &&
+            composed_empty(d.NokOf(c.to))) {
+          return true;
+        }
+      }
+      return false;
+    };
+    std::function<void(uint32_t)> mark_empty = [&](uint32_t n) {
+      if (access[n].kind != NokAccessPath::Kind::kEmpty) {
+        access[n].kind = NokAccessPath::Kind::kEmpty;
+        access[n].candidates.clear();
+        access[n].detail = "short-circuit: empty subplan";
+      }
+      for (const Connection& c : d.connections) {
+        if (d.NokOf(c.from) == n) mark_empty(d.NokOf(c.to));
+      }
+    };
+    for (uint32_t base : bases) {
+      if (composed_empty(base)) mark_empty(base);
+    }
+  }
+
+  // Optional merged single scan across every still-scanning NoK in the
+  // plan (NoKs routed to index seeks or proven empty stay out of the
+  // merged probe set — and out of its scan cost).
   std::unique_ptr<exec::MergedNokScan> merged;
   std::vector<int> merged_index(d.noks.size(), -1);
   if (options.merge_nok_scans &&
@@ -347,17 +488,20 @@ Result<QueryPlan> PlanQuery(const xml::Document* doc,
     std::vector<const pattern::NokTree*> noks;
     for (size_t i = 0; i < d.noks.size(); ++i) {
       if (!is_base_or_inner[i]) continue;
+      if (access[i].kind != NokAccessPath::Kind::kScan) continue;
       merged_index[i] = static_cast<int>(noks.size());
       noks.push_back(&d.noks[i]);
     }
-    merged = std::make_unique<exec::MergedNokScan>(doc, tree,
-                                                   std::move(noks),
-                                                   options.guard);
-    merged->Run();
-    // A trip during the eager merged scan leaves partial match lists;
-    // surface it now rather than handing out a truncated plan.
-    if (options.guard != nullptr && options.guard->Tripped()) {
-      return options.guard->status();
+    if (!noks.empty()) {
+      merged = std::make_unique<exec::MergedNokScan>(doc, tree,
+                                                     std::move(noks),
+                                                     options.guard);
+      merged->Run();
+      // A trip during the eager merged scan leaves partial match lists;
+      // surface it now rather than handing out a truncated plan.
+      if (options.guard != nullptr && options.guard->Tripped()) {
+        return options.guard->status();
+      }
     }
   }
 
@@ -365,14 +509,15 @@ Result<QueryPlan> PlanQuery(const xml::Document* doc,
   bool used_bnlj = false;
   std::unique_ptr<CostModel> cost;
   if (options.estimate_cardinalities) {
-    cost = std::make_unique<CostModel>(doc);
+    cost = std::make_unique<CostModel>(doc, options.index);
   }
   for (uint32_t base : bases) {
     PatternTreePlan tp;
     TreePlanner builder(doc, tree, &plan.decomposition, strategy,
-                        merged.get(), &merged_index, &tp, &used_pipelined,
-                        &used_bnlj, options.pool, options.guard, cost.get(),
-                        options.result_cache, options.store);
+                        merged.get(), &merged_index, &access, &tp,
+                        &used_pipelined, &used_bnlj, options.pool,
+                        options.guard, cost.get(), options.result_cache,
+                        options.store);
     BT_ASSIGN_OR_RETURN(tp.root, builder.Build(base, 1));
     tp.tops = tp.root->top_slots();
     plan.trees.push_back(std::move(tp));

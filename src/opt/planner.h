@@ -6,10 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "exec/index_seek.h"
 #include "exec/merged_scan.h"
 #include "exec/nok_scan.h"
 #include "exec/operator.h"
 #include "exec/result_cache.h"
+#include "index/structural_index.h"
 #include "pattern/decompose.h"
 #include "util/resource_guard.h"
 #include "util/status.h"
@@ -62,6 +64,16 @@ struct PlanOptions {
   /// query's real access pattern; scan partitioning also goes through the
   /// store. nullptr = scans run purely over the document.
   const storage::NodeStore* store = nullptr;
+  /// Structural index over `doc` (borrowed, not owned; DESIGN.md §14): when
+  /// set and structurally matching the document, the planner costs an
+  /// index-seek access path against the sequential scan per NoK root using
+  /// the index's real posting-list cardinalities, short-circuits NoKs whose
+  /// mandatory paths the DataGuide proves absent to empty streams (zero
+  /// nodes scanned), and feeds the value index's selectivities into
+  /// cardinality estimation. Access-path changes never change results:
+  /// seeks re-verify every candidate and emit the scan's exact stream.
+  /// nullptr = every NoK scans (the exact pre-index behavior).
+  const index::StructuralIndex* index = nullptr;
 };
 
 /// \brief A compiled plan for one pattern tree of a BlossomTree.
@@ -73,11 +85,13 @@ struct PatternTreePlan {
   std::unique_ptr<exec::NestedListOperator> root;
   std::vector<pattern::SlotId> tops;
   std::vector<exec::NokScanOperator*> scans;  ///< Borrowed from `root`.
+  std::vector<exec::IndexSeekOperator*> seeks;  ///< Borrowed from `root`.
   std::string explain;
 
   uint64_t TotalNodesScanned() const {
     uint64_t total = 0;
     for (const auto* s : scans) total += s->NodesScanned();
+    for (const auto* s : seeks) total += s->NodesScanned();
     return total;
   }
 };

@@ -23,6 +23,12 @@ Result<DeweyId> DeweyId::Parse(std::string_view text) {
       return Status::InvalidArgument("bad Dewey ID '" + std::string(text) +
                                      "'");
     }
+    // Components are stored as uint32_t; a value past UINT32_MAX would
+    // silently wrap (4294967297 -> 1) and make distinct IDs compare equal.
+    if (v > static_cast<long long>(UINT32_MAX)) {
+      return Status::InvalidArgument("Dewey ID component out of range in '" +
+                                     std::string(text) + "'");
+    }
     components.push_back(static_cast<uint32_t>(v));
   }
   return DeweyId(std::move(components));

@@ -1,0 +1,51 @@
+#include "pattern/paths.h"
+
+namespace blossomtree {
+namespace pattern {
+
+std::string NokPath::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += '/';
+    out += steps[i];
+  }
+  return out;
+}
+
+namespace {
+
+bool IsMandatoryChildStep(const Vertex& child) {
+  if (child.axis != xpath::Axis::kChild) return false;
+  if (child.mode != EdgeMode::kFor) return false;
+  if (!child.tag.empty() && child.tag[0] == '@') return false;
+  return true;
+}
+
+void Walk(const BlossomTree& tree, const NokTree& nok, VertexId v,
+          std::vector<std::string>* prefix, std::vector<NokPath>* out) {
+  prefix->push_back(tree.vertex(v).tag);
+  bool descended = false;
+  for (VertexId c : tree.vertex(v).children) {
+    if (!nok.Contains(c)) continue;  // Cut //-edge: a different NoK.
+    if (!IsMandatoryChildStep(tree.vertex(c))) continue;
+    descended = true;
+    Walk(tree, nok, c, prefix, out);
+  }
+  if (!descended) {
+    out->push_back(NokPath{*prefix});
+  }
+  prefix->pop_back();
+}
+
+}  // namespace
+
+std::vector<NokPath> ExtractMandatoryPaths(const BlossomTree& tree,
+                                           const NokTree& nok) {
+  std::vector<NokPath> out;
+  std::vector<std::string> prefix;
+  Walk(tree, nok, nok.root, &prefix, &out);
+  return out;
+}
+
+}  // namespace pattern
+}  // namespace blossomtree

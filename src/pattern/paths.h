@@ -1,0 +1,45 @@
+#ifndef BLOSSOMTREE_PATTERN_PATHS_H_
+#define BLOSSOMTREE_PATTERN_PATHS_H_
+
+#include <string>
+#include <vector>
+
+#include "pattern/blossom_tree.h"
+#include "pattern/decompose.h"
+
+namespace blossomtree {
+namespace pattern {
+
+/// \brief One *mandatory* root-to-descendant chain of child-axis tag tests
+/// inside a NoK pattern tree. `steps[0]` is the NoK root's tag ("~" for the
+/// virtual root, "*" for a wildcard); each following step is a child-axis
+/// tag test that a match must satisfy.
+///
+/// These are the canonical paths the DataGuide emptiness check consumes: if
+/// no document path embeds one of them, the NoK has zero matches.
+struct NokPath {
+  std::vector<std::string> steps;
+
+  std::string ToString() const;
+};
+
+/// \brief Extracts the mandatory child-axis paths of `nok` (canonical path
+/// extraction for index pruning). The walk starts at the NoK root and
+/// descends only edges that are *required for a match to exist*:
+///   - child axis (following-sibling subtrees hang off the parent, not the
+///     current node, so they terminate the chain),
+///   - f-mode (l-edges are satisfied by the empty sequence),
+///   - element tests (attribute steps `@a` are out-of-band on the element).
+/// Value and positional constraints are ignored — every returned path is a
+/// *necessary* condition, so absence from a path summary soundly proves the
+/// NoK empty, while presence proves nothing.
+///
+/// Returns one path per leaf of the pruned chain tree; at minimum the
+/// single-step path `[root tag]`.
+std::vector<NokPath> ExtractMandatoryPaths(const BlossomTree& tree,
+                                           const NokTree& nok);
+
+}  // namespace pattern
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_PATTERN_PATHS_H_

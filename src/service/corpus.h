@@ -57,6 +57,14 @@ class CorpusDocument {
   /// are atomic and per-scan state lives in caller cursors.
   const storage::NodeStore& store() const;
 
+  /// \brief Structural index over the document (DESIGN.md §14): the `.btsi`
+  /// sidecar a disk-backed entry's DiskStore loaded at open, or nullptr —
+  /// in-RAM builds and index-less corpus files plan with sequential scans.
+  /// Immutable; shared by every concurrent query on this document.
+  const index::StructuralIndex* index() const {
+    return disk_ != nullptr ? disk_->index() : nullptr;
+  }
+
  private:
   std::string name_;
   std::unique_ptr<xml::Document> doc_;

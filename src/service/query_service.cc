@@ -216,6 +216,10 @@ void QueryService::RunQuery(const std::shared_ptr<QueryTicket>& ticket) {
   if (ticket->doc_->disk_backed()) {
     eo.plan.store = &ticket->doc_->store();
   }
+  // The `.btsi` structural index the corpus loaded with the document (if
+  // any): plans cost index seeks against scans per NoK and short-circuit
+  // provably-empty patterns. Access paths never change results.
+  eo.plan.index = ticket->doc_->index();
   engine::BlossomTreeEngine engine(ticket->doc_->doc(), eo);
 
   bool cancelled_while_queued = false;

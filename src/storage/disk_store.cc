@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "index/btsi.h"
+
 namespace blossomtree {
 namespace storage {
 
@@ -215,6 +217,18 @@ Result<std::unique_ptr<DiskStore>> DiskStore::Open(const std::string& path,
   }
   store->num_blocks_ =
       static_cast<size_t>((store->records_bytes_ + block - 1) / block);
+
+  // The `.btsi` sidecar rides along in the mapped modes. Best-effort on
+  // open: a missing, stale (generation mismatch after re-ingest), or
+  // corrupt sidecar leaves index() null — plans fall back to scans.
+  if (options.load_index && store->doc_ != nullptr) {
+    auto loaded = index::LoadBtsi(index::BtsiSidecarPath(path));
+    if (loaded.ok() &&
+        (*loaded)->generation() == store->on_disk_generation_ &&
+        (*loaded)->Matches(*store->doc_)) {
+      store->index_ = std::move(*loaded);
+    }
+  }
   return store;
 }
 

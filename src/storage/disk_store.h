@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "index/structural_index.h"
 #include "storage/btsx2.h"
 #include "storage/node_store.h"
 #include "util/cache.h"
@@ -40,6 +41,13 @@ struct DiskStoreOptions {
   /// Run ValidateBtsx2Deep (O(n)) at open — for untrusted files and tests.
   /// Off by default: trusted reopen stays O(open).
   bool full_validation = false;
+  /// Load the `.btsi` structural-index sidecar next to the corpus file
+  /// (DESIGN.md §14), mapped modes only. A missing sidecar is fine (the
+  /// store just serves scans); a sidecar is *ignored* — never an open
+  /// error — when its generation stamp differs from the file's on-disk
+  /// generation (the corpus was re-ingested without `--index`) or when it
+  /// fails structural validation against the adopted document.
+  bool load_index = true;
 };
 
 /// \brief A NodeStore served straight from a BTSX v2 file (DESIGN.md §13):
@@ -112,6 +120,12 @@ class DiskStore : public NodeStore {
   /// wrote the file — the on-disk version stamp.
   uint64_t on_disk_generation() const { return on_disk_generation_; }
 
+  /// \brief The `.btsi` structural index loaded alongside the corpus file;
+  /// nullptr when there was no valid generation-matching sidecar (plans
+  /// then fall back to sequential scans). Immutable and safe to share
+  /// across concurrent queries.
+  const index::StructuralIndex* index() const { return index_.get(); }
+
   // -- Introspection ---------------------------------------------------------
 
   uint64_t FileBytes() const { return file_bytes_; }
@@ -168,6 +182,7 @@ class DiskStore : public NodeStore {
   Btsx2View view_;
   /// Declared after the image members: destroyed before munmap runs.
   std::unique_ptr<xml::Document> doc_;
+  std::unique_ptr<index::StructuralIndex> index_;
 };
 
 }  // namespace storage

@@ -102,6 +102,58 @@ TEST(MergedScanTest, HandlesVirtualRootNok) {
   EXPECT_FALSE(op->GetNext(&nl));
 }
 
+TEST(MergedScanTest, MatchAnyRootsMatchSerialReference) {
+  // Non-concrete root tags ("*" match-any, "~" virtual root) must never be
+  // dispatched through tags().Lookup(), which resolves them to kNullTag and
+  // silently drops the NoK. Each merged view must match the serial
+  // NokScanOperator reference byte for byte.
+  const char* xml = "<r><a><b/></a><b/><a><c/><b/></a></r>";
+  for (const char* query : {"/r/a/b",        // "~"-rooted NoK (whole path)
+                            "//*[b]",        // "*"-rooted NoK
+                            "//a//*",        // "*"-rooted inner NoK
+                            "//zzz[b]"}) {   // root tag absent from document
+    Fixture fx(xml, query);
+    std::vector<const pattern::NokTree*> noks;
+    for (const auto& nok : fx.decomp.noks) noks.push_back(&nok);
+    MergedNokScan merged(fx.doc.get(), &fx.tree, noks);
+    merged.Run();
+    for (size_t i = 0; i < noks.size(); ++i) {
+      auto merged_op = merged.MakeOperator(i);
+      NokScanOperator separate(fx.doc.get(), &fx.tree, noks[i]);
+      nestedlist::NestedList a;
+      nestedlist::NestedList b;
+      while (true) {
+        bool ga = merged_op->GetNext(&a);
+        bool gb = separate.GetNext(&b);
+        ASSERT_EQ(ga, gb) << query << " nok " << i;
+        if (!ga) break;
+        ASSERT_EQ(a.tops.size(), b.tops.size()) << query;
+        for (size_t t = 0; t < a.tops.size(); ++t) {
+          ASSERT_EQ(a.tops[t].size(), b.tops[t].size()) << query;
+          for (size_t e = 0; e < a.tops[t].size(); ++e) {
+            EXPECT_EQ(a.tops[t][e].node, b.tops[t][e].node) << query;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MergedScanTest, WildcardRootFindsAllElements) {
+  // A bare "*"-rooted NoK probes every element; dropping it from the
+  // dispatch table would return zero matches.
+  Fixture fx("<r><a/><b><c/></b></r>", "//*");
+  auto noks = fx.NonTrivialNoks();
+  ASSERT_EQ(noks.size(), 1u);
+  MergedNokScan merged(fx.doc.get(), &fx.tree, noks);
+  merged.Run();
+  auto op = merged.MakeOperator(0);
+  nestedlist::NestedList nl;
+  size_t matches = 0;
+  while (op->GetNext(&nl)) ++matches;
+  EXPECT_EQ(matches, 4u);  // r, a, b, c — every element in the document
+}
+
 TEST(MergedScanTest, MatchWorkAccumulates) {
   Fixture fx("<r><a/><a/></r>", "//a[//b]");
   auto noks = fx.NonTrivialNoks();

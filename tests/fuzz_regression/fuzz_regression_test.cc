@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include "flwor/parser.h"
+#include "index/btsi.h"
+#include "index/structural_index.h"
 #include "storage/btsx2.h"
 #include "storage/succinct.h"
 #include "util/resource_guard.h"
@@ -92,9 +94,10 @@ TEST(FuzzRegressionTest, ReplayAllFlworInputs) {
   }
 }
 
-// Mirror of fuzz_btsx.cc: every input through both BTSX decoders. Inputs
-// that decode must re-encode stably; v2 images that pass deep validation
-// must adopt and serialize.
+// Mirror of fuzz_btsx.cc: every input through the BTSX family's decoders.
+// Inputs that decode must re-encode stably; v2 images that pass deep
+// validation must adopt and serialize; accepted .btsi index images must
+// re-encode byte-identically (the decoder pins the canonical layout).
 TEST(FuzzRegressionTest, ReplayAllBtsxInputs) {
   for (const fs::path& p : InputsIn("btsx")) {
     SCOPED_TRACE(p.filename().string());
@@ -111,6 +114,12 @@ TEST(FuzzRegressionTest, ReplayAllBtsxInputs) {
       xml::Document adopted;
       ASSERT_TRUE(adopted.AdoptExternal(v2->ToLayout()).ok());
       EXPECT_FALSE(xml::Serialize(adopted).empty());
+    }
+    auto idx = index::DecodeBtsi(input);
+    if (idx.ok()) {
+      auto bytes = index::EncodeBtsi(**idx);
+      ASSERT_TRUE(bytes.ok());
+      EXPECT_EQ(*bytes, input);
     }
   }
 }

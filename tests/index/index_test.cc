@@ -1,0 +1,404 @@
+// Structural-index suite (DESIGN.md §14): DataGuide / posting-list /
+// value-index construction, BTSI sidecar roundtrip, and the planner's
+// cost-based access-path selection — index seeks must scan far fewer nodes
+// than sequential scans while producing byte-identical results at every
+// thread count, and DataGuide short-circuits must run with zero scans.
+
+#include "index/structural_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exec/value_ops.h"
+#include "index/btsi.h"
+#include "opt/planner.h"
+#include "pattern/builder.h"
+#include "storage/btsx2.h"
+#include "storage/disk_store.h"
+#include "util/thread_pool.h"
+#include "xml/parser.h"
+#include "xpath/parser.h"
+
+namespace blossomtree {
+namespace index {
+namespace {
+
+std::unique_ptr<xml::Document> Parse(std::string_view s) {
+  auto r = xml::ParseDocument(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+pattern::BlossomTree Tree(std::string_view query) {
+  auto p = xpath::ParsePath(query);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  auto t = pattern::BuildFromPath(*p);
+  EXPECT_TRUE(t.ok()) << t.status().ToString();
+  return t.MoveValue();
+}
+
+std::vector<xml::NodeId> Eval(const xml::Document& doc,
+                              std::string_view query,
+                              const opt::PlanOptions& opts = {}) {
+  pattern::BlossomTree t = Tree(query);
+  auto r = opt::EvaluatePathQuery(&doc, &t, opts);
+  EXPECT_TRUE(r.ok()) << query << ": " << r.status().ToString();
+  return r.ok() ? r.MoveValue() : std::vector<xml::NodeId>{};
+}
+
+/// Brute force the index is checked against: elements of `tag` whose
+/// string-value CompareValues-equals `literal`.
+std::vector<xml::NodeId> BruteEq(const xml::Document& doc,
+                                 const std::string& tag,
+                                 std::string_view literal) {
+  std::vector<xml::NodeId> out;
+  xml::TagId t = doc.tags().Lookup(tag);
+  if (t == xml::kNullTag) return out;
+  for (xml::NodeId n : doc.TagIndex(t)) {
+    if (exec::CompareValues(doc.StringValue(n), xpath::CompareOp::kEq,
+                            literal)) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+// -- Construction ------------------------------------------------------------
+
+TEST(StructuralIndexTest, BuildPostingsAndGuide) {
+  auto doc = Parse("<r><a><b>x</b><b>y</b></a><c><b>z</b></c></r>");
+  auto idx = StructuralIndex::Build(*doc);
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->generation(), doc->generation());
+  EXPECT_EQ(idx->num_nodes(), doc->NumNodes());
+  EXPECT_EQ(idx->num_elements(), doc->NumElements());
+  EXPECT_TRUE(idx->Matches(*doc));
+
+  xml::TagId b = doc->tags().Lookup("b");
+  ASSERT_NE(b, xml::kNullTag);
+  EXPECT_EQ(idx->PostingCount(b), 3u);
+  auto postings = idx->Postings(b);
+  ASSERT_EQ(postings.size(), 3u);
+  for (size_t i = 0; i < postings.size(); ++i) {
+    EXPECT_EQ(postings[i].node, doc->TagIndex(b)[i]);
+    EXPECT_EQ(postings[i].subtree_end, doc->SubtreeEnd(postings[i].node));
+    if (i > 0) {
+      EXPECT_LT(postings[i - 1].node, postings[i].node);
+    }
+  }
+
+  // Guide: distinct root-to-element paths r, r/a, r/a/b, r/c, r/c/b plus
+  // the super-root.
+  EXPECT_EQ(idx->guide().size(), 6u);
+  EXPECT_TRUE(
+      idx->CanMatchPaths({pattern::NokPath{{"a", "b"}}}));
+  EXPECT_TRUE(idx->CanMatchPaths({pattern::NokPath{{"c", "b"}}}));
+  EXPECT_FALSE(idx->CanMatchPaths({pattern::NokPath{{"b", "a"}}}));
+  EXPECT_FALSE(idx->CanMatchPaths({pattern::NokPath{{"a", "c"}}}));
+  // Anchored forms: "~" pins the document root, "*" floats.
+  EXPECT_TRUE(idx->CanMatchPaths({pattern::NokPath{{"~", "r", "a"}}}));
+  EXPECT_FALSE(idx->CanMatchPaths({pattern::NokPath{{"~", "a"}}}));
+  EXPECT_TRUE(idx->CanMatchPaths({pattern::NokPath{{"*", "b"}}}));
+
+  EXPECT_FALSE(idx->Matches(*Parse("<r><a/></r>")));
+}
+
+TEST(StructuralIndexTest, EqualitySeekMatchesBruteForce) {
+  // "07" and "7" are numerically equal under CompareValues; "x" is string
+  // collation. The index must agree with the matcher's semantics exactly.
+  auto doc = Parse(
+      "<r><p>7</p><p>07</p><p> 7</p><p>8</p><p>x</p><q>7</q></r>");
+  auto idx = StructuralIndex::Build(*doc);
+  xml::TagId p = doc->tags().Lookup("p");
+  for (const char* lit : {"7", "07", "8", "x", "y", ""}) {
+    EqualitySeek seek = idx->SeekEquality(p, lit);
+    ASSERT_TRUE(seek.usable) << lit;
+    EXPECT_EQ(seek.nodes, BruteEq(*doc, "p", lit)) << lit;
+    EXPECT_EQ(idx->CountEquality(p, lit),
+              static_cast<double>(seek.nodes.size()))
+        << lit;
+  }
+  // q has no overlong values: every probe stays answerable.
+  EXPECT_TRUE(idx->SeekEquality(doc->tags().Lookup("q"), "x").usable);
+}
+
+TEST(StructuralIndexTest, OverlongValuesDisableOnlyNumericSeeks) {
+  // One value past the 256-byte cap: numeric probes on the tag become
+  // unanswerable (the unindexed value could still compare equal
+  // numerically), but byte-equality probes stay exact — equal strings need
+  // equal lengths, and every over-long value out-lengths any ≤-cap literal.
+  std::string big(kMaxIndexedValueBytes + 10, '0');
+  big += "7";  // Numerically 7, but 267 bytes long.
+  auto doc = Parse("<r><p>7</p><p>" + big + "</p><p>xx</p></r>");
+  auto idx = StructuralIndex::Build(*doc);
+  xml::TagId p = doc->tags().Lookup("p");
+  EXPECT_EQ(idx->Stats(p).overlong_values, 1u);
+  EXPECT_FALSE(idx->SeekEquality(p, "7").usable);
+  EXPECT_EQ(idx->CountEquality(p, "7"), -1.0);
+  EqualitySeek str = idx->SeekEquality(p, "xx");
+  ASSERT_TRUE(str.usable);
+  EXPECT_EQ(str.nodes, BruteEq(*doc, "p", "xx"));
+  // Over-cap literals are never answerable from the index.
+  EXPECT_FALSE(idx->SeekEquality(p, big).usable);
+}
+
+// -- BTSI sidecar roundtrip --------------------------------------------------
+
+TEST(StructuralIndexTest, BtsiRoundtrip) {
+  auto doc = Parse(
+      "<r><a><b>x</b><b>42</b></a><c>long-ish textual value</c><a/></r>");
+  auto idx = StructuralIndex::Build(*doc);
+  auto encoded = EncodeBtsi(*idx);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  auto back = DecodeBtsi(*encoded);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  EXPECT_EQ((*back)->generation(), idx->generation());
+  EXPECT_EQ((*back)->num_nodes(), idx->num_nodes());
+  EXPECT_EQ((*back)->num_elements(), idx->num_elements());
+  EXPECT_EQ((*back)->tag_names(), idx->tag_names());
+  EXPECT_TRUE((*back)->Matches(*doc));
+  ASSERT_EQ((*back)->guide().size(), idx->guide().size());
+  for (size_t i = 0; i < idx->guide().size(); ++i) {
+    EXPECT_EQ((*back)->guide()[i].tag, idx->guide()[i].tag);
+    EXPECT_EQ((*back)->guide()[i].parent, idx->guide()[i].parent);
+    EXPECT_EQ((*back)->guide()[i].count, idx->guide()[i].count);
+  }
+  EXPECT_EQ((*back)->raw_posting_offsets(), idx->raw_posting_offsets());
+  ASSERT_EQ((*back)->raw_postings().size(), idx->raw_postings().size());
+  for (size_t i = 0; i < idx->raw_postings().size(); ++i) {
+    EXPECT_EQ((*back)->raw_postings()[i].node, idx->raw_postings()[i].node);
+    EXPECT_EQ((*back)->raw_postings()[i].subtree_end,
+              idx->raw_postings()[i].subtree_end);
+    EXPECT_EQ((*back)->raw_postings()[i].level, idx->raw_postings()[i].level);
+  }
+  EXPECT_EQ((*back)->raw_value_pool(), idx->raw_value_pool());
+  ASSERT_EQ((*back)->raw_values().size(), idx->raw_values().size());
+  ASSERT_EQ((*back)->raw_numerics().size(), idx->raw_numerics().size());
+
+  // The decoded index answers probes identically.
+  xml::TagId b = doc->tags().Lookup("b");
+  EXPECT_EQ((*back)->SeekEquality(b, "42").nodes,
+            idx->SeekEquality(b, "42").nodes);
+  EXPECT_TRUE((*back)->CanMatchPaths({pattern::NokPath{{"a", "b"}}}));
+  EXPECT_FALSE((*back)->CanMatchPaths({pattern::NokPath{{"c", "b"}}}));
+}
+
+TEST(StructuralIndexTest, BtsiFileRoundtrip) {
+  auto doc = Parse("<r><a>v</a><b/></r>");
+  auto idx = StructuralIndex::Build(*doc);
+  std::string path = ::testing::TempDir() + "/bt_index_roundtrip.btsi";
+  Status st = WriteBtsi(*idx, path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  auto back = LoadBtsi(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ((*back)->generation(), idx->generation());
+  EXPECT_TRUE((*back)->Matches(*doc));
+  std::remove(path.c_str());
+}
+
+// -- Planner access paths ----------------------------------------------------
+
+/// ~40 section elements, 3 of them rare `fig` leaves, one with a matching
+/// value — enough volume for the ≥10× seek-vs-scan separation.
+std::string WideDoc() {
+  std::string xml = "<r>";
+  for (int i = 0; i < 40; ++i) {
+    xml += "<sec><para>text " + std::to_string(i) + "</para></sec>";
+  }
+  xml += "<sec><fig>one</fig></sec><sec><fig>two</fig></sec>"
+         "<sec><fig>one</fig></sec></r>";
+  return xml;
+}
+
+TEST(IndexAccessPathTest, SeekByteIdenticalToScanAtEveryThreadCount) {
+  auto doc = Parse(WideDoc());
+  auto idx = StructuralIndex::Build(*doc);
+  const char* queries[] = {"//fig", "//sec/fig", "//fig[.=\"one\"]",
+                           "//sec[fig]", "/r/sec/para"};
+  for (const char* q : queries) {
+    auto baseline = Eval(*doc, q);  // No index, serial scan.
+    for (unsigned threads : {1u, 2u, 4u}) {
+      util::ThreadPool pool(threads);
+      opt::PlanOptions with;
+      with.index = idx.get();
+      with.pool = threads > 1 ? &pool : nullptr;
+      EXPECT_EQ(Eval(*doc, q, with), baseline)
+          << q << " @" << threads << " threads";
+    }
+  }
+}
+
+TEST(IndexAccessPathTest, SeekScansAtLeastTenTimesFewerNodes) {
+  auto doc = Parse(WideDoc());
+  auto idx = StructuralIndex::Build(*doc);
+  for (const char* q : {"//fig", "//fig[.=\"one\"]"}) {
+    pattern::BlossomTree t = Tree(q);
+    auto scan_plan = opt::PlanQuery(doc.get(), &t);
+    ASSERT_TRUE(scan_plan.ok());
+    scan_plan->FinishAll();
+    opt::PlanOptions with;
+    with.index = idx.get();
+    auto seek_plan = opt::PlanQuery(doc.get(), &t, with);
+    ASSERT_TRUE(seek_plan.ok());
+    seek_plan->FinishAll();
+    uint64_t scanned = 0, sought = 0;
+    for (const auto& tp : scan_plan->trees) scanned += tp.TotalNodesScanned();
+    for (const auto& tp : seek_plan->trees) sought += tp.TotalNodesScanned();
+    EXPECT_NE(seek_plan->Explain().find("IndexSeek("), std::string::npos)
+        << seek_plan->Explain();
+    ASSERT_GT(sought, 0u) << q;
+    EXPECT_GE(scanned, 10 * sought)
+        << q << ": scan=" << scanned << " seek=" << sought;
+  }
+}
+
+TEST(IndexAccessPathTest, GuideShortCircuitScansNothing) {
+  auto doc = Parse(WideDoc());
+  auto idx = StructuralIndex::Build(*doc);
+  // Both tags exist, but no para ever has a fig child: the DataGuide
+  // proves emptiness and the plan must not scan a single node.
+  for (const char* q : {"//para/fig", "//zzz", "//fig/sec/para"}) {
+    pattern::BlossomTree t = Tree(q);
+    opt::PlanOptions with;
+    with.index = idx.get();
+    auto plan = opt::PlanQuery(doc.get(), &t, with);
+    ASSERT_TRUE(plan.ok()) << q;
+    EXPECT_NE(plan->Explain().find("IndexSeek("), std::string::npos) << q;
+    EXPECT_NE(plan->Explain().find("empty"), std::string::npos)
+        << q << "\n" << plan->Explain();
+    plan->FinishAll();
+    uint64_t scanned = 0;
+    for (const auto& tp : plan->trees) scanned += tp.TotalNodesScanned();
+    EXPECT_EQ(scanned, 0u) << q;
+    EXPECT_TRUE(Eval(*doc, q, with).empty()) << q;
+  }
+}
+
+TEST(IndexAccessPathTest, ExplainAnalyzeShowsSeekCounters) {
+  auto doc = Parse(WideDoc());
+  auto idx = StructuralIndex::Build(*doc);
+  pattern::BlossomTree t = Tree("//fig");
+  opt::PlanOptions with;
+  with.index = idx.get();
+  with.estimate_cardinalities = true;
+  auto plan = opt::PlanQuery(doc.get(), &t, with);
+  ASSERT_TRUE(plan.ok());
+  plan->FinishAll();
+  std::string analyze = plan->ExplainAnalyze();
+  EXPECT_NE(analyze.find("IndexSeek(fig)"), std::string::npos) << analyze;
+  // The seek reports its probes as both nodes_scanned and index_entries.
+  ASSERT_EQ(plan->trees.size(), 1u);
+  ASSERT_EQ(plan->trees[0].seeks.size(), 1u);
+  exec::ExecStats stats = plan->trees[0].seeks[0]->Stats();
+  EXPECT_EQ(stats.nodes_scanned, 3u);
+  EXPECT_EQ(stats.index_entries, 3u);
+  EXPECT_EQ(stats.matches, 3u);
+}
+
+TEST(IndexAccessPathTest, StaleIndexFallsBackToScan) {
+  auto doc = Parse(WideDoc());
+  auto other = Parse("<r><unrelated/></r>");
+  auto stale = StructuralIndex::Build(*other);
+  opt::PlanOptions with;
+  with.index = stale.get();  // Structurally mismatched: must be ignored.
+  auto baseline = Eval(*doc, "//fig");
+  EXPECT_EQ(Eval(*doc, "//fig", with), baseline);
+  pattern::BlossomTree t = Tree("//fig");
+  auto plan = opt::PlanQuery(doc.get(), &t, with);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->Explain().find("IndexSeek("), std::string::npos);
+}
+
+TEST(IndexAccessPathTest, MergedScanExcludesSeekNoKs) {
+  auto doc = Parse(WideDoc());
+  auto idx = StructuralIndex::Build(*doc);
+  pattern::BlossomTree t = Tree("//sec//fig");
+  opt::PlanOptions with;
+  with.index = idx.get();
+  with.merge_nok_scans = true;
+  with.strategy = opt::JoinStrategy::kPipelined;
+  auto plan = opt::PlanQuery(doc.get(), &t, with);
+  ASSERT_TRUE(plan.ok());
+  // On this document the frequent `sec` root is cheaper to scan (and stays
+  // in the merged pass) while the rare `fig` root seeks — a mixed plan
+  // where the merged probe set must exclude the seek NoK.
+  ASSERT_NE(plan->merged_scan, nullptr) << plan->Explain();
+  EXPECT_NE(plan->Explain().find("MergedNokView(sec)"), std::string::npos)
+      << plan->Explain();
+  EXPECT_NE(plan->Explain().find("IndexSeek(fig)"), std::string::npos)
+      << plan->Explain();
+  auto baseline = Eval(*doc, "//sec//fig");
+  EXPECT_EQ(Eval(*doc, "//sec//fig", with), baseline);
+
+  // And when every NoK seeks, the merged pass is skipped outright.
+  pattern::BlossomTree t2 = Tree("//fig[.=\"one\"]");
+  auto plan2 = opt::PlanQuery(doc.get(), &t2, with);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_EQ(plan2->merged_scan, nullptr) << plan2->Explain();
+}
+
+// -- DiskStore sidecar wiring ------------------------------------------------
+
+TEST(BtsiSidecarTest, DiskStoreLoadsGenerationMatchingSidecar) {
+  auto doc = Parse(WideDoc());
+  std::string path = ::testing::TempDir() + "/bt_index_corpus.btsx2";
+  ASSERT_TRUE(storage::WriteBtsx2(*doc, path).ok());
+  auto idx = StructuralIndex::Build(*doc);
+  ASSERT_TRUE(WriteBtsi(*idx, BtsiSidecarPath(path)).ok());
+
+  auto store = storage::DiskStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_NE((*store)->index(), nullptr);
+  EXPECT_EQ((*store)->index()->generation(), (*store)->on_disk_generation());
+  ASSERT_NE((*store)->document(), nullptr);
+  EXPECT_TRUE((*store)->index()->Matches(*(*store)->document()));
+
+  // The facade + sidecar pair answers queries identically to in-RAM scans.
+  opt::PlanOptions with;
+  with.index = (*store)->index();
+  EXPECT_EQ(Eval(*(*store)->document(), "//fig", with),
+            Eval(*doc, "//fig"));
+
+  // Opt-out knob.
+  storage::DiskStoreOptions no_index;
+  no_index.load_index = false;
+  auto bare = storage::DiskStore::Open(path, no_index);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ((*bare)->index(), nullptr);
+
+  std::remove(BtsiSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+TEST(BtsiSidecarTest, StaleAndMissingSidecarsAreIgnored) {
+  auto doc = Parse(WideDoc());
+  std::string path = ::testing::TempDir() + "/bt_index_stale.btsx2";
+  ASSERT_TRUE(storage::WriteBtsx2(*doc, path).ok());
+
+  // No sidecar at all: open succeeds, index() is null.
+  auto store = storage::DiskStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->index(), nullptr);
+
+  // Sidecar from the *old* build, corpus re-ingested from a fresh parse
+  // (new generation): the stale sidecar must be ignored, not served.
+  auto idx = StructuralIndex::Build(*doc);
+  ASSERT_TRUE(WriteBtsi(*idx, BtsiSidecarPath(path)).ok());
+  auto fresh = Parse(WideDoc());
+  ASSERT_NE(fresh->generation(), doc->generation());
+  ASSERT_TRUE(storage::WriteBtsx2(*fresh, path).ok());
+  auto reopened = storage::DiskStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->index(), nullptr);
+
+  std::remove(BtsiSidecarPath(path).c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace index
+}  // namespace blossomtree

@@ -54,6 +54,24 @@ TEST(DeweyTest, NonPositiveComponentStaysBadDeweyId) {
   }
 }
 
+TEST(DeweyTest, ComponentOverflowRejected) {
+  // Components are uint32_t; 4294967297 (2^32 + 1) used to be cast straight
+  // from long long and silently wrap to 1, so "4294967297" and "1" parsed to
+  // IDs that compared equal. Out-of-range components are now rejected.
+  auto r = DeweyId::Parse("4294967297");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_FALSE(DeweyId::Parse("4294967296").ok());
+  EXPECT_FALSE(DeweyId::Parse("1.4294967297.2").ok());
+  // The boundary value itself is representable and must keep parsing.
+  auto boundary = DeweyId::Parse("4294967295");
+  ASSERT_TRUE(boundary.ok()) << boundary.status().ToString();
+  EXPECT_EQ(boundary->components(), std::vector<uint32_t>({4294967295u}));
+  EXPECT_FALSE(*boundary == *DeweyId::Parse("1"));
+}
+
 TEST(DeweyTest, ParentAndChild) {
   DeweyId id({1, 2, 3});
   EXPECT_EQ(id.Parent().ToString(), "1.2");
