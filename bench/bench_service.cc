@@ -19,9 +19,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_profile.h"
@@ -62,6 +64,63 @@ constexpr QueryCase kQueries[] = {
 
 constexpr size_t kNumQueries = sizeof(kQueries) / sizeof(kQueries[0]);
 
+/// One extra open-loop pass over a fresh corpus (cold caches, fresh
+/// service) with the observer on or off — the overhead comparison must not
+/// inherit warmth from the artifact run. Returns the mean accepted e2e in
+/// nanoseconds; `accepted_out`/`bad_out` report the pass's outcome mix.
+double OverheadPass(bool observer_on, const GenOptions& gen, size_t clients,
+                    size_t per_client, size_t slots,
+                    std::chrono::nanoseconds interval, size_t* accepted_out,
+                    size_t* bad_out) {
+  blossomtree::service::CorpusOptions copts;
+  copts.plan_cache.enabled = true;
+  copts.result_cache.enabled = true;
+  blossomtree::service::Corpus corpus(copts);
+  if (!corpus.Add("dblp", GenerateDataset(Dataset::kD5Dblp, gen)).ok()) {
+    *bad_out = clients * per_client;
+    return 0;
+  }
+  blossomtree::service::ServiceOptions sopts;
+  sopts.slots = slots;
+  sopts.max_queue = clients * per_client;
+  sopts.observer.enabled = observer_on;
+  sopts.observer.slow_threshold_ns = 0;  // Worst case: every query is "slow".
+  sopts.observer.slow_log_capacity = 8;
+  blossomtree::service::QueryService svc(&corpus, sopts);
+  std::vector<std::shared_ptr<blossomtree::service::Session>> sessions;
+  for (size_t c = 0; c < clients; ++c) {
+    sessions.push_back(svc.CreateSession("client-" + std::to_string(c)));
+  }
+  const size_t total = clients * per_client;
+  std::vector<std::shared_ptr<blossomtree::service::QueryTicket>> tickets;
+  tickets.reserve(total);
+  auto start = std::chrono::steady_clock::now();
+  for (size_t n = 0; n < total; ++n) {
+    std::this_thread::sleep_until(start + interval * n);
+    tickets.push_back(svc.Submit(*sessions[n % clients], "dblp",
+                                 kQueries[n % kNumQueries].text));
+  }
+  svc.Drain();
+  uint64_t e2e_sum = 0;
+  size_t accepted = 0;
+  size_t bad = 0;
+  for (auto& ticket : tickets) {
+    const auto& r = ticket->Wait();
+    if (r.ok()) {
+      e2e_sum += ticket->e2e_ns();
+      ++accepted;
+    } else if (r.status().code() !=
+               blossomtree::StatusCode::kResourceExhausted) {
+      ++bad;
+    }
+  }
+  *accepted_out = accepted;
+  *bad_out = bad;
+  return accepted > 0 ? static_cast<double>(e2e_sum) /
+                            static_cast<double>(accepted)
+                      : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,6 +128,8 @@ int main(int argc, char** argv) {
   size_t clients = 4;
   size_t per_client = 16;
   size_t slots = 4;
+  bool observer_on = true;
+  bool overhead_check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--clients=", 10) == 0) {
       clients = std::strtoul(argv[i] + 10, nullptr, 10);
@@ -76,6 +137,10 @@ int main(int argc, char** argv) {
       per_client = std::strtoul(argv[i] + 13, nullptr, 10);
     } else if (std::strncmp(argv[i], "--slots=", 8) == 0) {
       slots = std::strtoul(argv[i] + 8, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-observer") == 0) {
+      observer_on = false;
+    } else if (std::strcmp(argv[i], "--overhead-check") == 0) {
+      overhead_check = true;
     }
   }
   if (clients == 0) clients = 1;
@@ -142,6 +207,11 @@ int main(int argc, char** argv) {
   blossomtree::service::ServiceOptions sopts;
   sopts.slots = slots;
   sopts.max_queue = clients * per_client;
+  sopts.observer.enabled = observer_on;
+  // Threshold 0: every query qualifies for the slow log, so the uploaded
+  // BENCH_service_slowlog.json carries real captured plans (the log is
+  // bounded by slow_log_capacity; timings here are not gated).
+  sopts.observer.slow_threshold_ns = 0;
   blossomtree::service::QueryService svc(&corpus, sopts);
   std::vector<std::shared_ptr<blossomtree::service::Session>> sessions;
   for (size_t c = 0; c < clients; ++c) {
@@ -177,6 +247,9 @@ int main(int argc, char** argv) {
   // artifact.
   std::vector<blossomtree::util::Histogram> e2e(kNumQueries);
   std::vector<blossomtree::util::Histogram> qdelay(kNumQueries);
+  // Ticket-side ground truth per tenant, to cross-check the observer's
+  // rollups below: completed and rejected counts as the clients saw them.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> tenant_truth;
   size_t wrong = 0;
   size_t rejected = 0;
   size_t failed = 0;
@@ -186,9 +259,11 @@ int main(int argc, char** argv) {
       if (*r != expected[q]) ++wrong;
       e2e[q].Record(ticket->e2e_ns());
       qdelay[q].Record(ticket->queue_delay_ns());
+      ++tenant_truth[ticket->tenant()].first;
     } else if (r.status().code() ==
                blossomtree::StatusCode::kResourceExhausted) {
       ++rejected;
+      ++tenant_truth[ticket->tenant()].second;
     } else {
       std::fprintf(stderr, "%s failed: %s\n", kQueries[q].id,
                    r.status().ToString().c_str());
@@ -240,6 +315,94 @@ int main(int argc, char** argv) {
                 failed);
     return 1;
   }
+
+  // Observer bookkeeping must agree with the ticket-side ground truth:
+  // every submission recorded, every outcome in the status-labeled rollups,
+  // and the per-tenant rollup reproducing the clients' own counts.
+  if (observer_on) {
+    size_t obs_fail = 0;
+    uint64_t recorded = svc.observer()->TotalRecorded();
+    if (recorded != total) {
+      std::printf("FAIL: observer recorded %llu of %zu submissions\n",
+                  static_cast<unsigned long long>(recorded), total);
+      ++obs_fail;
+    }
+    uint64_t labeled = 0;
+    for (const auto& [name, value] : svc.metrics().CounterValues()) {
+      if (name.rfind("service.queries{", 0) == 0) labeled += value;
+    }
+    if (labeled != total) {
+      std::printf(
+          "FAIL: status-labeled service.queries counters sum to %llu, "
+          "expected %zu\n",
+          static_cast<unsigned long long>(labeled), total);
+      ++obs_fail;
+    }
+    if (total <= svc.observer()->options().recorder_capacity) {
+      for (const auto& r : svc.observer()->TenantRollups()) {
+        auto it = tenant_truth.find(r.tenant);
+        uint64_t want_ok = it == tenant_truth.end() ? 0 : it->second.first;
+        uint64_t want_rej = it == tenant_truth.end() ? 0 : it->second.second;
+        if (r.completed != want_ok || r.rejected != want_rej) {
+          std::printf(
+              "FAIL: tenant %s rollup completed=%llu rejected=%llu, "
+              "tickets say %llu/%llu\n",
+              r.tenant.c_str(), static_cast<unsigned long long>(r.completed),
+              static_cast<unsigned long long>(r.rejected),
+              static_cast<unsigned long long>(want_ok),
+              static_cast<unsigned long long>(want_rej));
+          ++obs_fail;
+        }
+      }
+    }
+    if (obs_fail > 0) return 1;
+
+    // CI artifacts: the scrapeable exposition and the slow-query log.
+    blossomtree::service::ObservabilityReport report =
+        svc.ObservabilityReport();
+    const std::pair<const char*, const std::string*> artifacts[] = {
+        {"BENCH_service_exposition.txt", &report.prometheus},
+        {"BENCH_service_slowlog.json", &report.slow_json},
+    };
+    for (const auto& [path, text] : artifacts) {
+      std::FILE* f = std::fopen(path, "w");
+      if (f != nullptr) {
+        std::fwrite(text->data(), 1, text->size(), f);
+        std::fclose(f);
+        std::printf("  wrote %s (%zu bytes)\n", path, text->size());
+      }
+    }
+  }
+
+  // Recorder-on vs recorder-off overhead: two fresh cold-cache passes (the
+  // on-pass with threshold 0, so every query also pays the slow-log
+  // capture). The bound is generous — this is a tripwire for accidental
+  // per-node instrumentation, not a microbenchmark.
+  if (overhead_check) {
+    size_t acc_off = 0;
+    size_t bad_off = 0;
+    size_t acc_on = 0;
+    size_t bad_on = 0;
+    double off_ns = OverheadPass(false, o, clients, per_client, slots,
+                                 interval, &acc_off, &bad_off);
+    double on_ns = OverheadPass(true, o, clients, per_client, slots, interval,
+                                &acc_on, &bad_on);
+    std::printf(
+        "\n  overhead: mean e2e off=%.3f ms (n=%zu) on=%.3f ms (n=%zu)\n",
+        off_ns / 1e6, acc_off, on_ns / 1e6, acc_on);
+    if (bad_off + bad_on > 0) {
+      std::printf("FAIL: %zu queries failed during overhead passes\n",
+                  bad_off + bad_on);
+      return 1;
+    }
+    if (on_ns > off_ns * 1.5 + 20e6) {
+      std::printf(
+          "FAIL: observer-on mean e2e exceeds off x1.5 + 20 ms bound\n");
+      return 1;
+    }
+    std::printf("  overhead within bound (on <= off x1.5 + 20 ms)\n");
+  }
+
   std::printf("OK: every accepted query returned the exact serial bytes\n");
   return 0;
 }

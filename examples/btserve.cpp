@@ -20,7 +20,17 @@
 //   query <name> <text...>   run an XPath/FLWOR query against a document
 //   tenant <name>            switch this REPL's session to another tenant
 //   metrics                  dump the service.* counters and histograms
+//   stats                    Prometheus text exposition (metrics + gauges)
+//   top [n]                  per-tenant and top-query rollups
+//   slow                     slow-query log as JSON (plans + metrics)
+//   recent [n]               flight-recorder dump as JSON, newest first
+//   profile <id>             one recorded query by flight-recorder id
+//   window                   sample a windowed metrics snapshot (JSON)
 //   quit
+//
+//   observability options:
+//     --slow-ms=N      slow-query threshold in milliseconds (default 250)
+//     --no-observer    disable the flight recorder / observability plane
 //
 // Example session:
 //   $ build/examples/btserve --demo --cache
@@ -62,6 +72,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--cache") == 0) {
       copts.plan_cache.enabled = true;
       copts.result_cache.enabled = true;
+    } else if (std::strncmp(arg, "--slow-ms=", 10) == 0) {
+      sopts.observer.slow_threshold_ns =
+          std::strtoull(arg + 10, nullptr, 10) * 1'000'000ull;
+    } else if (std::strcmp(arg, "--no-observer") == 0) {
+      sopts.observer.enabled = false;
     } else if (std::strcmp(arg, "--demo") == 0) {
       demo = true;
     } else if (std::strchr(arg, '=') != nullptr && preloads < 16) {
@@ -153,6 +168,41 @@ int main(int argc, char** argv) {
                   session->tenant().c_str());
     } else if (cmd == "metrics") {
       std::printf("%s", svc.metrics().CountersText().c_str());
+    } else if (cmd == "stats") {
+      // The scrapeable exposition: every registry series (counters +
+      // histograms, labeled per tenant/status) plus point-in-time gauges.
+      std::printf("%s%s", svc.metrics().PrometheusText().c_str(),
+                  util::PrometheusGaugesText(svc.observer()->Gauges()).c_str());
+    } else if (cmd == "top") {
+      size_t n = 10;
+      in >> n;
+      std::printf("%s", svc.observer()->TopText(n == 0 ? 10 : n).c_str());
+    } else if (cmd == "slow") {
+      std::printf("%s", svc.observer()->SlowJson().c_str());
+    } else if (cmd == "recent") {
+      size_t n = 20;
+      in >> n;
+      for (const auto& s : svc.observer()->Recent(n == 0 ? 20 : n)) {
+        std::printf("%s\n", s.ToLine().c_str());
+      }
+    } else if (cmd == "profile") {
+      uint64_t id = 0;
+      in >> id;
+      service::SlowQueryRecord rec;
+      service::QuerySummary summary;
+      if (svc.observer()->FindSlow(id, &rec)) {
+        // A slow-logged query has its full captured plan.
+        std::printf("%s\n%s", rec.summary.ToLine().c_str(),
+                    rec.explain_analyze.c_str());
+      } else if (svc.observer()->FindSummary(id, &summary)) {
+        std::printf("%s\n", summary.ToJson().c_str());
+      } else {
+        std::printf("no recorded query #%llu (recorder keeps the last %zu)\n",
+                    static_cast<unsigned long long>(id),
+                    svc.observer()->options().recorder_capacity);
+      }
+    } else if (cmd == "window") {
+      std::printf("%s\n", svc.observer()->SampleWindow().ToJson().c_str());
     } else if (cmd == "query") {
       std::string name;
       in >> name;
@@ -170,7 +220,8 @@ int main(int argc, char** argv) {
       std::printf(
           "commands: load <name> <file> | load-disk <name> <file> | "
           "drop <name> | ls | query <name> <text> | tenant <name> | "
-          "metrics | quit\n");
+          "metrics | stats | top [n] | slow | recent [n] | profile <id> | "
+          "window | quit\n");
     }
     std::fprintf(stderr, "> ");
   }

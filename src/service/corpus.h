@@ -57,6 +57,11 @@ class CorpusDocument {
   /// are atomic and per-scan state lives in caller cursors.
   const storage::NodeStore& store() const;
 
+  /// \brief The DiskStore behind a disk-backed entry — the observability
+  /// plane samples its block-cache residency (DESIGN.md §15). nullptr for
+  /// in-RAM builds.
+  const storage::DiskStore* disk() const { return disk_.get(); }
+
   /// \brief Structural index over the document (DESIGN.md §14): the `.btsi`
   /// sidecar a disk-backed entry's DiskStore loaded at open, or nullptr —
   /// in-RAM builds and index-less corpus files plan with sequential scans.

@@ -1,6 +1,7 @@
 #ifndef BLOSSOMTREE_SERVICE_QUERY_SERVICE_H_
 #define BLOSSOMTREE_SERVICE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -14,6 +15,7 @@
 #include "engine/query_profile.h"
 #include "service/admission_queue.h"
 #include "service/corpus.h"
+#include "service/observer.h"
 #include "util/metrics.h"
 #include "util/resource_guard.h"
 #include "util/status.h"
@@ -154,6 +156,10 @@ struct ServiceOptions {
   /// Record service.* counters, queue-delay and latency histograms, and
   /// per-query trace spans (spans only land when util::Tracer is enabled).
   bool collect_metrics = true;
+  /// The observability plane (DESIGN.md §15): query flight recorder, slow
+  /// log, per-tenant labeled metrics, windowed snapshots. On by default —
+  /// recording is once-per-completion, off the evaluation path.
+  ObserverOptions observer;
 };
 
 /// \brief The concurrent query service (DESIGN.md §12): runs sessions'
@@ -210,6 +216,23 @@ class QueryService {
   util::MetricsRegistry& metrics() { return metrics_; }
   const util::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// \brief The observability plane (DESIGN.md §15). Never null; a no-op
+  /// recorder when ObserverOptions::enabled is false.
+  ServiceObserver* observer() { return observer_.get(); }
+  const ServiceObserver* observer() const { return observer_.get(); }
+
+  /// \brief Renders every observability surface at once (DESIGN.md §15):
+  /// the Prometheus text exposition (registry series + sampled gauges),
+  /// the flight-recorder and slow-log JSON dumps, the per-tenant /
+  /// per-fingerprint rollup text, and the windowed snapshots. Safe to call
+  /// while traffic is running.
+  service::ObservabilityReport ObservabilityReport() const;
+
+  /// \brief Point-in-time resource gauges — admission-queue occupancy,
+  /// running/in-flight counts, corpus cache and DiskStore residency, guard
+  /// trips. This is the sampler the observer's windows and exposition use.
+  std::map<std::string, uint64_t> ResourceGauges() const;
+
  private:
   /// Completes `ticket` as rejected/failed before admission (counts it,
   /// no dispatch).
@@ -225,6 +248,12 @@ class QueryService {
   Corpus* corpus_;
   ServiceOptions options_;
   util::MetricsRegistry metrics_;
+  /// Declared after metrics_ (it records into the registry) and before the
+  /// pools (running queries record completions until the pools join).
+  std::unique_ptr<ServiceObserver> observer_;
+  /// Queries whose per-query resource guard tripped while running
+  /// (kResourceExhausted after admission) — exposed as a gauge.
+  std::atomic<uint64_t> guard_trips_{0};
   /// Shared second-layer pool for intra-query parallelism (see
   /// ServiceOptions::intra_query_threads); null when queries run serially.
   std::unique_ptr<util::ThreadPool> intra_pool_;

@@ -1,6 +1,9 @@
 #include "util/metrics.h"
 
+#include <algorithm>
 #include <bit>
+#include <utility>
+#include <vector>
 
 namespace blossomtree {
 namespace util {
@@ -29,6 +32,61 @@ void AppendKeyValue(std::string* out, const char* key, uint64_t v,
   *out += key;
   *out += "\": ";
   *out += std::to_string(v);
+}
+
+/// Maps a registry family name onto the Prometheus metric-name charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: dots (the registry's namespacing convention)
+/// and any other foreign byte become '_', and a leading digit gets a '_'
+/// prefix. Purely syntactic, so equal inputs always render equal.
+std::string SanitizeFamily(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+/// Splits a registry name into (sanitized family, raw label body). The
+/// label body is the text between the outer braces, already escaped by
+/// LabeledMetricName; empty when the name is unlabeled.
+std::pair<std::string, std::string> SplitSeriesName(const std::string& name) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) return {SanitizeFamily(name), ""};
+  std::string labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.pop_back();
+  return {SanitizeFamily(std::string_view(name).substr(0, brace)), labels};
+}
+
+void AppendSeriesLine(std::string* out, const std::string& family,
+                      const std::string& suffix, const std::string& labels,
+                      const std::string& extra_label, uint64_t value) {
+  *out += family;
+  *out += suffix;
+  if (!labels.empty() || !extra_label.empty()) {
+    *out += '{';
+    *out += labels;
+    if (!labels.empty() && !extra_label.empty()) *out += ',';
+    *out += extra_label;
+    *out += '}';
+  }
+  *out += ' ';
+  *out += std::to_string(value);
+  *out += '\n';
+}
+
+void AppendTypeHeader(std::string* out, const std::string& family,
+                      const char* type, std::string* last_family) {
+  if (family == *last_family) return;
+  *last_family = family;
+  *out += "# TYPE ";
+  *out += family;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
 }
 
 }  // namespace
@@ -193,6 +251,121 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   for (const auto& [name, s] : hist_snapshots) {
     GetHistogram(name)->MergeSnapshot(s);
   }
+}
+
+std::string LabeledMetricName(std::string_view base,
+                              std::initializer_list<MetricLabel> labels) {
+  std::string out(base);
+  out += '{';
+  bool first = true;
+  for (const MetricLabel& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += l.key;
+    out += "=\"";
+    for (char c : l.value) {
+      switch (c) {
+        case '\\':
+          out += "\\\\";
+          break;
+        case '"':
+          out += "\\\"";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out += c;
+      }
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::HistogramSnapshots()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) out[name] = h->Snapshot();
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  // Snapshot, then render outside the lock: sanitizing may reorder series
+  // relative to the raw registry order, so sort by (family, labels) first —
+  // exposition order must be a pure function of the registered names.
+  std::map<std::string, uint64_t> counters = CounterValues();
+  std::map<std::string, HistogramSnapshot> hists = HistogramSnapshots();
+
+  std::vector<std::pair<std::pair<std::string, std::string>, uint64_t>> cs;
+  cs.reserve(counters.size());
+  for (const auto& [name, v] : counters) {
+    cs.emplace_back(SplitSeriesName(name), v);
+  }
+  std::sort(cs.begin(), cs.end());
+
+  std::string out;
+  std::string last_family;
+  for (const auto& [key, value] : cs) {
+    AppendTypeHeader(&out, key.first, "counter", &last_family);
+    AppendSeriesLine(&out, key.first, "", key.second, "", value);
+  }
+
+  std::vector<std::pair<std::pair<std::string, std::string>,
+                        const HistogramSnapshot*>>
+      hs;
+  hs.reserve(hists.size());
+  for (const auto& [name, snap] : hists) {
+    hs.emplace_back(SplitSeriesName(name), &snap);
+  }
+  std::sort(hs.begin(), hs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  last_family.clear();
+  for (const auto& [key, snap] : hs) {
+    AppendTypeHeader(&out, key.first, "histogram", &last_family);
+    // Cumulative buckets over the occupied boundaries plus +Inf, the
+    // Prometheus histogram contract.
+    uint64_t cumulative = 0;
+    for (int i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+      if (snap->buckets[i] == 0) continue;
+      cumulative += snap->buckets[i];
+      AppendSeriesLine(&out, key.first, "_bucket", key.second,
+                       "le=\"" + std::to_string(BucketUpperBound(i)) + "\"",
+                       cumulative);
+    }
+    AppendSeriesLine(&out, key.first, "_bucket", key.second, "le=\"+Inf\"",
+                     snap->count);
+    AppendSeriesLine(&out, key.first, "_sum", key.second, "", snap->sum);
+    AppendSeriesLine(&out, key.first, "_count", key.second, "", snap->count);
+  }
+  return out;
+}
+
+std::string PrometheusGaugesText(
+    const std::map<std::string, uint64_t>& gauges) {
+  std::vector<std::pair<std::pair<std::string, std::string>, uint64_t>> gs;
+  gs.reserve(gauges.size());
+  for (const auto& [name, v] : gauges) {
+    gs.emplace_back(SplitSeriesName(name), v);
+  }
+  std::sort(gs.begin(), gs.end());
+  std::string out;
+  std::string last_family;
+  for (const auto& [key, value] : gs) {
+    AppendTypeHeader(&out, key.first, "gauge", &last_family);
+    AppendSeriesLine(&out, key.first, "", key.second, "", value);
+  }
+  return out;
 }
 
 std::string MetricsRegistry::CountersText() const {

@@ -4,11 +4,13 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace blossomtree {
 namespace util {
@@ -72,17 +74,39 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
+/// \brief One key="value" pair of a labeled metric name (DESIGN.md §15).
+struct MetricLabel {
+  std::string_view key;
+  std::string_view value;
+};
+
+/// \brief Builds the registry name of a labeled series:
+/// `base{k1="v1",k2="v2"}`. Label values are escaped (backslash, double
+/// quote, newline) so the stored name is already exposition-safe; labels
+/// render in the order given (callers use one fixed order per family, which
+/// keeps the exposition deterministic). `base` must not contain '{'.
+std::string LabeledMetricName(std::string_view base,
+                              std::initializer_list<MetricLabel> labels);
+
 /// \brief A registry of named counters and latency histograms (DESIGN.md
 /// §10). Lookup is mutex-guarded and returns stable pointers (hot paths
 /// look up once and cache); recording through the returned objects is
 /// lock-free.
 ///
-/// Two render surfaces with different contracts:
+/// Series names may carry labels via LabeledMetricName: the registry treats
+/// the full string as the key, and the exposition surfaces split it back
+/// into family + labels.
+///
+/// Three render surfaces with different contracts:
 ///  - CountersText(): counters only, sorted by name — deterministic for
 ///    deterministic counter values (the cross-thread bitwise-identity
 ///    surface; latency histograms are excluded by design).
 ///  - ToJson(): counters + full histogram summaries (quantiles are wall
 ///    time, so this surface is NOT cross-run comparable).
+///  - PrometheusText(): the scrapeable text exposition (DESIGN.md §15) —
+///    counters and full cumulative-bucket histograms with # TYPE headers,
+///    names sanitized to the Prometheus charset, label sets preserved.
+///    Line order is a pure function of the registered names.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -101,12 +125,25 @@ class MetricsRegistry {
 
   std::string CountersText() const;
   std::string ToJson() const;
+  std::string PrometheusText() const;
+
+  /// \brief Plain-value snapshots of every registered series, for windowed
+  /// delta computation and merge-order-independence tests: counters by full
+  /// (possibly labeled) name, histograms likewise.
+  std::map<std::string, uint64_t> CounterValues() const;
+  std::map<std::string, HistogramSnapshot> HistogramSnapshots() const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
+
+/// \brief Renders a gauge map (point-in-time values sampled outside the
+/// registry, e.g. queue depths and resident bytes) in the same Prometheus
+/// text format, with `# TYPE <family> gauge` headers. Names may be labeled
+/// via LabeledMetricName; ordering follows the (sorted) map.
+std::string PrometheusGaugesText(const std::map<std::string, uint64_t>& gauges);
 
 }  // namespace util
 }  // namespace blossomtree

@@ -91,6 +91,13 @@ void Tracer::Clear() {
   for (auto& ring : rings_) ring->Clear();
 }
 
+uint64_t Tracer::DroppedEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->DroppedCount();
+  return total;
+}
+
 size_t Tracer::EventCount() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
@@ -140,7 +147,10 @@ std::string Tracer::ExportJson() const {
       out += '}';
     }
   }
-  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  uint64_t dropped = 0;
+  for (const auto& ring : rings) dropped += ring->DroppedCount();
+  out += "\n], \"droppedEvents\": " + std::to_string(dropped) +
+         ", \"displayTimeUnit\": \"ms\"}\n";
   return out;
 }
 

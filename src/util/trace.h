@@ -68,6 +68,15 @@ class TraceRing {
     return count_.load(std::memory_order_relaxed);
   }
 
+  /// \brief Events this ring has overwritten (recorded but no longer
+  /// retained): the ring drops the *oldest* events once it wraps, and this
+  /// is the exact count of how many — the `trace.dropped_events` surface
+  /// (DESIGN.md §15) that turns silent truncation into a visible number.
+  uint64_t DroppedCount() const {
+    uint64_t c = count_.load(std::memory_order_relaxed);
+    return c > kCapacity ? c - kCapacity : 0;
+  }
+
   void Clear() { count_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -106,6 +115,12 @@ class Tracer {
 
   /// \brief Events currently retained across all rings.
   size_t EventCount() const;
+
+  /// \brief Events recorded but overwritten (ring wrap) across all rings —
+  /// non-zero means the JSON export is a truncated window. Exposed in the
+  /// trace export itself ("droppedEvents") and as a service observability
+  /// gauge (`trace.dropped_events`, DESIGN.md §15).
+  uint64_t DroppedEvents() const;
 
   /// \brief Chrome trace_event JSON: {"traceEvents": [...],
   /// "displayTimeUnit": "ms"} with process/thread metadata records. Every

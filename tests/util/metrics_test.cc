@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -147,6 +148,91 @@ TEST(MetricsRegistryTest, MergeFromAddsAndReset) {
   a.Reset();
   EXPECT_EQ(n->value(), 0u);  // Pointers stay valid across Reset.
   EXPECT_EQ(a.GetHistogram("h")->Snapshot().count, 0u);
+}
+
+TEST(LabeledMetricNameTest, BuildsAndEscapesLabelValues) {
+  EXPECT_EQ(LabeledMetricName("service.queries", {{"status", "ok"}}),
+            "service.queries{status=\"ok\"}");
+  EXPECT_EQ(LabeledMetricName("q", {{"tenant", "a"}, {"status", "ok"}}),
+            "q{tenant=\"a\",status=\"ok\"}");
+  // Backslash, quote, and newline in label values must be escaped — they
+  // would otherwise corrupt the exposition line protocol.
+  EXPECT_EQ(LabeledMetricName("q", {{"text", "a\"b\\c\nd"}}),
+            "q{text=\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(PrometheusTest, GoldenExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("service.queries")->Add(3);
+  reg.GetCounter(LabeledMetricName("service.queries", {{"status", "ok"}}))
+      ->Add(2);
+  reg.GetCounter(
+         LabeledMetricName("service.queries", {{"status", "rejected"}}))
+      ->Add(1);
+  Histogram* h = reg.GetHistogram("service.e2e_ns");
+  h->Record(0);
+  h->Record(3);
+  h->Record(3);
+  h->Record(1000);
+  // One # TYPE header per family; labeled series grouped under it; dots
+  // sanitized to '_'; histogram buckets cumulative over occupied
+  // boundaries, closed by +Inf, _sum, and _count. The whole text is a pure
+  // function of the registered names and values.
+  EXPECT_EQ(reg.PrometheusText(),
+            "# TYPE service_queries counter\n"
+            "service_queries 3\n"
+            "service_queries{status=\"ok\"} 2\n"
+            "service_queries{status=\"rejected\"} 1\n"
+            "# TYPE service_e2e_ns histogram\n"
+            "service_e2e_ns_bucket{le=\"0\"} 1\n"
+            "service_e2e_ns_bucket{le=\"4\"} 3\n"
+            "service_e2e_ns_bucket{le=\"1024\"} 4\n"
+            "service_e2e_ns_bucket{le=\"+Inf\"} 4\n"
+            "service_e2e_ns_sum 1006\n"
+            "service_e2e_ns_count 4\n");
+}
+
+TEST(PrometheusTest, LabeledHistogramCarriesLabelsOnEveryLine) {
+  MetricsRegistry reg;
+  reg.GetHistogram(LabeledMetricName("lat", {{"tenant", "t0"}}))->Record(3);
+  EXPECT_EQ(reg.PrometheusText(),
+            "# TYPE lat histogram\n"
+            "lat_bucket{tenant=\"t0\",le=\"4\"} 1\n"
+            "lat_bucket{tenant=\"t0\",le=\"+Inf\"} 1\n"
+            "lat_sum{tenant=\"t0\"} 3\n"
+            "lat_count{tenant=\"t0\"} 1\n");
+}
+
+TEST(PrometheusTest, SanitizesForeignNamesDeterministically) {
+  MetricsRegistry reg;
+  reg.GetCounter("3weird.name-x")->Add(7);
+  EXPECT_EQ(reg.PrometheusText(),
+            "# TYPE _3weird_name_x counter\n_3weird_name_x 7\n");
+}
+
+TEST(PrometheusTest, OrderIsIndependentOfRegistrationOrder) {
+  // The exposition must be a pure function of the registered (name, value)
+  // set — registration order (which varies with thread interleaving in the
+  // service) must not leak into the text.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  const char* names[] = {"zeta", "alpha{t=\"2\"}", "alpha", "alpha{t=\"1\"}"};
+  for (const char* n : names) a.GetCounter(n)->Add(1);
+  for (int i = 3; i >= 0; --i) b.GetCounter(names[i])->Add(1);
+  a.GetHistogram("h")->Record(5);
+  b.GetHistogram("h")->Record(5);
+  EXPECT_EQ(a.PrometheusText(), b.PrometheusText());
+}
+
+TEST(PrometheusTest, GaugesTextRendersWithGaugeHeaders) {
+  std::map<std::string, uint64_t> gauges;
+  gauges["service.queue_depth"] = 5;
+  gauges[LabeledMetricName("pool.bytes", {{"pool", "intra"}})] = 1024;
+  EXPECT_EQ(PrometheusGaugesText(gauges),
+            "# TYPE pool_bytes gauge\n"
+            "pool_bytes{pool=\"intra\"} 1024\n"
+            "# TYPE service_queue_depth gauge\n"
+            "service_queue_depth 5\n");
 }
 
 }  // namespace

@@ -135,6 +135,27 @@ TEST_F(TraceTest, RingWrapsKeepingNewestEvents) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
 }
 
+TEST_F(TraceTest, DroppedEventsCountsOverflowExactly) {
+  Tracer::Get().Enable();
+  EXPECT_EQ(Tracer::Get().DroppedEvents(), 0u);
+  // Overflow one ring by exactly 123 events: the drop counter is the exact
+  // overwrite count, not a saturating flag — observability (DESIGN.md §15)
+  // reports *how much* of the window was lost.
+  for (size_t i = 0; i < TraceRing::kCapacity + 123; ++i) {
+    TraceInstant("test", "spin");
+  }
+  Tracer::Get().Disable();
+  EXPECT_EQ(Tracer::Get().DroppedEvents(), 123u);
+
+  // The export carries the count, so a truncated capture is self-declaring.
+  auto parsed = ParseJson(Tracer::Get().ExportJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->NumberOr("droppedEvents", -1), 123.0);
+
+  Tracer::Get().Clear();
+  EXPECT_EQ(Tracer::Get().DroppedEvents(), 0u);
+}
+
 TEST_F(TraceTest, EnableRestartsCapture) {
   Tracer::Get().Enable();
   TraceInstant("test", "first capture");
