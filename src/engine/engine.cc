@@ -165,10 +165,15 @@ Result<std::vector<xml::NodeId>> BlossomTreeEngine::EvalPathPlan(
   last_explain_ = plan.Explain();
   pattern::SlotId result = tree.SlotOfVariable("result");
   std::vector<xml::NodeId> out;
-  nestedlist::NestedList nl;
-  while (plan.trees[0].root->GetNext(&nl)) {
-    auto part = nestedlist::Project(tree, plan.trees[0].tops, nl, result);
-    out.insert(out.end(), part.begin(), part.end());
+  // Batch-at-a-time drain (DESIGN.md §16): one virtual call and one trace
+  // span per batch instead of per row.
+  exec::Batch batch;
+  size_t batch_rows = exec::ClampBatchRows(options_.plan.exec.batch_rows);
+  while (plan.trees[0].root->GetNextBatch(&batch, batch_rows) > 0) {
+    for (const nestedlist::NestedList& nl : batch.rows) {
+      auto part = nestedlist::Project(tree, plan.trees[0].tops, nl, result);
+      out.insert(out.end(), part.begin(), part.end());
+    }
   }
   // Tripped operators end their streams early; refuse to pass the partial
   // result off as complete.

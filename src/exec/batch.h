@@ -1,0 +1,54 @@
+#ifndef BLOSSOMTREE_EXEC_BATCH_H_
+#define BLOSSOMTREE_EXEC_BATCH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nestedlist/nested_list.h"
+
+namespace blossomtree {
+namespace exec {
+
+/// \brief Fixed-capacity unit of exchange between batch-at-a-time
+/// operators (DESIGN.md §16). A producer clears `rows` and refills it on
+/// each GetNextBatch call; ownership of the rows passes to the consumer,
+/// which may move them out. Reusing one Batch across calls amortizes the
+/// vector allocation the way the Volcano path reused one NestedList.
+struct Batch {
+  std::vector<nestedlist::NestedList> rows;
+
+  bool empty() const { return rows.empty(); }
+  size_t size() const { return rows.size(); }
+  void clear() { rows.clear(); }
+};
+
+/// \brief Execution-core knobs, plumbed planner→operators through
+/// `opt::PlanOptions::exec`. `vectorize=false` pins the node-at-a-time
+/// reference path the batch_exec_test equivalence suite compares against;
+/// `simd=false` keeps the batched structure but routes every kernel
+/// through the portable scalar fallback. Results and the deterministic
+/// counter surface are identical across all four combinations
+/// (DESIGN.md §16).
+struct ExecOptions {
+  /// Rows per exchanged batch, clamped to [1, 4096] by operators. A
+  /// NestedList row is a few pointers, so the default 64 rows lands in
+  /// the tentpole's 1–4 KB per-batch target.
+  size_t batch_rows = 64;
+  /// Batch-at-a-time operator internals + kernel candidate prefilters.
+  bool vectorize = true;
+  /// Allow the compiled SIMD kernel backend; false forces the scalar
+  /// fallback (same effect as BLOSSOMTREE_FORCE_SCALAR_KERNELS=1).
+  bool simd = true;
+};
+
+/// \brief Effective per-batch row budget: the knob clamped to [1, 4096].
+inline size_t ClampBatchRows(size_t batch_rows) {
+  if (batch_rows < 1) return 1;
+  if (batch_rows > 4096) return 4096;
+  return batch_rows;
+}
+
+}  // namespace exec
+}  // namespace blossomtree
+
+#endif  // BLOSSOMTREE_EXEC_BATCH_H_

@@ -27,6 +27,23 @@ IndexSeekOperator::IndexSeekOperator(const xml::Document* doc,
 bool IndexSeekOperator::GetNext(nestedlist::NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
   util::TraceSpan span("exec", TraceName(*this));
+  return GetNextImpl(out);
+}
+
+size_t IndexSeekOperator::GetNextBatch(Batch* out, size_t max_rows) {
+  ScopedTimer timer(&wall_nanos_);
+  util::TraceSpan span("exec", TraceName(*this));
+  out->rows.clear();
+  max_rows = ClampBatchRows(max_rows);
+  nestedlist::NestedList nl;
+  while (out->rows.size() < max_rows && GetNextImpl(&nl)) {
+    out->rows.push_back(std::move(nl));
+    nl = nestedlist::NestedList();
+  }
+  return out->rows.size();
+}
+
+bool IndexSeekOperator::GetNextImpl(nestedlist::NestedList* out) {
   while (pos_ < candidates_.size() && candidates_[pos_] <= range_end_) {
     if (guard_ != nullptr &&
         (guard_->Tripped() ||
@@ -41,13 +58,15 @@ bool IndexSeekOperator::GetNext(nestedlist::NestedList* out) {
     value_cmps_ += ValueComparisonCount() - cmp_before;
     if (matched) {
       if (guard_ != nullptr && guard_->Tripped()) return false;
-      ++matches_emitted_;
       uint64_t cells = CountCells(*out);
-      cells_emitted_ += cells;
+      // Charge before counting: a budget trip on this row means the
+      // consumer never received it, so matches/cells must not include it.
       if (guard_ != nullptr &&
           !guard_->ChargeCells(cells, cells * sizeof(nestedlist::Entry))) {
         return false;
       }
+      ++matches_emitted_;
+      cells_emitted_ += cells;
       return true;
     }
   }

@@ -50,6 +50,7 @@ class IndexSeekOperator : public NestedListOperator {
   }
 
   bool GetNext(nestedlist::NestedList* out) override;
+  size_t GetNextBatch(Batch* out, size_t max_rows) override;
   void Rewind() override;
 
   /// \brief Restricts probing to candidates in [begin, end] (the BNLJ
@@ -65,6 +66,8 @@ class IndexSeekOperator : public NestedListOperator {
   size_t NumCandidates() const { return candidates_.size(); }
 
  private:
+  bool GetNextImpl(nestedlist::NestedList* out);
+
   const xml::Document* doc_;
   NokMatcher matcher_;
   std::vector<xml::NodeId> candidates_;

@@ -1,7 +1,9 @@
 #include "exec/joins.h"
 
 #include <algorithm>
+#include <iterator>
 
+#include "exec/kernels.h"
 #include "exec/value_ops.h"
 #include "nestedlist/ops.h"
 
@@ -19,65 +21,132 @@ PipelinedDescJoin::PipelinedDescJoin(const xml::Document* doc,
                                      std::unique_ptr<NestedListOperator> outer,
                                      std::unique_ptr<NestedListOperator> inner,
                                      SlotId from_slot, EdgeMode mode,
-                                     util::ResourceGuard* guard)
+                                     util::ResourceGuard* guard,
+                                     ExecOptions exec)
     : doc_(doc),
       tree_(tree),
       outer_(std::move(outer)),
       inner_(std::move(inner)),
       from_slot_(from_slot),
       mode_(mode),
-      guard_(guard) {
+      guard_(guard),
+      exec_(exec) {
   inner_top_ = inner_->top_slots()[0];
   child_index_ = nestedlist::ChildIndex(*tree, from_slot, inner_top_);
 }
 
 bool PipelinedDescJoin::FetchInner() {
   if (inner_done_) return false;
+  // Only ever called with the live run empty: reclaim the consumed prefix
+  // so the buffer never grows beyond one in-flight inner run (the §4.2
+  // memory bound).
+  if (inner_head_ > 0) {
+    inner_buf_.clear();
+    inner_nodes_.clear();
+    inner_head_ = 0;
+  }
   NestedList nl;
   if (!inner_->GetNext(&nl)) {
     inner_done_ = true;
     return false;
   }
   // Inner streams carry one top group (the NoK root's slot); each match is
-  // one entry.
+  // one entry. Region labels are mirrored into the flat sorted NodeId
+  // array the counting searches run over.
   for (Entry& e : nl.tops[0]) {
+    inner_nodes_.push_back(e.node);
     inner_buf_.push_back(std::move(e));
   }
-  peak_buffered_ = std::max(peak_buffered_, inner_buf_.size());
+  peak_buffered_ = std::max(peak_buffered_, inner_buf_.size() - inner_head_);
   return true;
+}
+
+void PipelinedDescJoin::MergeInto(Entry* e) {
+  xml::NodeId start = e->node;
+  xml::NodeId end = doc_->SubtreeEnd(e->node);
+  // Merge step (paper GetNext lines 7-9): discard inner matches that
+  // precede this outer entry; on a non-recursive document they can
+  // belong to no later outer entry either.
+  if (exec_.vectorize) {
+    // Branch-free containment: the live run is sorted by NodeId, so "drop
+    // everything <= start, graft everything <= end, stop at the first
+    // entry beyond" are two counting binary searches per refill instead
+    // of a compare-and-branch per entry. merge_comparisons_ ticks once
+    // per entry disposition — identical to the scalar loop's ticks.
+    while (true) {
+      size_t avail = inner_buf_.size() - inner_head_;
+      if (avail == 0) {
+        if (!inner_done_ && FetchInner()) continue;
+        if (inner_buf_.size() == inner_head_) break;
+        continue;
+      }
+      size_t npop =
+          CountLessEq(inner_nodes_.data() + inner_head_, avail, start);
+      merge_comparisons_ += npop;
+      inner_head_ += npop;
+      if (npop == avail) continue;  // Run drained by stale entries: refill.
+      avail -= npop;
+      size_t ngraft =
+          CountLessEq(inner_nodes_.data() + inner_head_, avail, end);
+      merge_comparisons_ += ngraft;
+      Group& dst = e->groups[child_index_];
+      dst.insert(dst.end(),
+                 std::make_move_iterator(inner_buf_.begin() + inner_head_),
+                 std::make_move_iterator(inner_buf_.begin() + inner_head_ +
+                                         ngraft));
+      inner_head_ += ngraft;
+      if (ngraft == avail) continue;  // More of the region may follow.
+      ++merge_comparisons_;           // The probe that found n > end.
+      break;
+    }
+    return;
+  }
+  // Scalar reference merge: one examined front, one tick, one branch.
+  while (true) {
+    while (inner_head_ >= inner_buf_.size() && !inner_done_) FetchInner();
+    if (inner_head_ >= inner_buf_.size()) break;
+    ++merge_comparisons_;
+    xml::NodeId n = inner_nodes_[inner_head_];
+    if (n <= start) {
+      ++inner_head_;
+      continue;
+    }
+    if (n > end) break;
+    e->groups[child_index_].push_back(std::move(inner_buf_[inner_head_]));
+    ++inner_head_;
+  }
 }
 
 bool PipelinedDescJoin::GetNext(NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
   util::TraceSpan span("exec", TraceName(*this));
+  return GetNextImpl(out);
+}
+
+size_t PipelinedDescJoin::GetNextBatch(Batch* out, size_t max_rows) {
+  ScopedTimer timer(&wall_nanos_);
+  util::TraceSpan span("exec", TraceName(*this));
+  out->rows.clear();
+  max_rows = ClampBatchRows(max_rows);
+  NestedList nl;
+  while (out->rows.size() < max_rows && GetNextImpl(&nl)) {
+    out->rows.push_back(std::move(nl));
+    nl = NestedList();
+  }
+  return out->rows.size();
+}
+
+bool PipelinedDescJoin::GetNextImpl(NestedList* out) {
   NestedList m;
   while (outer_->GetNext(&m)) {
     // Batch boundary (DESIGN.md §9): one guard check per outer tuple — the
     // children sample their own guards inside longer stretches of work.
     if (guard_ != nullptr && !guard_->Check()) return false;
-    nestedlist::ForEachEntryMutable(
-        *tree_, outer_->top_slots(), &m, from_slot_, [&](Entry* e) {
-          if (e->IsPlaceholder()) return;
-          xml::NodeId start = e->node;
-          xml::NodeId end = doc_->SubtreeEnd(e->node);
-          // Merge step (paper GetNext lines 7-9): discard inner matches that
-          // precede this outer entry; on a non-recursive document they can
-          // belong to no later outer entry either.
-          while (true) {
-            while (inner_buf_.empty() && !inner_done_) FetchInner();
-            if (inner_buf_.empty()) break;
-            ++merge_comparisons_;
-            xml::NodeId n = inner_buf_.front().node;
-            if (n <= start) {
-              inner_buf_.pop_front();
-              continue;
-            }
-            if (n > end) break;
-            e->groups[child_index_].push_back(
-                std::move(inner_buf_.front()));
-            inner_buf_.pop_front();
-          }
-        });
+    nestedlist::ForEachEntryMutable(*tree_, outer_->top_slots(), &m,
+                                    from_slot_, [&](Entry* e) {
+                                      if (e->IsPlaceholder()) return;
+                                      MergeInto(e);
+                                    });
     bool valid = true;
     if (mode_ == EdgeMode::kFor) {
       valid = nestedlist::EnforceMandatory(*tree_, outer_->top_slots(), &m,
@@ -85,13 +154,15 @@ bool PipelinedDescJoin::GetNext(NestedList* out) {
     }
     if (valid) {
       *out = std::move(m);
-      ++matches_emitted_;
       uint64_t cells = CountCells(*out);
-      cells_emitted_ += cells;
+      // Charge before counting: a budget trip on this row means the
+      // consumer never received it, so matches/cells must not include it.
       if (guard_ != nullptr &&
           !guard_->ChargeCells(cells, cells * sizeof(Entry))) {
         return false;
       }
+      ++matches_emitted_;
+      cells_emitted_ += cells;
       return true;
     }
     m = NestedList();
@@ -115,6 +186,8 @@ void PipelinedDescJoin::Rewind() {
   outer_->Rewind();
   inner_->Rewind();
   inner_buf_.clear();
+  inner_nodes_.clear();
+  inner_head_ = 0;
   inner_done_ = false;
 }
 
@@ -138,6 +211,23 @@ BoundedNestedLoopJoin::BoundedNestedLoopJoin(
 bool BoundedNestedLoopJoin::GetNext(NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
   util::TraceSpan span("exec", TraceName(*this));
+  return GetNextImpl(out);
+}
+
+size_t BoundedNestedLoopJoin::GetNextBatch(Batch* out, size_t max_rows) {
+  ScopedTimer timer(&wall_nanos_);
+  util::TraceSpan span("exec", TraceName(*this));
+  out->rows.clear();
+  max_rows = ClampBatchRows(max_rows);
+  NestedList nl;
+  while (out->rows.size() < max_rows && GetNextImpl(&nl)) {
+    out->rows.push_back(std::move(nl));
+    nl = NestedList();
+  }
+  return out->rows.size();
+}
+
+bool BoundedNestedLoopJoin::GetNextImpl(NestedList* out) {
   NestedList m;
   while (outer_->GetNext(&m)) {
     // One check per outer tuple; each inner re-scan below is a governed
@@ -176,13 +266,14 @@ bool BoundedNestedLoopJoin::GetNext(NestedList* out) {
     }
     if (valid) {
       *out = std::move(m);
-      ++matches_emitted_;
       uint64_t cells = CountCells(*out);
-      cells_emitted_ += cells;
+      // Charge before counting (see PipelinedDescJoin::GetNextImpl).
       if (guard_ != nullptr &&
           !guard_->ChargeCells(cells, cells * sizeof(Entry))) {
         return false;
       }
+      ++matches_emitted_;
+      cells_emitted_ += cells;
       return true;
     }
     m = NestedList();
@@ -216,6 +307,23 @@ NestedLoopJoin::NestedLoopJoin(
 bool NestedLoopJoin::GetNext(NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
   util::TraceSpan span("exec", TraceName(*this));
+  return GetNextImpl(out);
+}
+
+size_t NestedLoopJoin::GetNextBatch(Batch* out, size_t max_rows) {
+  ScopedTimer timer(&wall_nanos_);
+  util::TraceSpan span("exec", TraceName(*this));
+  out->rows.clear();
+  max_rows = ClampBatchRows(max_rows);
+  NestedList nl;
+  while (out->rows.size() < max_rows && GetNextImpl(&nl)) {
+    out->rows.push_back(std::move(nl));
+    nl = NestedList();
+  }
+  return out->rows.size();
+}
+
+bool NestedLoopJoin::GetNextImpl(NestedList* out) {
   if (!right_materialized_) {
     right_mat_ = Drain(right_.get());
     right_materialized_ = true;
@@ -244,13 +352,14 @@ bool NestedLoopJoin::GetNext(NestedList* out) {
       value_cmps_ += ValueComparisonCount() - cmp_before;
       if (hit) {
         *out = nestedlist::Combine(cur_left_, r, owns_left_);
-        ++matches_emitted_;
         uint64_t cells = CountCells(*out);
-        cells_emitted_ += cells;
+        // Charge before counting (see PipelinedDescJoin::GetNextImpl).
         if (guard_ != nullptr &&
             !guard_->ChargeCells(cells, cells * sizeof(Entry))) {
           return false;
         }
+        ++matches_emitted_;
+        cells_emitted_ += cells;
         return true;
       }
     }

@@ -1,11 +1,11 @@
 #ifndef BLOSSOMTREE_EXEC_JOINS_H_
 #define BLOSSOMTREE_EXEC_JOINS_H_
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "exec/batch.h"
 #include "exec/nok_scan.h"
 #include "exec/operator.h"
 #include "util/resource_guard.h"
@@ -27,17 +27,23 @@ class PipelinedDescJoin : public NestedListOperator {
   ///        (cascading); l: they are kept with an empty group.
   /// \param guard optional per-query resource guard, checked once per outer
   ///        tuple and charged for emitted cells (DESIGN.md §9).
+  /// \param exec with `exec.vectorize` the merge step advances over the
+  ///        buffered inner run with branch-free counting searches
+  ///        (CountLessEq) instead of one branchy compare per entry — same
+  ///        stream, same comparison counts.
   PipelinedDescJoin(const xml::Document* doc,
                     const pattern::BlossomTree* tree,
                     std::unique_ptr<NestedListOperator> outer,
                     std::unique_ptr<NestedListOperator> inner,
                     pattern::SlotId from_slot, pattern::EdgeMode mode,
-                    util::ResourceGuard* guard = nullptr);
+                    util::ResourceGuard* guard = nullptr,
+                    ExecOptions exec = {});
 
   const std::vector<pattern::SlotId>& top_slots() const override {
     return outer_->top_slots();
   }
   bool GetNext(nestedlist::NestedList* out) override;
+  size_t GetNextBatch(Batch* out, size_t max_rows) override;
   void Rewind() override;
   void Restrict(xml::NodeId begin, xml::NodeId end) override {
     outer_->Restrict(begin, end);
@@ -59,7 +65,11 @@ class PipelinedDescJoin : public NestedListOperator {
   }
 
  private:
+  bool GetNextImpl(nestedlist::NestedList* out);
   bool FetchInner();
+  /// Merges buffered inner entries into `e`'s child group (the paper
+  /// GetNext lines 7-9), fetching more inner as the buffer drains.
+  void MergeInto(nestedlist::Entry* e);
 
   const xml::Document* doc_;
   const pattern::BlossomTree* tree_;
@@ -70,8 +80,15 @@ class PipelinedDescJoin : public NestedListOperator {
   size_t child_index_;
   pattern::EdgeMode mode_;
   util::ResourceGuard* guard_;
+  ExecOptions exec_;
 
-  std::deque<nestedlist::Entry> inner_buf_;
+  /// Buffered inner run: entries [inner_head_, inner_buf_.size()) are
+  /// live, with their region labels mirrored in inner_nodes_ so the merge
+  /// can binary-search a flat sorted NodeId array (the vectorized
+  /// containment test) without touching the entries.
+  std::vector<nestedlist::Entry> inner_buf_;
+  std::vector<xml::NodeId> inner_nodes_;
+  size_t inner_head_ = 0;
   bool inner_done_ = false;
   size_t peak_buffered_ = 0;
 
@@ -106,6 +123,7 @@ class BoundedNestedLoopJoin : public NestedListOperator {
     return outer_->top_slots();
   }
   bool GetNext(nestedlist::NestedList* out) override;
+  size_t GetNextBatch(Batch* out, size_t max_rows) override;
   void Rewind() override;
   void Restrict(xml::NodeId begin, xml::NodeId end) override {
     outer_->Restrict(begin, end);
@@ -127,6 +145,8 @@ class BoundedNestedLoopJoin : public NestedListOperator {
   }
 
  private:
+  bool GetNextImpl(nestedlist::NestedList* out);
+
   const xml::Document* doc_;
   const pattern::BlossomTree* tree_;
   std::unique_ptr<NestedListOperator> outer_;
@@ -170,6 +190,7 @@ class NestedLoopJoin : public NestedListOperator {
     return tops_;
   }
   bool GetNext(nestedlist::NestedList* out) override;
+  size_t GetNextBatch(Batch* out, size_t max_rows) override;
   void Rewind() override;
 
   const char* Name() const override { return "NestedLoopJoin"; }
@@ -183,6 +204,8 @@ class NestedLoopJoin : public NestedListOperator {
   }
 
  private:
+  bool GetNextImpl(nestedlist::NestedList* out);
+
   std::vector<pattern::SlotId> tops_;
   std::unique_ptr<NestedListOperator> left_;
   std::unique_ptr<NestedListOperator> right_;

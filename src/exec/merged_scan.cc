@@ -1,5 +1,6 @@
 #include "exec/merged_scan.h"
 
+#include "exec/kernels.h"
 #include "exec/value_ops.h"
 
 namespace blossomtree {
@@ -8,8 +9,8 @@ namespace exec {
 MergedNokScan::MergedNokScan(const xml::Document* doc,
                              const pattern::BlossomTree* tree,
                              std::vector<const pattern::NokTree*> noks,
-                             util::ResourceGuard* guard)
-    : doc_(doc), guard_(guard) {
+                             util::ResourceGuard* guard, ExecOptions exec)
+    : doc_(doc), guard_(guard), exec_(exec) {
   for (const pattern::NokTree* nok : noks) {
     matchers_.push_back(std::make_unique<NokMatcher>(doc, tree, nok));
     matchers_.back()->set_guard(guard);
@@ -63,18 +64,52 @@ void MergedNokScan::Run() {
       results_[i].push_back(std::move(nl));
     }
   };
-  for (xml::NodeId x = 0; x < doc_->NumNodes(); ++x) {
-    // Batch-boundary guard sample (DESIGN.md §9): cheap probe per node,
-    // full clock check every ~512 nodes.
-    if (guard_ != nullptr &&
-        (guard_->Tripped() ||
-         ((nodes_scanned_ & 0x1FF) == 0x1FF && !guard_->Check()))) {
-      break;
+  if (exec_.vectorize && wildcard.empty()) {
+    // All roots concrete: one SIMD candidate sweep per distinct root tag
+    // replaces the per-node dispatch loop. Per-NoK result vectors are
+    // filled in ascending NodeId (each sweep's candidates ascend) and the
+    // probes re-verify every candidate, so streams and untripped-run
+    // counters match the per-node pass bitwise — the only nodes it spends
+    // counted work on are exactly these tag-equal candidates.
+    nodes_scanned_ += doc_->NumNodes();
+    std::vector<xml::NodeId> candidates;
+    uint64_t probed = 0;
+    bool tripped = false;
+    for (xml::TagId t = 0; t < by_tag.size() && !tripped; ++t) {
+      if (by_tag[t].empty()) continue;
+      candidates.clear();
+      if (const xml::PackedNodeRecord* recs = doc_->ExternalRecords()) {
+        FilterTagEqRecords(recs, doc_->NumNodes(), t, 0, exec_.simd,
+                           &candidates);
+      } else {
+        FilterTagEq(doc_->TagArray(), doc_->NumNodes(), t, 0, exec_.simd,
+                    &candidates);
+      }
+      for (xml::NodeId x : candidates) {
+        if (guard_ != nullptr &&
+            (guard_->Tripped() ||
+             ((probed & 0x1FF) == 0x1FF && !guard_->Check()))) {
+          tripped = true;
+          break;
+        }
+        ++probed;
+        for (size_t i : by_tag[t]) probe(i, x);
+      }
     }
-    ++nodes_scanned_;
-    if (!doc_->IsElement(x)) continue;
-    for (size_t i : by_tag[doc_->Tag(x)]) probe(i, x);
-    for (size_t i : wildcard) probe(i, x);
+  } else {
+    for (xml::NodeId x = 0; x < doc_->NumNodes(); ++x) {
+      // Batch-boundary guard sample (DESIGN.md §9): cheap probe per node,
+      // full clock check every ~512 nodes.
+      if (guard_ != nullptr &&
+          (guard_->Tripped() ||
+           ((nodes_scanned_ & 0x1FF) == 0x1FF && !guard_->Check()))) {
+        break;
+      }
+      ++nodes_scanned_;
+      if (!doc_->IsElement(x)) continue;
+      for (size_t i : by_tag[doc_->Tag(x)]) probe(i, x);
+      for (size_t i : wildcard) probe(i, x);
+    }
   }
   value_cmps_ += ValueComparisonCount() - cmp_before;
 }

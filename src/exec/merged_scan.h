@@ -68,9 +68,14 @@ class MergedNokScan {
   ///        samples it every ~512 nodes and stops scanning once tripped
   ///        (the partial materialization is then discarded by the caller,
   ///        which must check guard->status()).
+  /// \param exec batch/vectorization knobs: with `exec.vectorize` and only
+  ///        concrete root tags, the pass runs one SIMD candidate sweep per
+  ///        distinct root tag instead of the per-node dispatch loop — same
+  ///        per-NoK streams and counters (probes re-verify every
+  ///        candidate). Any wildcard root falls back to the per-node pass.
   MergedNokScan(const xml::Document* doc, const pattern::BlossomTree* tree,
                 std::vector<const pattern::NokTree*> noks,
-                util::ResourceGuard* guard = nullptr);
+                util::ResourceGuard* guard = nullptr, ExecOptions exec = {});
 
   /// \brief Performs the single scan, materializing every NoK's matches.
   void Run();
@@ -94,6 +99,7 @@ class MergedNokScan {
  private:
   const xml::Document* doc_;
   util::ResourceGuard* guard_;
+  ExecOptions exec_;
   std::vector<std::unique_ptr<NokMatcher>> matchers_;
   std::vector<bool> virtual_root_;
   std::vector<bool> match_any_;

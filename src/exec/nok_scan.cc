@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 
+#include "exec/kernels.h"
 #include "exec/value_ops.h"
 #include "nestedlist/ops.h"
 #include "pattern/fingerprint.h"
@@ -233,7 +235,8 @@ NokScanOperator::NokScanOperator(const xml::Document* doc,
                                  util::ThreadPool* pool,
                                  util::ResourceGuard* guard,
                                  NokResultCache* cache,
-                                 const storage::NodeStore* store)
+                                 const storage::NodeStore* store,
+                                 ExecOptions exec)
     : doc_(doc),
       tree_(tree),
       nok_(nok),
@@ -245,10 +248,25 @@ NokScanOperator::NokScanOperator(const xml::Document* doc,
       pool_(pool),
       guard_(guard),
       cache_(cache),
-      store_(store) {
+      store_(store),
+      exec_(exec) {
   matcher_.set_guard(guard);
   if (cache_ != nullptr) {
     canonical_nok_ = pattern::CanonicalNok(*tree, *nok);
+  }
+  // Kernel candidate prefiltering needs a concrete element root tag: the
+  // prefilter `tag_id(x) == target` then implies exactly the set of nodes
+  // the reference loop's RootTest would spend any counted work on (TagOk
+  // is a free string compare; value comparisons and match work only start
+  // after it passes), so counters stay bitwise-identical. Wildcard,
+  // attribute, and virtual roots use the per-node reference loop.
+  const pattern::Vertex& rootv = tree->vertex(nok->root);
+  kernel_eligible_ = !virtual_root_ && !rootv.MatchesAnyTag() &&
+                     !rootv.tag.empty() && rootv.tag[0] != '@';
+  if (kernel_eligible_) {
+    // A tag absent from the document (Lookup -> kNullTag) means zero
+    // candidates — the correct answer, since no node can pass TagOk.
+    target_tag_ = doc->tags().Lookup(rootv.tag);
   }
 }
 
@@ -259,6 +277,8 @@ void NokScanOperator::SetRange(xml::NodeId begin, xml::NodeId end) {
   parallel_done_ = false;
   parallel_buf_.clear();
   parallel_pos_ = 0;
+  pending_.clear();
+  pending_pos_ = 0;
   io_cursor_ = storage::ScanCursor();
 }
 
@@ -279,23 +299,30 @@ bool NokScanOperator::CacheEligible() const {
          static_cast<size_t>(range_end_) + 1 >= doc_->NumNodes();
 }
 
+bool NokScanOperator::ChargeAndCount(const nestedlist::NestedList& nl) {
+  uint64_t cells = CountCells(nl);
+  // Charge *before* counting: when the budget trips on this row the
+  // consumer never receives it, and matches/cells must reflect what was
+  // actually delivered (the mid-stream-cancellation stats audit).
+  if (guard_ != nullptr &&
+      !guard_->ChargeCells(cells, cells * sizeof(nestedlist::Entry))) {
+    return false;
+  }
+  ++matches_emitted_;
+  cells_emitted_ += cells;
+  return true;
+}
+
 bool NokScanOperator::HandOutBuffered(nestedlist::NestedList* out) {
   // A trip during materialization leaves a partial buffer: end the stream
   // instead of handing out a truncated prefix as if complete.
   if (guard_ != nullptr && guard_->Tripped()) return false;
   if (parallel_pos_ >= parallel_buf_.size()) return false;
   *out = std::move(parallel_buf_[parallel_pos_++]);
-  ++matches_emitted_;
-  uint64_t cells = CountCells(*out);
-  cells_emitted_ += cells;
   // Cell charging happens at handout (main thread, identical order at
   // every thread count and on cache hits) so the budget verdict is
   // deterministic.
-  if (guard_ != nullptr &&
-      !guard_->ChargeCells(cells, cells * sizeof(nestedlist::Entry))) {
-    return false;
-  }
-  return true;
+  return ChargeAndCount(*out);
 }
 
 void NokScanOperator::FillCache(
@@ -309,6 +336,100 @@ void NokScanOperator::FillCache(
     entry->cells += CountCells(nl);
   }
   cache_->Put(key, std::move(entry));
+}
+
+void NokScanOperator::GatherCandidates(xml::NodeId first, xml::NodeId last,
+                                       storage::ScanCursor* io,
+                                       std::vector<xml::NodeId>* out) const {
+  if (store_ != nullptr) {
+    // Block-at-a-time through the store: NextBlock counts one read per
+    // block entered — exactly what sequential per-node Gets count — and
+    // the kernel filters each resident block in place.
+    for (xml::NodeId n = first; n <= last;) {
+      std::span<const storage::NodeRecord> block =
+          store_->NextBlock(n, last, io);
+      if (target_tag_ != xml::kNullTag) {
+        FilterTagEqRecords(block.data(), block.size(), target_tag_, n,
+                           exec_.simd, out);
+      }
+      if (block.size() >= static_cast<size_t>(last - n) + 1) break;
+      n += static_cast<xml::NodeId>(block.size());
+    }
+    return;
+  }
+  if (target_tag_ == xml::kNullTag) return;
+  size_t count = static_cast<size_t>(last - first) + 1;
+  if (const xml::PackedNodeRecord* recs = doc_->ExternalRecords()) {
+    FilterTagEqRecords(recs + first, count, target_tag_, first, exec_.simd,
+                       out);
+  } else {
+    FilterTagEq(doc_->TagArray() + first, count, target_tag_, first,
+                exec_.simd, out);
+  }
+}
+
+bool NokScanOperator::ScanRange(NokMatcher* m, xml::NodeId begin,
+                                xml::NodeId end, storage::ScanCursor* io,
+                                uint64_t* scanned, uint64_t* vcmps,
+                                std::vector<nestedlist::NestedList>* out)
+    const {
+  size_t total = doc_->NumNodes();
+  if (total == 0 || begin > end) return true;
+  if (static_cast<size_t>(end) >= total) {
+    end = static_cast<xml::NodeId>(total - 1);
+  }
+  std::vector<xml::NodeId> candidates;
+  nestedlist::NestedList nl;
+  for (xml::NodeId x = begin;;) {
+    // Chunk-top guard sample. Check() never mutates a counter, so the
+    // coarser-than-legacy cadence leaves untripped-run counters bitwise
+    // unchanged; only trip *timing* coarsens (results are discarded on a
+    // trip, so nothing observable depends on it).
+    if (guard_ != nullptr && (guard_->Tripped() || !guard_->Check())) {
+      return false;
+    }
+    xml::NodeId chunk_end = end;
+    if (chunk_end - x >= kScanChunk) {
+      chunk_end = x + static_cast<xml::NodeId>(kScanChunk) - 1;
+    }
+    uint64_t cmp_before = ValueComparisonCount();
+    if (kernel_eligible_) {
+      candidates.clear();
+      GatherCandidates(x, chunk_end, io, &candidates);
+      *scanned += chunk_end - x + 1;
+      for (xml::NodeId c : candidates) {
+        if (m->RootTest(c) && m->MatchAt(c, &nl) &&
+            (guard_ == nullptr || !guard_->Tripped())) {
+          out->push_back(std::move(nl));
+          nl = nestedlist::NestedList();
+        }
+        if (guard_ != nullptr && guard_->Tripped()) {
+          *vcmps += ValueComparisonCount() - cmp_before;
+          return false;
+        }
+      }
+    } else {
+      // Per-node body for roots the prefilter cannot represent
+      // (wildcard / attribute roots).
+      for (xml::NodeId c = x; c <= chunk_end; ++c) {
+        ++*scanned;
+        if (store_ != nullptr) store_->Get(c, io);
+        if (m->RootTest(c) && m->MatchAt(c, &nl) &&
+            (guard_ == nullptr || !guard_->Tripped())) {
+          out->push_back(std::move(nl));
+          nl = nestedlist::NestedList();
+        }
+        if (guard_ != nullptr && guard_->Tripped()) {
+          *vcmps += ValueComparisonCount() - cmp_before;
+          return false;
+        }
+      }
+    }
+    *vcmps += ValueComparisonCount() - cmp_before;
+    if (chunk_end == end) break;
+    x = chunk_end + 1;
+  }
+  return true;
 }
 
 void NokScanOperator::RunSerialCachedScan() {
@@ -325,6 +446,15 @@ void NokScanOperator::RunSerialCachedScan() {
       parallel_done_ = true;
       return;
     }
+  }
+  if (exec_.vectorize) {
+    // Cold: the chunked driver, run eagerly into the buffer. Same stream
+    // and untripped-run counters as the reference loop below.
+    ScanRange(&matcher_, cursor_, range_end_, &io_cursor_, &nodes_scanned_,
+              &value_cmps_, &parallel_buf_);
+    parallel_done_ = true;
+    FillCache(key, parallel_buf_);
+    return;
   }
   // Cold: the lazy serial loop, run eagerly into the buffer with the same
   // per-node guard sampling and counters.
@@ -423,32 +553,37 @@ void NokScanOperator::RunParallelScan() {
         // partition runs entirely on one worker, so the thread-local
         // value-comparison delta below is exactly this partition's
         // comparisons.
-        uint64_t cmp_before = ValueComparisonCount();
         NokMatcher m(doc_, tree_, nok_);
         m.set_guard(guard_);
         // Private I/O cursor per partition: block pins and read counts stay
         // local to this worker, so the aggregate equals the sum of
         // partition read counts at every thread count and interleaving.
         storage::ScanCursor io;
-        nestedlist::NestedList nl;
-        for (xml::NodeId x = parts[i].begin; x <= parts[i].end; ++x) {
-          // Batch-boundary guard sample: a cheap tripped probe per node
-          // plus a full check every ~512 nodes.
-          if (guard_ != nullptr &&
-              (guard_->Tripped() ||
-               ((scanned[i] & 0x1FF) == 0x1FF && !guard_->Check()))) {
-            break;
+        if (exec_.vectorize) {
+          ScanRange(&m, parts[i].begin, parts[i].end, &io, &scanned[i],
+                    &vcmp[i], &results[i]);
+        } else {
+          uint64_t cmp_before = ValueComparisonCount();
+          nestedlist::NestedList nl;
+          for (xml::NodeId x = parts[i].begin; x <= parts[i].end; ++x) {
+            // Batch-boundary guard sample: a cheap tripped probe per node
+            // plus a full check every ~512 nodes.
+            if (guard_ != nullptr &&
+                (guard_->Tripped() ||
+                 ((scanned[i] & 0x1FF) == 0x1FF && !guard_->Check()))) {
+              break;
+            }
+            ++scanned[i];
+            if (store_ != nullptr) store_->Get(x, &io);
+            if (!m.RootTest(x)) continue;
+            if (m.MatchAt(x, &nl)) {
+              results[i].push_back(std::move(nl));
+              nl = nestedlist::NestedList();
+            }
           }
-          ++scanned[i];
-          if (store_ != nullptr) store_->Get(x, &io);
-          if (!m.RootTest(x)) continue;
-          if (m.MatchAt(x, &nl)) {
-            results[i].push_back(std::move(nl));
-            nl = nestedlist::NestedList();
-          }
+          vcmp[i] = ValueComparisonCount() - cmp_before;
         }
         work[i] = m.MatchWork();
-        vcmp[i] = ValueComparisonCount() - cmp_before;
       },
       guard_);
   // Fill the cache for every partition scanned cold (complete scans only;
@@ -484,6 +619,25 @@ void NokScanOperator::RunParallelScan() {
 bool NokScanOperator::GetNext(nestedlist::NestedList* out) {
   ScopedTimer timer(&wall_nanos_);
   util::TraceSpan span("exec", TraceName(*this));
+  return GetNextImpl(out);
+}
+
+size_t NokScanOperator::GetNextBatch(Batch* out, size_t max_rows) {
+  // One timer + trace span for the whole batch: the per-row bookkeeping
+  // that dominated the node-at-a-time hot path amortizes across max_rows.
+  ScopedTimer timer(&wall_nanos_);
+  util::TraceSpan span("exec", TraceName(*this));
+  out->rows.clear();
+  max_rows = ClampBatchRows(max_rows);
+  nestedlist::NestedList nl;
+  while (out->rows.size() < max_rows && GetNextImpl(&nl)) {
+    out->rows.push_back(std::move(nl));
+    nl = nestedlist::NestedList();
+  }
+  return out->rows.size();
+}
+
+bool NokScanOperator::GetNextImpl(nestedlist::NestedList* out) {
   if (virtual_root_) {
     if (CacheEligible()) {
       if (!parallel_done_) RunVirtualCachedScan();
@@ -509,6 +663,33 @@ bool NokScanOperator::GetNext(nestedlist::NestedList* out) {
     if (!parallel_done_) RunSerialCachedScan();
     return HandOutBuffered(out);
   }
+  if (exec_.vectorize) {
+    // Chunked serial driver: scan one chunk at a time into the pending
+    // buffer, hand matches out one per call. Emission order and charge
+    // sequence are identical to the reference loop below — charges happen
+    // only on handed-out matches, in the same document order.
+    while (pending_pos_ >= pending_.size()) {
+      pending_.clear();
+      pending_pos_ = 0;
+      if (cursor_ > range_end_ ||
+          static_cast<size_t>(cursor_) >= doc_->NumNodes()) {
+        return false;
+      }
+      xml::NodeId chunk_end = range_end_;
+      if (chunk_end - cursor_ >= kScanChunk) {
+        chunk_end = cursor_ + static_cast<xml::NodeId>(kScanChunk) - 1;
+      }
+      bool ok = ScanRange(&matcher_, cursor_, chunk_end, &io_cursor_,
+                          &nodes_scanned_, &value_cmps_, &pending_);
+      cursor_ = chunk_end + 1;
+      if (!ok) return false;
+    }
+    *out = std::move(pending_[pending_pos_++]);
+    if (guard_ != nullptr && guard_->Tripped()) return false;
+    return ChargeAndCount(*out);
+  }
+  // Reference node-at-a-time loop (exec.vectorize == false): the pinned
+  // baseline the equivalence suite compares the chunked driver against.
   while (cursor_ <= range_end_ &&
          static_cast<size_t>(cursor_) < doc_->NumNodes()) {
     if (guard_ != nullptr &&
@@ -524,14 +705,7 @@ bool NokScanOperator::GetNext(nestedlist::NestedList* out) {
     value_cmps_ += ValueComparisonCount() - cmp_before;
     if (matched) {
       if (guard_ != nullptr && guard_->Tripped()) return false;
-      ++matches_emitted_;
-      uint64_t cells = CountCells(*out);
-      cells_emitted_ += cells;
-      if (guard_ != nullptr &&
-          !guard_->ChargeCells(cells, cells * sizeof(nestedlist::Entry))) {
-        return false;
-      }
-      return true;
+      return ChargeAndCount(*out);
     }
   }
   return false;
@@ -555,6 +729,8 @@ void NokScanOperator::Rewind() {
   parallel_done_ = false;
   parallel_buf_.clear();
   parallel_pos_ = 0;
+  pending_.clear();
+  pending_pos_ = 0;
   io_cursor_ = storage::ScanCursor();
 }
 

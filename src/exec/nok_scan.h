@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "exec/batch.h"
 #include "exec/operator.h"
 #include "exec/result_cache.h"
 #include "nestedlist/nested_list.h"
@@ -112,12 +113,17 @@ class NokScanOperator : public NestedListOperator {
   ///        residency and page-read counts reflect the scan's real access
   ///        pattern — deterministically, independent of concurrent readers.
   ///        Partitioning also goes through the store when attached.
+  /// \param exec batch/vectorization knobs (DESIGN.md §16).
+  /// `exec.vectorize` selects the chunked scan driver with SIMD tag-id
+  /// candidate prefiltering; false pins the node-at-a-time reference
+  /// loop. Results and deterministic counters are identical either way.
   NokScanOperator(const xml::Document* doc, const pattern::BlossomTree* tree,
                   const pattern::NokTree* nok,
                   util::ThreadPool* pool = nullptr,
                   util::ResourceGuard* guard = nullptr,
                   NokResultCache* cache = nullptr,
-                  const storage::NodeStore* store = nullptr);
+                  const storage::NodeStore* store = nullptr,
+                  ExecOptions exec = {});
 
   const std::vector<pattern::SlotId>& top_slots() const override {
     return matcher_.top_slots();
@@ -134,6 +140,10 @@ class NokScanOperator : public NestedListOperator {
 
   /// \brief Fetches the next match in document order of the match root.
   bool GetNext(nestedlist::NestedList* out) override;
+
+  /// \brief Batch production: one timer/trace span per batch instead of
+  /// per row, same stream and counters as repeated GetNext.
+  size_t GetNextBatch(Batch* out, size_t max_rows) override;
 
   void Rewind() override;
 
@@ -154,6 +164,40 @@ class NokScanOperator : public NestedListOperator {
   ExecStats Stats() const override;
 
  private:
+  /// Chunk granularity of the batched scan drivers: guard checks, kernel
+  /// candidate prefilters, and bulk nodes_scanned accounting all happen at
+  /// this stride (DESIGN.md §16).
+  static constexpr size_t kScanChunk = 512;
+
+  /// GetNext body without the per-call timer/trace span (GetNext and
+  /// GetNextBatch wrap it, amortizing both per row or per batch).
+  bool GetNextImpl(nestedlist::NestedList* out);
+
+  /// Scans nodes [begin, end] with matcher `m`, touching `store_` through
+  /// `io`, bulk-counting scanned nodes / value comparisons into *scanned /
+  /// *vcmps and appending matches to *out. Chunked: the guard is sampled at
+  /// every ≤kScanChunk-node chunk top instead of the legacy per-node cadence
+  /// — Check() never mutates counters, so untripped runs keep bitwise-
+  /// identical counters; only trip *timing* coarsens (errored runs discard
+  /// results). Returns false iff the guard tripped mid-scan.
+  bool ScanRange(NokMatcher* m, xml::NodeId begin, xml::NodeId end,
+                 storage::ScanCursor* io, uint64_t* scanned, uint64_t* vcmps,
+                 std::vector<nestedlist::NestedList>* out) const;
+
+  /// Collects NodeIds in [first, last] whose tag id equals target_tag_
+  /// (the SIMD kernels; scalar fallback when exec_.simd is off). Touches
+  /// the store block-at-a-time through `io` with the same read accounting
+  /// as per-node Gets.
+  void GatherCandidates(xml::NodeId first, xml::NodeId last,
+                        storage::ScanCursor* io,
+                        std::vector<xml::NodeId>* out) const;
+
+  /// Charges the guard for an about-to-be-emitted match, then counts it.
+  /// Counting after a *successful* charge keeps matches/cells stats in sync
+  /// with what the consumer actually received when a budget trips on the
+  /// final row (the stats audit fix; regression-tested in batch_exec_test).
+  bool ChargeAndCount(const nestedlist::NestedList& nl);
+
   /// True when the pending scan may run partitioned: a pool is attached and
   /// the range covers the whole document (the BNLJ's restricted inner
   /// re-scans stay serial — their ranges are single subtrees).
@@ -220,6 +264,19 @@ class NokScanOperator : public NestedListOperator {
   /// `io_cursor_` through it (parallel partitions use private cursors).
   const storage::NodeStore* store_;
   storage::ScanCursor io_cursor_;
+
+  ExecOptions exec_;
+  /// Root tag id for kernel candidate prefiltering; kNullTag when the tag
+  /// is absent from the document (zero candidates, matching the reference
+  /// scan's zero matches).
+  xml::TagId target_tag_ = xml::kNullTag;
+  /// Prefiltering is sound only for a concrete element root: wildcard /
+  /// attribute / virtual roots fall back to the per-node reference loop.
+  bool kernel_eligible_ = false;
+  /// Serial vectorized path: matches found by the current chunk, handed
+  /// out one per GetNext (charged on handout like the buffered paths).
+  std::vector<nestedlist::NestedList> pending_;
+  size_t pending_pos_ = 0;
 };
 
 }  // namespace exec

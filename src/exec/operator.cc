@@ -7,10 +7,11 @@ namespace exec {
 
 std::vector<nestedlist::NestedList> Drain(NestedListOperator* op) {
   std::vector<nestedlist::NestedList> out;
-  nestedlist::NestedList nl;
-  while (op->GetNext(&nl)) {
-    out.push_back(std::move(nl));
-    nl = nestedlist::NestedList();
+  Batch batch;
+  while (op->GetNextBatch(&batch, ClampBatchRows(ExecOptions{}.batch_rows)) >
+         0) {
+    out.insert(out.end(), std::make_move_iterator(batch.rows.begin()),
+               std::make_move_iterator(batch.rows.end()));
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/batch.h"
 #include "exec/exec_stats.h"
 #include "nestedlist/nested_list.h"
 #include "pattern/blossom_tree.h"
@@ -29,6 +30,23 @@ class NestedListOperator {
 
   /// \brief Produces the next NestedList; false at end of stream.
   virtual bool GetNext(nestedlist::NestedList* out) = 0;
+
+  /// \brief Batch-at-a-time production (DESIGN.md §16): clears `out` and
+  /// refills it with up to `max_rows` NestedLists. Returns the number
+  /// produced; 0 ⟺ end of stream. The base implementation adapts
+  /// node-at-a-time GetNext; batch-native operators override it to pay
+  /// the timer, trace span, and guard checks once per batch instead of
+  /// once per row. Mixing GetNext and GetNextBatch calls on one stream is
+  /// legal — both advance the same cursor.
+  virtual size_t GetNextBatch(Batch* out, size_t max_rows) {
+    out->rows.clear();
+    nestedlist::NestedList nl;
+    while (out->rows.size() < max_rows && GetNext(&nl)) {
+      out->rows.push_back(std::move(nl));
+      nl = nestedlist::NestedList();
+    }
+    return out->rows.size();
+  }
 
   /// \brief Restarts the stream from the beginning.
   virtual void Rewind() = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "exec/kernels.h"
 #include "util/trace.h"
 
 namespace blossomtree {
@@ -48,6 +49,24 @@ void MergeRange(const xml::Document& doc,
     }
     for (xml::NodeId a : stack) {
       emit(a, d);
+    }
+    // Single-cover fast path: while exactly one ancestor covers the current
+    // position and the next unpushed ancestor cannot start yet, every
+    // following descendant up to the cover's subtree end emits exactly one
+    // pair. One branch-free counting search (CountLessEq) sizes that run,
+    // replacing the per-descendant pop/push/stack walk. The emitted pair
+    // sequence is identical; the run is capped so the guard sample above
+    // still fires every ~2k descendants.
+    if (stack.size() == 1 && di + 1 < dend) {
+      xml::NodeId limit = doc.SubtreeEnd(stack.back());
+      if (ai < aend) limit = std::min(limit, ancestors[ai]);
+      size_t run =
+          CountLessEq(descendants.data() + di + 1, dend - di - 1, limit);
+      run = std::min<size_t>(run, 0x800);
+      for (size_t k = 1; k <= run; ++k) {
+        emit(stack.back(), descendants[di + k]);
+      }
+      di += run;
     }
   }
 }

@@ -1,5 +1,7 @@
 #include "exec/value_ops.h"
 
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -76,6 +78,7 @@ bool GeneralCompare(const xml::Document& doc,
     std::string text;
     double num = 0;
     bool numeric = false;
+    uint32_t id = 0;  ///< Dictionary code of `text` (equality ops only).
   };
   std::vector<RightValue> rights;
   rights.reserve(right.size());
@@ -85,10 +88,40 @@ bool GeneralCompare(const xml::Document& doc,
     rv.numeric = ParseDouble(rv.text, &rv.num);
     rights.push_back(std::move(rv));
   }
+  // Equality dictionary: intern each distinct right-side string once, so
+  // the quadratic loop compares 4-byte codes instead of re-walking string
+  // bytes per (l, r) pair. Exact for =/!= because two strings are equal iff
+  // their codes are (numeric-vs-numeric pairs keep the numeric compare, as
+  // before); ordering ops still need real collation. Same ticks, same
+  // early-return pair.
+  constexpr uint32_t kNoId = static_cast<uint32_t>(-1);
+  const bool dict =
+      (op == xpath::CompareOp::kEq || op == xpath::CompareOp::kNeq) &&
+      right.size() > 1;
+  std::unordered_map<std::string_view, uint32_t> dict_ids;
+  if (dict) {
+    dict_ids.reserve(rights.size());
+    for (RightValue& rv : rights) {
+      // Keys view the rights' own text storage, which no longer moves.
+      rv.id = dict_ids.emplace(std::string_view(rv.text),
+                               static_cast<uint32_t>(dict_ids.size()))
+                  .first->second;
+    }
+  }
   for (xml::NodeId l : left) {
     std::string lv = doc.StringValue(l);
     double ln = 0;
     bool l_num = ParseDouble(lv, &ln);
+    if (dict) {
+      auto it = dict_ids.find(std::string_view(lv));
+      uint32_t l_id = it == dict_ids.end() ? kNoId : it->second;
+      for (const RightValue& rv : rights) {
+        ++value_comparisons;
+        bool eq = (l_num && rv.numeric) ? ln == rv.num : l_id == rv.id;
+        if (op == xpath::CompareOp::kEq ? eq : !eq) return true;
+      }
+      continue;
+    }
     for (const RightValue& rv : rights) {
       // Counter parity with CompareValues: one tick per (l, r) pair tried.
       ++value_comparisons;

@@ -164,7 +164,7 @@ class TreePlanner {
               bool* used_pipelined, bool* used_bnlj,
               util::ThreadPool* pool, util::ResourceGuard* guard,
               const CostModel* cost, exec::NokResultCache* result_cache,
-              const storage::NodeStore* store)
+              const storage::NodeStore* store, exec::ExecOptions exec)
       : doc_(doc),
         tree_(tree),
         decomp_(decomp),
@@ -179,7 +179,8 @@ class TreePlanner {
         guard_(guard),
         cost_(cost),
         result_cache_(result_cache),
-        store_(store) {}
+        store_(store),
+        exec_(exec) {}
 
   /// True when matches of `v`'s tag can never nest — the precondition for
   /// the pipelined join's merge discipline (Theorem 2 holds per tag: a
@@ -238,7 +239,7 @@ class TreePlanner {
     } else {
       auto scan = std::make_unique<NokScanOperator>(
           doc_, tree_, &decomp_->noks[nok_index], pool_, guard_,
-          result_cache_, store_);
+          result_cache_, store_, exec_);
       plan_->scans.push_back(scan.get());
       scan->set_label("NokScan(" + NokLabel(nok_index) + ")");
       Indent(depth);
@@ -282,7 +283,7 @@ class TreePlanner {
       if (join == JoinStrategy::kPipelined) {
         op = std::make_unique<exec::PipelinedDescJoin>(
             doc_, tree_, std::move(op), std::move(inner), from_slot, c.mode,
-            guard_);
+            guard_, exec_);
       } else {
         op = std::make_unique<exec::BoundedNestedLoopJoin>(
             doc_, tree_, std::move(op), std::move(inner), from_slot, c.mode,
@@ -338,6 +339,7 @@ class TreePlanner {
   const CostModel* cost_;
   exec::NokResultCache* result_cache_;
   const storage::NodeStore* store_;
+  exec::ExecOptions exec_;
 };
 
 }  // namespace
@@ -495,7 +497,8 @@ Result<QueryPlan> PlanQuery(const xml::Document* doc,
     if (!noks.empty()) {
       merged = std::make_unique<exec::MergedNokScan>(doc, tree,
                                                      std::move(noks),
-                                                     options.guard);
+                                                     options.guard,
+                                                     options.exec);
       merged->Run();
       // A trip during the eager merged scan leaves partial match lists;
       // surface it now rather than handing out a truncated plan.
@@ -517,7 +520,7 @@ Result<QueryPlan> PlanQuery(const xml::Document* doc,
                         merged.get(), &merged_index, &access, &tp,
                         &used_pipelined, &used_bnlj, options.pool,
                         options.guard, cost.get(), options.result_cache,
-                        options.store);
+                        options.store, options.exec);
     BT_ASSIGN_OR_RETURN(tp.root, builder.Build(base, 1));
     tp.tops = tp.root->top_slots();
     plan.trees.push_back(std::move(tp));

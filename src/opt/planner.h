@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/batch.h"
 #include "exec/index_seek.h"
 #include "exec/merged_scan.h"
 #include "exec/nok_scan.h"
@@ -74,6 +75,13 @@ struct PlanOptions {
   /// seeks re-verify every candidate and emit the scan's exact stream.
   /// nullptr = every NoK scans (the exact pre-index behavior).
   const index::StructuralIndex* index = nullptr;
+  /// Batched/vectorized execution knobs (DESIGN.md §16): batch size for
+  /// GetNextBatch exchanges, the chunked+SIMD scan drivers
+  /// (`exec.vectorize`, on by default), and the SIMD kernel toggle
+  /// (`exec.simd`). Every combination produces byte-identical results and
+  /// bitwise-identical deterministic counters; vectorize=false pins the
+  /// node-at-a-time reference path.
+  exec::ExecOptions exec;
 };
 
 /// \brief A compiled plan for one pattern tree of a BlossomTree.

@@ -223,6 +223,14 @@ Result<Btsx2View> MapBtsx2(std::string_view image) {
     return Corrupt("image smaller than the header");
   }
   const char* p = image.data();
+  // The section-offset alignment checks below are relative to the image
+  // base; the typed views handed out only stay aligned if the base itself
+  // is 16-byte aligned. mmap'd images always are (page-aligned) and the
+  // heap/pread fallbacks allocate with operator new[]; reject anything
+  // else cleanly instead of handing out misaligned typed pointers (UB).
+  if (reinterpret_cast<uintptr_t>(p) % 16 != 0) {
+    return Corrupt("image base not 16-byte aligned");
+  }
   if (std::memcmp(p, kBtsx2Magic, sizeof kBtsx2Magic) != 0) {
     return Corrupt("bad magic");
   }

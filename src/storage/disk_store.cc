@@ -81,13 +81,13 @@ std::shared_ptr<const DiskStore::Block> DiskStore::PinBlock(
   size_t len = static_cast<size_t>(
       std::min<uint64_t>(block_bytes_, records_bytes_ - offset));
   if (mode_ == Mode::kPread) {
-    block->owned.resize(len);
-    if (!ReadFully(fd_, block->owned.data(), len, records_offset_ + offset)) {
+    block->owned.reset(new char[len]);
+    if (!ReadFully(fd_, block->owned.get(), len, records_offset_ + offset)) {
       // A read error mid-scan has no status channel through Get(); serve
       // zeroed records (subtree_end 0 terminates walks) rather than UB.
-      std::memset(block->owned.data(), 0, len);
+      std::memset(block->owned.get(), 0, len);
     }
-    block->data = block->owned.data();
+    block->data = block->owned.get();
   } else {
     block->data = image_ + records_offset_ + offset;
     if (mode_ == Mode::kMmap) {
@@ -152,11 +152,11 @@ Status DiskStore::LoadImage(const std::string& path,
     // No mapping available (exotic filesystems, sandboxes): fall back to an
     // in-core image — everything still works, just not out-of-core.
     mode_ = Mode::kHeap;
-    heap_image_.resize(file_bytes_);
-    if (!ReadFully(fd_, heap_image_.data(), heap_image_.size(), 0)) {
+    heap_image_.reset(new char[file_bytes_]);
+    if (!ReadFully(fd_, heap_image_.get(), file_bytes_, 0)) {
       return Status::IOError("BTSX2: short read from '" + path + "'");
     }
-    image_ = heap_image_.data();
+    image_ = heap_image_.get();
     ::close(fd_);
     fd_ = -1;
   }

@@ -1,10 +1,12 @@
 #ifndef BLOSSOMTREE_STORAGE_DISK_STORE_H_
 #define BLOSSOMTREE_STORAGE_DISK_STORE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -83,20 +85,32 @@ class DiskStore : public NodeStore {
   uint64_t generation() const override { return generation_; }
 
   NodeRecord Get(xml::NodeId n, ScanCursor* cursor) const override {
-    size_t block = static_cast<size_t>(n) * sizeof(NodeRecord) / block_bytes_;
-    if (block != cursor->page) {
-      cursor->pin = PinBlock(block);
-      cursor->page = block;
-      ++cursor->reads;
-      block_reads_.fetch_add(1, std::memory_order_relaxed);
-    }
-    const Block* b = static_cast<const Block*>(cursor->pin.get());
+    const Block* b = PageTo(n, cursor);
+    // memcpy load: block buffers are 16-byte aligned (below), but the
+    // copy keeps this path correct for any buffer.
     NodeRecord r;
     std::memcpy(&r,
                 b->data + (static_cast<size_t>(n) * sizeof(NodeRecord) -
-                           block * block_bytes_),
+                           cursor->page * block_bytes_),
                 sizeof r);
     return r;
+  }
+
+  /// \brief Zero-copy span over the resident block holding `n`, clipped
+  /// to `last`; same per-block read accounting as sequential Gets. The
+  /// typed view is well-formed in every mode: mmap images are
+  /// page-aligned with 16-byte-aligned section offsets, and heap/pread
+  /// buffers come from operator new[] (16-byte aligned by
+  /// __STDCPP_DEFAULT_NEW_ALIGNMENT__).
+  std::span<const NodeRecord> NextBlock(xml::NodeId n, xml::NodeId last,
+                                        ScanCursor* cursor) const override {
+    const Block* b = PageTo(n, cursor);
+    size_t first = cursor->page * block_bytes_ / sizeof(NodeRecord);
+    size_t end = std::min<size_t>(
+        {static_cast<size_t>(last), first + b->size / sizeof(NodeRecord) - 1,
+         num_nodes_ - 1});
+    const NodeRecord* records = reinterpret_cast<const NodeRecord*>(b->data);
+    return {records + (n - first), end - n + 1};
   }
 
   std::vector<NodeRange> Partition(size_t max_partitions) const override {
@@ -139,17 +153,36 @@ class DiskStore : public NodeStore {
 
   /// One cached record block. Mapped modes: `data` points into the image
   /// and eviction (the last shared_ptr dropping) releases the pages'
-  /// residency via madvise. Pread mode: `owned` holds the bytes.
+  /// residency via madvise. Pread mode: `owned` holds the bytes —
+  /// operator new[] storage so the record stream is 16-byte aligned (a
+  /// std::string buffer carries no alignment guarantee; the typed
+  /// NextBlock span and the SIMD scan kernels want an aligned base).
   struct Block {
     ~Block();
     const char* data = nullptr;
     size_t size = 0;
-    std::string owned;
+    std::unique_ptr<char[]> owned;
     const char* advise_base = nullptr;  ///< mmap mode: eviction hint range.
     size_t advise_len = 0;
   };
 
   DiskStore() = default;
+
+  /// Moves the cursor onto n's block — pinning it and counting the switch
+  /// (unless the cursor is a non-counting planning walk) — and returns
+  /// the pinned block.
+  const Block* PageTo(xml::NodeId n, ScanCursor* cursor) const {
+    size_t block = static_cast<size_t>(n) * sizeof(NodeRecord) / block_bytes_;
+    if (block != cursor->page) {
+      cursor->pin = PinBlock(block);
+      cursor->page = block;
+      if (cursor->count_reads) {
+        ++cursor->reads;
+        block_reads_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return static_cast<const Block*>(cursor->pin.get());
+  }
 
   /// Returns the cached block, loading + inserting on miss. The returned
   /// pin keeps the block alive even if the cache refuses it (budget smaller
@@ -162,8 +195,10 @@ class DiskStore : public NodeStore {
   Mode mode_ = Mode::kMmap;
   int fd_ = -1;
   const char* image_ = nullptr;
-  size_t image_bytes_ = 0;   ///< Mapped length (0 when nothing is mapped).
-  std::string heap_image_;   ///< kHeap fallback storage.
+  size_t image_bytes_ = 0;  ///< Mapped length (0 when nothing is mapped).
+  /// kHeap fallback storage: operator new[] so the image base is 16-byte
+  /// aligned like an mmap'd one — MapBtsx2 rejects misaligned bases.
+  std::unique_ptr<char[]> heap_image_;
   uint64_t file_bytes_ = 0;
 
   uint64_t records_offset_ = 0;

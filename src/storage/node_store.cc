@@ -32,6 +32,10 @@ std::vector<NodeRange> NodeStore::PartitionFromRecords(
   std::vector<xml::NodeId> cuts;
   if (total > 0) {
     ScanCursor cursor;
+    // Planning walk: pages through the store without counting reads, so
+    // DiskStore::Partition matches PageStore::Partition's accounting (a
+    // scan's records_read covers scan I/O only, on every store).
+    cursor.count_reads = false;
     cuts.push_back(0);
     // Children of the root are the level-1 records; each one's subtree_end
     // jumps to the next. A store built from an empty or failed document can

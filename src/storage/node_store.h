@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "xml/document.h"
@@ -42,6 +43,15 @@ struct ScanCursor {
   size_t page = static_cast<size_t>(-1);
   uint64_t reads = 0;
   std::shared_ptr<const void> pin;
+  /// False for planning-time walks (PartitionFromRecords): the cursor
+  /// still pins and pages normally, but neither the cursor's `reads` nor
+  /// the store-wide aggregate is incremented — partitioning is planning,
+  /// not scan I/O, on every store (PageStore always behaved this way;
+  /// DiskStore used to count its partition walk, diverging from it).
+  bool count_reads = true;
+  /// Staging slot for the base-class NextBlock fallback (stores without a
+  /// native block span serve batched scans one record at a time).
+  NodeRecord staged{};
 };
 
 /// \brief Abstract document-order node store with page/block-granular
@@ -69,6 +79,22 @@ class NodeStore {
   /// value: 16 bytes, and the backing block may be evicted after the
   /// cursor moves on.
   virtual NodeRecord Get(xml::NodeId n, ScanCursor* cursor) const = 0;
+
+  /// \brief Batched sequential read (DESIGN.md §16): returns a span of
+  /// consecutive records starting at `n`, extending no further than `last`
+  /// (inclusive) and never past the page/block `n` lives on. Read
+  /// accounting is identical to fetching the same records one Get() at a
+  /// time — one page read per block entered — so batched and
+  /// node-at-a-time scans report bitwise-identical counters. The span
+  /// stays valid until the next call through the same cursor (the
+  /// cursor's pin keeps the backing block resident).
+  virtual std::span<const NodeRecord> NextBlock(xml::NodeId n,
+                                                xml::NodeId last,
+                                                ScanCursor* cursor) const {
+    (void)last;
+    cursor->staged = Get(n, cursor);
+    return {&cursor->staged, 1};
+  }
 
   /// \brief Partitions the stored document into at most `max_partitions`
   /// contiguous node ranges cut at top-level subtree boundaries (the

@@ -1,8 +1,10 @@
 #ifndef BLOSSOMTREE_STORAGE_PAGE_STORE_H_
 #define BLOSSOMTREE_STORAGE_PAGE_STORE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "storage/node_store.h"
@@ -52,13 +54,19 @@ class PageStore : public NodeStore {
   /// \brief Fetches the record for `n`, counting a page read on the
   /// cursor's page switch (aggregated into the store-wide total).
   NodeRecord Get(xml::NodeId n, ScanCursor* cursor) const override {
-    size_t page = n / nodes_per_page_;
-    if (page != cursor->page) {
-      cursor->page = page;
-      ++cursor->reads;
-      page_reads_.fetch_add(1, std::memory_order_relaxed);
-    }
+    Page(n, cursor);
     return records_[n];
+  }
+
+  /// \brief Zero-copy span over the records of n's page, clipped to
+  /// `last`; same per-page read accounting as sequential Gets.
+  std::span<const NodeRecord> NextBlock(xml::NodeId n, xml::NodeId last,
+                                        ScanCursor* cursor) const override {
+    size_t page = Page(n, cursor);
+    size_t end = std::min<size_t>(
+        {static_cast<size_t>(last), (page + 1) * nodes_per_page_ - 1,
+         records_.size() - 1});
+    return {records_.data() + n, end - n + 1};
   }
 
   // -- I/O accounting --------------------------------------------------------
@@ -77,6 +85,20 @@ class PageStore : public NodeStore {
   std::vector<NodeRange> Partition(size_t max_partitions) const override;
 
  private:
+  /// Moves the cursor onto n's page, counting the switch (unless the
+  /// cursor is a non-counting planning walk); returns the page index.
+  size_t Page(xml::NodeId n, ScanCursor* cursor) const {
+    size_t page = n / nodes_per_page_;
+    if (page != cursor->page) {
+      cursor->page = page;
+      if (cursor->count_reads) {
+        ++cursor->reads;
+        page_reads_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return page;
+  }
+
   std::vector<NodeRecord> records_;
   size_t nodes_per_page_;
   size_t num_pages_;

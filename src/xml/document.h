@@ -275,6 +275,18 @@ class Document {
   const TagDictionary& tags() const { return tags_; }
   TagDictionary& mutable_tags() { return tags_; }
 
+  /// \brief Contiguous per-node tag array of a *built* document (kNullTag
+  /// at text nodes), or nullptr for external documents — the stride-4
+  /// input of the exec::FilterTagEq scan kernel.
+  const TagId* TagArray() const {
+    return ext_.records != nullptr ? nullptr : tag_.data();
+  }
+
+  /// \brief Adopted record stream of an *external* document, or nullptr
+  /// for built documents — the stride-16 input of the
+  /// exec::FilterTagEqRecords scan kernel.
+  const PackedNodeRecord* ExternalRecords() const { return ext_.records; }
+
   /// \brief All element nodes with tag id `t`, in document order.
   ///
   /// This is the "tag-name index" required by the join-based approaches

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -309,6 +312,136 @@ TEST(DiskStoreTest, EmptyDocumentRoundTrips) {
   EXPECT_EQ((*store)->NumNodes(), 0u);
   EXPECT_TRUE((*store)->document()->empty());
   std::remove(path.c_str());
+}
+
+/// Drains [begin, end] through NextBlock spans, asserting every span stays
+/// inside the range and inside one block, and that every record matches the
+/// in-RAM document. Returns the cursor's block reads.
+uint64_t DrainRangeBatched(const NodeStore& store, const xml::Document& doc,
+                           xml::NodeId begin, xml::NodeId end) {
+  ScanCursor cur;
+  size_t npp = store.NodesPerPage();
+  xml::NodeId n = begin;
+  while (n <= end) {
+    std::span<const NodeRecord> block = store.NextBlock(n, end, &cur);
+    EXPECT_GE(block.size(), 1u);
+    EXPECT_LE(n + block.size() - 1, end);
+    // A span never crosses its block boundary.
+    EXPECT_EQ(n / npp, (n + block.size() - 1) / npp);
+    for (size_t i = 0; i < block.size(); ++i) {
+      xml::NodeId id = n + static_cast<xml::NodeId>(i);
+      EXPECT_EQ(block[i].subtree_end, doc.SubtreeEnd(id)) << "node " << id;
+      EXPECT_EQ(block[i].level, doc.Level(id)) << "node " << id;
+    }
+    n += static_cast<xml::NodeId>(block.size());
+  }
+  return cur.reads;
+}
+
+TEST(DiskStoreTest, NextBlockBoundarySweepPreadVsMmap) {
+  // Satellite (b): ranges ending one record before / on / one record after
+  // every block boundary — including a final partial block — must serve
+  // exact records with exactly ceil(range / nodes_per_block) block reads,
+  // identically in pread mode, mmap mode, and the in-RAM PageStore. The
+  // final short block in particular must be entered (and counted) once.
+  datagen::GenOptions o;
+  o.scale = 0.02;
+  auto doc = datagen::GenerateDataset(datagen::Dataset::kD2Address, o);
+  std::string path = WriteTemp(*doc, "boundary");
+  DiskStoreOptions mopts;
+  mopts.block_bytes = 4096;
+  auto mstore = DiskStore::Open(path, mopts);
+  ASSERT_TRUE(mstore.ok()) << mstore.status().ToString();
+  DiskStoreOptions popts;
+  popts.use_mmap = false;
+  popts.block_bytes = 4096;
+  auto pstore = DiskStore::Open(path, popts);
+  ASSERT_TRUE(pstore.ok()) << pstore.status().ToString();
+  PageStore pages(*doc, 4096);
+
+  const xml::NodeId total = static_cast<xml::NodeId>(doc->NumNodes());
+  const size_t npp = pages.NodesPerPage();
+  ASSERT_EQ((*mstore)->NodesPerPage(), npp);
+  ASSERT_EQ((*pstore)->NodesPerPage(), npp);
+  // More than one block, and a final block that is genuinely short.
+  ASSERT_GT((*mstore)->NumPages(), 2u);
+  ASSERT_NE(total % npp, 0u);
+
+  std::vector<xml::NodeId> edges;
+  for (xml::NodeId b = static_cast<xml::NodeId>(npp); b < total;
+       b += static_cast<xml::NodeId>(npp)) {
+    edges.push_back(b - 1);  // Last record of a block.
+    edges.push_back(b);      // First record of the next.
+    if (b + 1 < total) edges.push_back(b + 1);
+  }
+  edges.push_back(total - 1);  // End of the final short block.
+  for (xml::NodeId end : edges) {
+    uint64_t expected_reads = end / npp + 1;  // Blocks 0..end/npp, once each.
+    EXPECT_EQ(DrainRangeBatched(**mstore, *doc, 0, end), expected_reads)
+        << "mmap end=" << end;
+    EXPECT_EQ(DrainRangeBatched(**pstore, *doc, 0, end), expected_reads)
+        << "pread end=" << end;
+    EXPECT_EQ(DrainRangeBatched(pages, *doc, 0, end), expected_reads)
+        << "pages end=" << end;
+    // Mid-range starts around the same edge: begin inside a block.
+    xml::NodeId begin = end / 2;
+    uint64_t mid_reads = end / npp - begin / npp + 1;
+    EXPECT_EQ(DrainRangeBatched(**mstore, *doc, begin, end), mid_reads);
+    EXPECT_EQ(DrainRangeBatched(**pstore, *doc, begin, end), mid_reads);
+    EXPECT_EQ(DrainRangeBatched(pages, *doc, begin, end), mid_reads);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskStoreTest, PartitionBoundariesInsideFinalBlockScanExactly) {
+  // Partition ranges cut wherever subtree boundaries fall — including
+  // inside the final short block. Scanning each range batched must count
+  // the same block reads as a Get-per-node scan of the same range, and
+  // partitioning itself must count nothing (a planning walk, not scan I/O).
+  datagen::GenOptions o;
+  o.scale = 0.02;
+  auto doc = datagen::GenerateDataset(datagen::Dataset::kD3Catalog, o);
+  std::string path = WriteTemp(*doc, "partition_blocks");
+  for (bool use_mmap : {true, false}) {
+    DiskStoreOptions opts;
+    opts.use_mmap = use_mmap;
+    opts.block_bytes = 4096;
+    auto store = DiskStore::Open(path, opts);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    (*store)->ResetCounters();
+    auto parts = (*store)->Partition(4);
+    EXPECT_EQ((*store)->PageReads(), 0u) << "use_mmap=" << use_mmap;
+    ASSERT_FALSE(parts.empty());
+    for (const NodeRange& r : parts) {
+      uint64_t batched = DrainRangeBatched(**store, *doc, r.begin, r.end);
+      ScanCursor one;
+      for (xml::NodeId n = r.begin; n <= r.end; ++n) (*store)->Get(n, &one);
+      EXPECT_EQ(batched, one.reads)
+          << "use_mmap=" << use_mmap << " range [" << r.begin << ", "
+          << r.end << "]";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskStoreTest, MapRejectsMisalignedImage) {
+  // Satellite (c): the BTSX2 mapper serves typed section views, so it must
+  // refuse an image whose base is not 16-byte aligned instead of handing
+  // out misaligned PackedNodeRecord pointers (UB under UBSan).
+  auto doc = Parse("<a><b>text</b><c x=\"1\"/></a>");
+  auto encoded = EncodeBtsx2(*doc);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+  auto raw = std::make_unique<char[]>(encoded->size() + 16);
+  char* aligned = raw.get();
+  aligned += 16 - reinterpret_cast<uintptr_t>(aligned) % 16;
+  ASSERT_EQ(reinterpret_cast<uintptr_t>(aligned) % 16, 0u);
+  std::memcpy(aligned, encoded->data(), encoded->size());
+  EXPECT_TRUE(MapBtsx2(std::string_view(aligned, encoded->size())).ok());
+  // The same bytes one past alignment must be rejected up front.
+  char* misaligned = aligned + 1;
+  std::memmove(misaligned, aligned, encoded->size());
+  auto r = MapBtsx2(std::string_view(misaligned, encoded->size()));
+  EXPECT_FALSE(r.ok());
 }
 
 TEST(DiskStoreTest, ConcurrentScansSeeIdenticalRecords) {
